@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper figure it regenerates
+(run ``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
+*shape* claims of the paper — who wins, by roughly what factor — rather than
+absolute numbers, since the substrate is a simulator rather than the
+authors' 2008 Solaris testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (these workloads are deterministic and
+    expensive; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

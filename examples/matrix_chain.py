@@ -1,0 +1,67 @@
+"""Matrix-chain optimization: Figure 3 analytically + measured at scale.
+
+Part 1 recomputes the paper's Figure 3 cost tables (n = 100000 matrices
+are 80 GB objects — the paper costed them analytically, and so do we).
+
+Part 2 runs the *real* out-of-core algorithms at laptop scale on the
+counted tile store and shows the same ordering holds in measured blocks,
+including the win from DP reordering under skew.
+
+Run:  python examples/matrix_chain.py
+"""
+
+import numpy as np
+
+from repro.core.chain import in_order, optimal_order, order_to_string
+from repro.core.costs import (GB_IN_SCALARS, fig3_dims,
+                              fig3_strategy_costs)
+from repro.linalg import multiply_chain
+from repro.storage import ArrayStore
+
+
+def analytic_part() -> None:
+    print("=" * 64)
+    print("Figure 3(a) (analytic): I/O blocks for A %*% B %*% C, s=2")
+    print("=" * 64)
+    for n in (100_000, 120_000):
+        for gb in (2, 4):
+            costs = fig3_strategy_costs(n, 2.0, gb * GB_IN_SCALARS)
+            print(f"\nn={n:,}, memory={gb} GB:")
+            for strategy, io in costs.items():
+                print(f"  {strategy:18s} {io:14.3e} blocks")
+
+    print("\nOrder chosen by the DP under skew:")
+    for s in (2, 4, 6, 8):
+        dims = fig3_dims(100_000, s)
+        order = optimal_order(dims)
+        print(f"  s={s}: {order_to_string(order, ['A', 'B', 'C'])}")
+
+
+def measured_part() -> None:
+    print("\n" + "=" * 64)
+    print("Measured at laptop scale: n=512, s=8, memory=512 KB")
+    print("=" * 64)
+    n, s = 512, 8
+    mem = 64 * 1024  # scalars
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((n, n // s))
+    b = rng.standard_normal((n // s, n))
+    c = rng.standard_normal((n, n))
+
+    for label, order in (("in-order  (AB)C", in_order(3)),
+                         ("opt-order A(BC)", None)):
+        store = ArrayStore(memory_bytes=mem * 8, block_size=8192)
+        mats = [store.matrix_from_numpy(m, layout="square")
+                for m in (a, b, c)]
+        store.pool.clear()
+        store.reset_stats()
+        out = multiply_chain(store, mats, mem, order=order)
+        store.flush()
+        io = store.device.stats.total
+        ok = np.allclose(out.to_numpy(), a @ b @ c)
+        print(f"  {label}: {io:6d} blocks  (correct: {ok})")
+
+
+if __name__ == "__main__":
+    analytic_part()
+    measured_part()

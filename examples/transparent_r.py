@@ -1,0 +1,63 @@
+"""Transparency demo: one R program, five engines, the §5 rewrite live.
+
+Runs the paper's §5 code fragment
+
+    b <- a^2; b[b>100] <- 100; print(b[1:10])
+
+on every engine.  On the deferring engines the modification never executes
+over the full vector: RIOT-DB defers it as a CASE WHEN view, and next-gen
+RIOT rewrites the DAG (Figure 2) so only 10 elements are touched.
+
+Run:  python examples/transparent_r.py
+"""
+
+import numpy as np
+
+from repro.engines import ALL_ENGINES
+from repro.rlang import Interpreter
+
+PROGRAM = """
+b <- a^2
+b[b > 100] <- 100
+print(b[1:10])
+"""
+
+N = 500_000
+
+
+def main() -> None:
+    print("Program:")
+    print(PROGRAM)
+    rng = np.random.default_rng(9)
+    values = rng.uniform(0, 20, N)
+
+    print(f"{'engine':22s} {'I/O after setup (blocks)':>25s}  output")
+    outputs = set()
+    for name in ("plain", "strawman", "matnamed", "riotdb", "riotng"):
+        engine = ALL_ENGINES[name](memory_bytes=8 * 1024 * 1024)
+        interp = Interpreter(engine, seed=1)
+        interp.env["a"] = engine.make_vector(values)
+        engine.reset_stats()
+        interp.run(PROGRAM)
+        io = engine.io_stats().total
+        out = interp.output[0]
+        outputs.add(out)
+        print(f"{engine.name:22s} {io:25d}  {out[:40]}...")
+
+    assert len(outputs) == 1
+    print("\nIdentical output everywhere — the I/O column is the story:")
+    print("eager engines execute the masked update over all",
+          f"{N:,} elements; the deferred engines touch ~10.")
+
+    # Show the SQL view RIOT-DB built for the masked update.
+    engine = ALL_ENGINES["riotdb"](memory_bytes=8 * 1024 * 1024)
+    interp = Interpreter(engine, seed=1)
+    interp.env["a"] = engine.make_vector(values)
+    interp.run("b <- a^2\nb[b > 100] <- 100")
+    b = interp.env["b"]
+    print("\nRIOT-DB's deferred view for the modified b:")
+    print(" ", engine.db.view_sql(b.name))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "RIOT: I/O-Efficient Numerical Computing without
+SQL" (Zhang, Herodotou, Yang; CIDR 2009).
+
+Subpackages
+-----------
+``repro.storage``
+    Simulated block device, buffer pool, tiled (chunked) array store.
+``repro.vm``
+    Virtual-memory pager: the substrate that makes "Plain R" thrash.
+``repro.db``
+    Embedded relational engine (tables, B+trees, views, optimizer,
+    vectorized executor) — the MySQL stand-in behind RIOT-DB.
+``repro.rlang``
+    Interpreter for an R subset with S4-style generic dispatch, so the same
+    program source runs unmodified on every engine (the transparency claim).
+``repro.engines``
+    The four systems of Figure 1: Plain R, RIOT-DB/Strawman,
+    RIOT-DB/MatNamed, and full RIOT-DB.
+``repro.core``
+    Next-generation RIOT: expression DAGs, deferred updates, rewrite rules,
+    matrix-chain ordering, analytic I/O cost models, and a streaming
+    evaluator over the tile store.
+``repro.linalg``
+    Out-of-core linear algebra over tiles (matrix multiply variants, LU).
+``repro.workloads``
+    Paper workloads (Example 1, the Figure-3 chains) and extras.
+"""
+
+__version__ = "1.0.0"

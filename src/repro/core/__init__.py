@@ -1,0 +1,28 @@
+"""Next-generation RIOT (§5): expression DAGs, rewrites, cost models.
+
+Public API::
+
+    from repro.core import RiotSession
+
+    s = RiotSession(memory_bytes=64 << 20)
+    x = s.random_vector(1 << 20, seed=1)
+    d = ((x - 3.0) ** 2).sqrt()
+    z = d[s.arange(1, 100)]     # deferred
+    z.values()                  # selective evaluation: touches ~1 chunk
+"""
+
+from . import chain, costs
+from .arrays import RiotMatrix, RiotVector
+from .evaluator import Evaluator
+from .expr import (ArrayInput, Map, MatMul, Node, Range, Reduce, Scalar,
+                   Subscript, SubscriptAssign, Transpose, count_nodes,
+                   render, to_dot, walk)
+from .rewrite import Rewriter, optimize
+from .session import RiotSession
+
+__all__ = [
+    "ArrayInput", "Evaluator", "Map", "MatMul", "Node", "Range", "Reduce",
+    "RiotMatrix", "RiotSession", "RiotVector", "Rewriter", "Scalar",
+    "Subscript", "SubscriptAssign", "Transpose", "chain", "costs",
+    "count_nodes", "optimize", "render", "to_dot", "walk",
+]

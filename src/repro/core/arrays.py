@@ -1,0 +1,245 @@
+"""Deferred array handles: the user-facing API of next-generation RIOT.
+
+``RiotVector`` and ``RiotMatrix`` wrap DAG nodes and overload Python
+operators, so user code reads like the R programs in the paper::
+
+    d = ((x - xs)**2 + (y - ys)**2).sqrt() + ((x - xe)**2 + (y - ye)**2).sqrt()
+    z = d[s]          # deferred; nothing computed yet
+    z.values()        # forces exactly the selected elements
+
+Modification is pure: ``b.assign(b > 100, 100)`` returns the *new state*
+(the ``[]<-`` operator of Figure 2) and leaves ``b`` untouched — matching R
+value semantics and enabling the subscript-pushdown rewrite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .expr import (Map, MatMul, Node, Range, Reduce, Scalar, Subscript,
+                   SubscriptAssign, Transpose)
+
+
+def _scalarize(value) -> Node:
+    if isinstance(value, (RiotVector, RiotMatrix)):
+        return value.node
+    if isinstance(value, Node):
+        return value
+    return Scalar(float(value))
+
+
+class _Deferred:
+    """Shared operator plumbing for vector and matrix handles."""
+
+    def __init__(self, session, node: Node) -> None:
+        self.session = session
+        self.node = node
+
+    # -- arithmetic ------------------------------------------------------
+    def _binary(self, op: str, other, swap: bool = False):
+        left, right = _scalarize(self), _scalarize(other)
+        if swap:
+            left, right = right, left
+        return self._wrap(Map(op, left, right))
+
+    def __add__(self, other):
+        return self._binary("+", other)
+
+    def __radd__(self, other):
+        return self._binary("+", other, swap=True)
+
+    def __sub__(self, other):
+        return self._binary("-", other)
+
+    def __rsub__(self, other):
+        return self._binary("-", other, swap=True)
+
+    def __mul__(self, other):
+        return self._binary("*", other)
+
+    def __rmul__(self, other):
+        return self._binary("*", other, swap=True)
+
+    def __truediv__(self, other):
+        return self._binary("/", other)
+
+    def __rtruediv__(self, other):
+        return self._binary("/", other, swap=True)
+
+    def __pow__(self, other):
+        return self._binary("pow", other)
+
+    def __mod__(self, other):
+        return self._binary("mod", other)
+
+    def __neg__(self):
+        return self._wrap(Map("neg", self.node))
+
+    # -- comparisons (produce logical arrays) ------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary("==", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary("!=", other)
+
+    def __lt__(self, other):
+        return self._binary("<", other)
+
+    def __le__(self, other):
+        return self._binary("<=", other)
+
+    def __gt__(self, other):
+        return self._binary(">", other)
+
+    def __ge__(self, other):
+        return self._binary(">=", other)
+
+    __hash__ = None  # handles are not hashable (== is elementwise)
+
+    # -- elementwise functions ----------------------------------------------
+    def sqrt(self):
+        return self._wrap(Map("sqrt", self.node))
+
+    def abs(self):
+        return self._wrap(Map("abs", self.node))
+
+    def exp(self):
+        return self._wrap(Map("exp", self.node))
+
+    def log(self):
+        return self._wrap(Map("log", self.node))
+
+    def ifelse(self, then_value, else_value):
+        """Elementwise conditional with self as the (logical) condition."""
+        return self._wrap(Map("ifelse", self.node,
+                              _scalarize(then_value),
+                              _scalarize(else_value)))
+
+    # -- reductions ------------------------------------------------------------
+    def sum(self) -> float:
+        return float(self.session.force(Reduce("sum", self.node)))
+
+    def mean(self) -> float:
+        return float(self.session.force(Reduce("mean", self.node)))
+
+    def min(self) -> float:
+        return float(self.session.force(Reduce("min", self.node)))
+
+    def max(self) -> float:
+        return float(self.session.force(Reduce("max", self.node)))
+
+    # -- evaluation ------------------------------------------------------------
+    def force(self):
+        """Materialize this handle's DAG into the tile store."""
+        return self.session.force(self.node)
+
+    def values(self) -> np.ndarray:
+        """Force and return the result as a numpy array."""
+        return self.session.values(self.node)
+
+    def explain(self) -> str:
+        return self.session.explain(self.node)
+
+    def _wrap(self, node: Node):
+        raise NotImplementedError
+
+
+class RiotVector(_Deferred):
+    """A deferred 1-D array."""
+
+    def _wrap(self, node: Node):
+        if node.ndim == 1:
+            return RiotVector(self.session, node)
+        if node.ndim == 2:
+            return RiotMatrix(self.session, node)
+        return node
+
+    @property
+    def length(self) -> int:
+        return self.node.shape[0]
+
+    def __len__(self) -> int:
+        return self.length
+
+    # -- subscripts -----------------------------------------------------------
+    def _index_node(self, index) -> Node:
+        if isinstance(index, RiotVector):
+            return index.node
+        if isinstance(index, slice):
+            lo = 1 if index.start is None else int(index.start)
+            hi = self.length if index.stop is None else int(index.stop)
+            if index.step not in (None, 1):
+                raise ValueError("only unit-step slices are supported")
+            return Range(lo, hi)
+        if isinstance(index, (int, np.integer)):
+            return Range(int(index), int(index))
+        arr = np.asarray(index)
+        if arr.dtype == bool:
+            raise TypeError(
+                "boolean gather is not deferred; use .assign for masked "
+                "updates or which() semantics via numpy first")
+        from .expr import ArrayInput
+        stored = self.session.store.vector_from_numpy(
+            arr.astype(np.float64))
+        return ArrayInput(stored, name="idx")
+
+    def __getitem__(self, index) -> "RiotVector":
+        """1-based subscript, deferred (``d[s]`` of Example 1)."""
+        return RiotVector(self.session,
+                          Subscript(self.node, self._index_node(index)))
+
+    def assign(self, index, value) -> "RiotVector":
+        """The pure ``[]<-``: returns the NEW state (Figure 2).
+
+        ``index`` may be a logical RiotVector mask (``b > 100``) or a
+        positional index vector/slice.
+        """
+        value_node = _scalarize(value)
+        if isinstance(index, RiotVector) and _is_logical(index.node):
+            return RiotVector(self.session, SubscriptAssign(
+                self.node, index.node, value_node, logical_mask=True))
+        return RiotVector(self.session, SubscriptAssign(
+            self.node, self._index_node(index), value_node,
+            logical_mask=False))
+
+    def head(self, n: int = 6) -> "RiotVector":
+        return self[1:n]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RiotVector(n={self.length}, deferred)"
+
+
+class RiotMatrix(_Deferred):
+    """A deferred 2-D array."""
+
+    def _wrap(self, node: Node):
+        if node.ndim == 2:
+            return RiotMatrix(self.session, node)
+        if node.ndim == 1:
+            return RiotVector(self.session, node)
+        return node
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.node.shape
+
+    def __matmul__(self, other: "RiotMatrix") -> "RiotMatrix":
+        return RiotMatrix(self.session,
+                          MatMul(self.node, _scalarize(other)))
+
+    @property
+    def T(self) -> "RiotMatrix":
+        return RiotMatrix(self.session, Transpose(self.node))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RiotMatrix(shape={self.shape}, deferred)"
+
+
+def _is_logical(node: Node) -> bool:
+    """Heuristic: does this node produce 0/1 logical values?"""
+    from .expr import COMPARISON_OPS
+    if isinstance(node, Map) and node.op in COMPARISON_OPS:
+        return True
+    if isinstance(node, Map) and node.op == "ifelse":
+        return all(_is_logical(c) for c in node.children[1:])
+    return False

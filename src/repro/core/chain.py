@@ -1,0 +1,111 @@
+"""Matrix-chain ordering by dynamic programming (§5, Appendix B).
+
+``A1 (d0 x d1), A2 (d1 x d2), ..., An (d(n-1) x dn)``: the classic DP finds
+the parenthesization minimizing scalar multiplications; Appendix B shows the
+I/O-optimal schedule then performs one multiplication at a time with the
+Appendix-A algorithm, giving ``Theta(N / (B sqrt(M)))`` block I/Os where N is
+the DP's multiplication count.  ``optimal_order_io`` additionally supports
+costing each candidate split directly in I/Os (the two are equivalent up to
+lower-order terms; both are exposed for the ablation bench).
+"""
+
+from __future__ import annotations
+
+from .costs import square_tile_matmul_io
+
+#: Parenthesization: either an int (leaf index) or a pair of orders.
+Order = "int | tuple"
+
+
+def chain_multiplications(dims: list[int], order) -> float:
+    """Scalar multiplications used by a given parenthesization."""
+
+    def walk(o) -> tuple[int, int, float]:
+        if isinstance(o, int):
+            return dims[o], dims[o + 1], 0.0
+        (lr, lc, lcost) = walk(o[0])
+        (rr, rc, rcost) = walk(o[1])
+        if lc != rr:
+            raise ValueError("invalid parenthesization")
+        return lr, rc, lcost + rcost + lr * lc * rc
+
+    return walk(order)[2]
+
+
+def in_order(n_factors: int):
+    """Left-deep order ((A1 A2) A3) ... — what R itself does."""
+    order = 0
+    for i in range(1, n_factors):
+        order = (order, i)
+    return order
+
+
+def optimal_order(dims: list[int]):
+    """Minimize scalar multiplications (the paper's DP choice)."""
+    return _dp(dims, lambda m, l, n: float(m) * l * n)[0]
+
+
+def optimal_multiplications(dims: list[int]) -> float:
+    return _dp(dims, lambda m, l, n: float(m) * l * n)[1]
+
+
+def optimal_order_io(dims: list[int], memory: float, block: float):
+    """Minimize total block I/O using the Appendix-A per-multiply cost."""
+    return _dp(dims, lambda m, l, n:
+               square_tile_matmul_io(m, l, n, memory, block))[0]
+
+
+def _dp(dims: list[int], cost_fn):
+    """O(n^3) interval DP returning (order, total pairwise cost)."""
+    n = len(dims) - 1
+    if n <= 0:
+        raise ValueError("need at least one matrix")
+    if n == 1:
+        return 0, 0.0
+    best = [[0.0] * n for _ in range(n)]
+    split = [[0] * n for _ in range(n)]
+    for span in range(1, n):
+        for i in range(0, n - span):
+            j = i + span
+            best[i][j] = float("inf")
+            for k in range(i, j):
+                cost = (best[i][k] + best[k + 1][j]
+                        + cost_fn(dims[i], dims[k + 1], dims[j + 1]))
+                if cost < best[i][j]:
+                    best[i][j] = cost
+                    split[i][j] = k
+
+    def build(i: int, j: int):
+        if i == j:
+            return i
+        k = split[i][j]
+        return (build(i, k), build(k + 1, j))
+
+    return build(0, n - 1), best[0][n - 1]
+
+
+def order_to_string(order, names: list[str] | None = None) -> str:
+    """Readable parenthesization, e.g. ``(A (B C))``."""
+
+    def walk(o) -> str:
+        if isinstance(o, int):
+            return names[o] if names else f"A{o + 1}"
+        return f"({walk(o[0])} {walk(o[1])})"
+
+    return walk(order)
+
+
+def pairwise_shapes(dims: list[int], order):
+    """Yield (m, l, n) for every pairwise multiplication, in order."""
+
+    def walk(o):
+        if isinstance(o, int):
+            return dims[o], dims[o + 1]
+        lr, lc = walk(o[0])
+        rr, rc = walk(o[1])
+        shapes.append((lr, lc, rc))
+        return lr, rc
+
+    shapes: list[tuple[int, int, int]] = []
+    walk(order)
+    return shapes

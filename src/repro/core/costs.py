@@ -1,0 +1,193 @@
+"""Analytic I/O cost models (§3, §5, Appendices A/B, Figure 3).
+
+The paper's Figure 3 reports **calculated** I/O costs — an n = 100000 square
+matrix is an 80 GB object, so the authors costed the strategies analytically
+exactly as we do here.  Units: ``memory`` and ``block`` are in scalars
+(8-byte float64 values); results are in disk blocks.
+
+The measured out-of-core implementations in :mod:`repro.linalg` are checked
+against these models at small n by ``tests/linalg/test_cost_agreement.py`` —
+a validation the paper itself did not show.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Figure 3 parameters: block size B = 1024 scalars (8 KB).
+FIG3_BLOCK = 1024
+#: 2 GB and 4 GB of memory expressed in scalars.
+GB_IN_SCALARS = (1 << 30) // 8
+
+
+# ----------------------------------------------------------------------
+# Single multiplications
+# ----------------------------------------------------------------------
+def matmul_io_lower_bound(m: float, l: float, n: float,
+                          memory: float, block: float) -> float:
+    """Appendix A lower bound: ``lmn / (B sqrt(M))`` blocks."""
+    return (l * m * n) / (block * math.sqrt(memory))
+
+
+def square_tile_matmul_io(m: float, l: float, n: float,
+                          memory: float, block: float) -> float:
+    """Appendix A optimal schedule with p x p tiles, p = sqrt(M/3).
+
+    ``(2 p^2/B * l/p + p^2/B) * (mn/p^2) = 2*sqrt(3)*lmn/(B*sqrt(M)) + mn/B``
+    — reads of the A/B tile pairs plus one write of each C tile.
+    """
+    return (2.0 * math.sqrt(3.0) * l * m * n
+            / (block * math.sqrt(memory))) + (m * n) / block
+
+
+def bnlj_matmul_io(n1: float, n2: float, n3: float,
+                   memory: float, block: float) -> float:
+    """Block-nested-loop-inspired algorithm of §3/§4.
+
+    A is row-major, B and the result column-major.  Memory holds q rows of A
+    *and* the corresponding q rows of T (q = M/(n2+n3)), plus a scan block
+    for B; every chunk of A rows scans all of B.  Total:
+    ``Theta(n1*n2*n3*(n2+n3)/(B*M))`` plus the linear input/output terms.
+    """
+    q = max(1.0, memory / (n2 + n3))
+    chunks = math.ceil(n1 / q)
+    scan_b = chunks * (n2 * n3 / block)
+    read_a = n1 * n2 / block
+    write_t = n1 * n3 / block
+    return scan_b + read_a + write_t
+
+
+def naive_colmajor_matmul_io(n1: float, n2: float, n3: float,
+                             block: float) -> float:
+    """R's triple loop with both operands column-major (§3).
+
+    Each access to A along a row faults a distinct page:
+    ``Theta(n1*n2*n3)`` block I/Os — the paper's motivating disaster case.
+    """
+    return n1 * n2 * n3 + n2 * n3 / block + n1 * n3 / block
+
+
+def rowmajor_scan_matmul_io(n1: float, n2: float, n3: float,
+                            block: float) -> float:
+    """Triple loop with A row-major: ``Theta(n1*n2*n3/B)`` (§3)."""
+    return n1 * n2 * n3 / block + n2 * n3 / block + n1 * n3 / block
+
+
+def riotdb_matmul_io(n1: float, n2: float, n3: float,
+                     memory: float, block: float) -> float:
+    """The RIOT-DB SQL plan: grace hash join, external sort, aggregate.
+
+    Per footnote 5 of the paper, index-column storage overhead is excluded
+    (each tuple is costed as one scalar), which *"has no effect on the
+    relative ordering of performance"*.
+
+    - partition both inputs and re-read them: ``3 (|A| + |B|)``,
+    - the join yields ``n1*n2*n3`` tuples that must be sorted by (I, J):
+      run formation writes them, each merge pass reads and writes them, the
+      final pass streams into aggregation,
+    - the aggregated result ``|C|`` is written once.
+    """
+    a_blocks = n1 * n2 / block
+    b_blocks = n2 * n3 / block
+    join_blocks = n1 * n2 * n3 / block
+    fan_in = max(2.0, memory / block - 1)
+    runs = max(1.0, join_blocks * block / memory)
+    passes = max(1.0, math.ceil(math.log(runs, fan_in))) if runs > 1 \
+        else 1.0
+    sort_io = 2.0 * join_blocks * passes
+    c_blocks = n1 * n3 / block
+    return 3.0 * (a_blocks + b_blocks) + sort_io + c_blocks
+
+
+# ----------------------------------------------------------------------
+# Chains
+# ----------------------------------------------------------------------
+def chain_io(dims: list[float], order, per_multiply) -> float:
+    """Total I/O of a parenthesized chain given a per-multiply model.
+
+    Appendix B: the optimum performs one multiplication at a time,
+    materializing each intermediate; the per-multiply formulas already
+    include reading the inputs and writing the output.
+    """
+    from .chain import pairwise_shapes
+    total = 0.0
+    for (m, l, n) in pairwise_shapes([int(d) for d in dims], order):
+        total += per_multiply(m, l, n)
+    return total
+
+
+def chain_io_lower_bound(dims: list[float], memory: float,
+                         block: float) -> float:
+    """Appendix B: ``Theta(N/(B sqrt(M)))`` with N = optimal multiply count."""
+    from .chain import optimal_multiplications
+    n_mult = optimal_multiplications([int(d) for d in dims])
+    return n_mult / (block * math.sqrt(memory))
+
+
+# ----------------------------------------------------------------------
+# Figure 3 reproduction
+# ----------------------------------------------------------------------
+def fig3_dims(n: int, s: float) -> list[int]:
+    """A: n x n/s, B: n/s x n, C: n x n -> dims [n, n/s, n, n]."""
+    return [n, int(round(n / s)), n, n]
+
+
+def fig3_strategy_costs(n: int, s: float, memory: float,
+                        block: float = FIG3_BLOCK) -> dict[str, float]:
+    """I/O (blocks) of the four §5 strategies for the A·B·C chain.
+
+    - ``RIOT-DB``: two hash-join-sort-aggregate subplans, in program order.
+    - ``BNLJ-Inspired``: row/column layouts, in program order.
+    - ``Square/In-Order``: square tiles, in program order.
+    - ``Square/Opt-Order``: square tiles, DP-chosen order (A(BC) once the
+      skew s makes it cheaper).
+    """
+    from .chain import in_order, optimal_order
+    dims = fig3_dims(n, s)
+    left_deep = in_order(3)
+    best = optimal_order(dims)
+    return {
+        "RIOT-DB": chain_io(
+            dims, left_deep,
+            lambda m, l, k: riotdb_matmul_io(m, l, k, memory, block)),
+        "BNLJ-Inspired": chain_io(
+            dims, left_deep,
+            lambda m, l, k: bnlj_matmul_io(m, l, k, memory, block)),
+        "Square/In-Order": chain_io(
+            dims, left_deep,
+            lambda m, l, k: square_tile_matmul_io(m, l, k, memory, block)),
+        "Square/Opt-Order": chain_io(
+            dims, best,
+            lambda m, l, k: square_tile_matmul_io(m, l, k, memory, block)),
+    }
+
+
+def fig3a_rows(s: float = 2.0, block: float = FIG3_BLOCK):
+    """Figure 3(a): n in {100000, 120000} x memory in {2 GB, 4 GB}."""
+    rows = []
+    for n in (100000, 120000):
+        for gb in (2, 4):
+            memory = gb * GB_IN_SCALARS
+            costs = fig3_strategy_costs(n, s, memory, block)
+            for strategy, io in costs.items():
+                rows.append({"n": n, "memory_gb": gb,
+                             "strategy": strategy, "io_blocks": io})
+    return rows
+
+
+def fig3b_rows(n: int = 100000, memory_gb: int = 2,
+               block: float = FIG3_BLOCK):
+    """Figure 3(b): skew s in {2, 4, 6, 8}, 2 GB memory, n = 100000.
+
+    RIOT-DB is omitted, as in the paper (*"no longer shown because it
+    performs far worse than others"*).
+    """
+    rows = []
+    memory = memory_gb * GB_IN_SCALARS
+    for s in (2, 4, 6, 8):
+        costs = fig3_strategy_costs(n, float(s), memory, block)
+        for strategy in ("BNLJ-Inspired", "Square/In-Order",
+                         "Square/Opt-Order"):
+            rows.append({"s": s, "strategy": strategy,
+                         "io_blocks": costs[strategy]})
+    return rows

@@ -1,0 +1,318 @@
+"""Next-generation RIOT as an R-language engine.
+
+The same transparency mechanism that plugged RIOT-DB into R (§4) plugs the
+§5 expression-DAG engine in as well: ``riotvector``/``riotmatrix`` classes
+register methods on the generics table, every R operation builds DAG nodes,
+and evaluation happens only at ``print``/reductions — now executed by the
+streaming evaluator over the tile store instead of a relational backend.
+
+This is the engine the paper's conclusion promises: *"With a specialized
+storage engine, algorithms, and database-style optimization strategies
+tailored towards numerical computing, we expect the next generation of RIOT
+to make significant further gain in I/O-efficiency."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import Engine
+from repro.rlang.generics import Generics
+from repro.rlang.reference import format_vector
+from repro.rlang.values import MISSING, MissingIndex, RError, RScalar
+from repro.storage import IOStats, SimClock
+
+from .expr import (ArrayInput, COMPARISON_OPS, Map, MatMul, Node, Range,
+                   Reduce, Scalar, Subscript, SubscriptAssign, Transpose)
+from .session import RiotSession
+
+
+class NGVec:
+    """A deferred vector: a DAG node plus logical-ness metadata."""
+
+    def __init__(self, session: RiotSession, node: Node,
+                 logical: bool = False) -> None:
+        self.session = session
+        self.node = node
+        self.logical = logical
+
+    @property
+    def length(self) -> int:
+        return self.node.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NGVec(n={self.length}, deferred)"
+
+
+class NGMat:
+    """A deferred matrix handle."""
+
+    def __init__(self, session: RiotSession, node: Node) -> None:
+        self.session = session
+        self.node = node
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.node.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NGMat(shape={self.shape}, deferred)"
+
+
+#: R operator name -> DAG Map op.
+_OP_MAP = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "^": "pow", "%%": "mod",
+    "==": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+    "&": "and", "|": "or",
+}
+
+_UNARY_MAP = {
+    "sqrt": "sqrt", "abs": "abs", "exp": "exp", "log": "log",
+    "floor": "floor", "ceiling": "ceil",
+}
+
+
+class RiotNGEngine(Engine):
+    """Deferred DAG engine behind the standard R interpreter."""
+
+    name = "RIOT (next-gen)"
+
+    def __init__(self, memory_bytes: int = 68 * 1024 * 1024,
+                 block_size: int = 8192, optimize: bool = True) -> None:
+        Engine.__init__(self)
+        self.session = RiotSession(memory_bytes=memory_bytes,
+                                   block_size=block_size,
+                                   optimize=optimize)
+        self.generics = Generics()
+        self._register_all()
+
+    # -- constructors -----------------------------------------------------
+    def make_vector(self, data: np.ndarray) -> NGVec:
+        stored = self.session.store.vector_from_numpy(
+            np.asarray(data, dtype=np.float64))
+        return NGVec(self.session, ArrayInput(stored))
+
+    def make_matrix(self, data: np.ndarray) -> NGMat:
+        stored = self.session.store.matrix_from_numpy(
+            np.asarray(data, dtype=np.float64), layout="square")
+        return NGMat(self.session, ArrayInput(stored))
+
+    # -- registration ------------------------------------------------------
+    def _register_all(self) -> None:
+        g = self.generics
+        for op in _OP_MAP:
+            g.set_method(op, (NGVec, NGVec), self._vv(op))
+            g.set_method(op, (NGVec, RScalar), self._vs(op, False))
+            g.set_method(op, (RScalar, NGVec), self._vs(op, True))
+            g.set_method(op, (NGMat, NGMat), self._mm(op))
+            g.set_method(op, (NGMat, RScalar), self._ms(op, False))
+            g.set_method(op, (RScalar, NGMat), self._ms(op, True))
+        for rname, dag in _UNARY_MAP.items():
+            g.set_method(rname, (NGVec,), self._unary_vec(dag))
+            g.set_method(rname, (NGMat,), self._unary_mat(dag))
+        g.set_method("unary-", (NGVec,), self._unary_vec("neg"))
+        g.set_method("unary-", (NGMat,), self._unary_mat("neg"))
+        g.set_method("unary!", (NGVec,), self._not)
+        for red in ("sum", "mean", "min", "max"):
+            g.set_method(red, (NGVec,), self._reduction(red))
+            g.set_method(red, (NGMat,), self._reduction(red))
+        g.set_method("all", (NGVec,), lambda v: RScalar(
+            bool(self._force_reduce("min", v) != 0)))
+        g.set_method("any", (NGVec,), lambda v: RScalar(
+            bool(self._force_reduce("max", v) != 0)))
+        g.set_method("length", (NGVec,), lambda v: RScalar(v.length))
+        g.set_method("length", (NGMat,), lambda m: RScalar(
+            m.shape[0] * m.shape[1]))
+        g.set_method("dim", (NGMat,), lambda m: self.make_vector(
+            np.asarray(m.shape, dtype=np.float64)))
+        g.set_method("range", (RScalar, RScalar), self._range)
+        g.set_method("concat", (object,), self._concat)
+        g.set_method("concat", (object, object), self._concat)
+        g.set_method("concat", (object, object, object), self._concat)
+        g.set_method("[", (NGVec, object), self._index)
+        g.set_method("[<-", (NGVec, object, object), self._assign)
+        g.set_method("%*%", (NGMat, NGMat), self._matmul)
+        g.set_method("t", (NGMat,), self._transpose)
+        g.set_method("reshape", (NGVec, RScalar, RScalar), self._reshape)
+        g.set_method("print", (NGVec,), self._print_vector)
+        g.set_method("print", (NGMat,), self._print_matrix)
+        g.set_method("iterate", (NGVec,),
+                     lambda v: self._values(v).tolist())
+        g.set_method("first", (NGVec,), self._first)
+        g.set_method("which", (NGVec,), self._which)
+        g.set_method("head", (NGVec, RScalar), self._head)
+
+    # -- helpers -------------------------------------------------------------
+    def _values(self, v) -> np.ndarray:
+        result = self.session.values(v.node)
+        return np.asarray(result)
+
+    def _force_reduce(self, op: str, v: NGVec) -> float:
+        return float(self.session.force(Reduce(op, v.node)))
+
+    def _logical_op(self, op: str) -> bool:
+        return op in COMPARISON_OPS
+
+    # -- operator factories ------------------------------------------------
+    def _vv(self, op: str):
+        def call(a: NGVec, b: NGVec) -> NGVec:
+            dag = _OP_MAP[op]
+            return NGVec(self.session, Map(dag, a.node, b.node),
+                         logical=self._logical_op(dag))
+        return call
+
+    def _vs(self, op: str, swap: bool):
+        def call(x, y) -> NGVec:
+            vec, scalar = (y, x) if swap else (x, y)
+            const = Scalar(scalar.as_float())
+            args = (const, vec.node) if swap else (vec.node, const)
+            dag = _OP_MAP[op]
+            return NGVec(self.session, Map(dag, *args),
+                         logical=self._logical_op(dag))
+        return call
+
+    def _mm(self, op: str):
+        def call(a: NGMat, b: NGMat) -> NGMat:
+            return NGMat(self.session, Map(_OP_MAP[op], a.node, b.node))
+        return call
+
+    def _ms(self, op: str, swap: bool):
+        def call(x, y) -> NGMat:
+            mat, scalar = (y, x) if swap else (x, y)
+            const = Scalar(scalar.as_float())
+            args = (const, mat.node) if swap else (mat.node, const)
+            return NGMat(self.session, Map(_OP_MAP[op], *args))
+        return call
+
+    def _unary_vec(self, dag: str):
+        def call(v: NGVec) -> NGVec:
+            return NGVec(self.session, Map(dag, v.node))
+        return call
+
+    def _unary_mat(self, dag: str):
+        def call(m: NGMat) -> NGMat:
+            return NGMat(self.session, Map(dag, m.node))
+        return call
+
+    def _not(self, v: NGVec) -> NGVec:
+        return NGVec(self.session, Map("not", v.node), logical=True)
+
+    def _reduction(self, red: str):
+        def call(obj) -> RScalar:
+            return RScalar(float(self.session.force(
+                Reduce(red, obj.node))))
+        return call
+
+    def _range(self, lo: RScalar, hi: RScalar) -> NGVec:
+        return NGVec(self.session, Range(lo.as_int(), hi.as_int()))
+
+    def _concat(self, *parts) -> NGVec:
+        arrays = []
+        for p in parts:
+            if isinstance(p, RScalar):
+                arrays.append(np.asarray([p.as_float()]))
+            elif isinstance(p, NGVec):
+                arrays.append(self._values(p))
+            else:
+                raise RError(f"cannot concatenate {type(p).__name__}")
+        return self.make_vector(np.concatenate(arrays))
+
+    # -- subscripts -----------------------------------------------------------
+    def _index(self, x: NGVec, idx):
+        if isinstance(idx, MissingIndex):
+            return x
+        if isinstance(idx, RScalar):
+            node = Subscript(x.node, Range(idx.as_int(), idx.as_int()))
+            values = self.session.values(node)
+            return RScalar(float(np.asarray(values)[0]))
+        if idx.logical:
+            # Forces the mask (positions are data-dependent).
+            mask = self._values(idx).astype(bool)
+            positions = np.flatnonzero(mask) + 1
+            stored = self.session.store.vector_from_numpy(
+                positions.astype(np.float64))
+            return NGVec(self.session,
+                         Subscript(x.node, ArrayInput(stored)),
+                         logical=x.logical)
+        return NGVec(self.session, Subscript(x.node, idx.node),
+                     logical=x.logical)
+
+    def _assign(self, x: NGVec, idx, value) -> NGVec:
+        value_node = (Scalar(value.as_float())
+                      if isinstance(value, RScalar) else value.node)
+        if isinstance(idx, NGVec) and idx.logical:
+            return NGVec(self.session, SubscriptAssign(
+                x.node, idx.node, value_node, logical_mask=True),
+                logical=x.logical)
+        if isinstance(idx, RScalar):
+            index_node: Node = Range(idx.as_int(), idx.as_int())
+        elif isinstance(idx, NGVec):
+            index_node = idx.node
+        else:
+            raise RError("unsupported subscript in assignment")
+        return NGVec(self.session, SubscriptAssign(
+            x.node, index_node, value_node, logical_mask=False),
+            logical=x.logical)
+
+    # -- linear algebra -----------------------------------------------------
+    def _matmul(self, a: NGMat, b: NGMat) -> NGMat:
+        return NGMat(self.session, MatMul(a.node, b.node))
+
+    def _transpose(self, m: NGMat) -> NGMat:
+        return NGMat(self.session, Transpose(m.node))
+
+    def _reshape(self, v: NGVec, nrow: RScalar, ncol: RScalar) -> NGMat:
+        n1, n2 = nrow.as_int(), ncol.as_int()
+        if n1 * n2 != v.length:
+            raise RError("reshape size mismatch")
+        data = self._values(v).reshape((n1, n2), order="F")
+        return self.make_matrix(data)
+
+    # -- inspection --------------------------------------------------------
+    def _print_vector(self, x: NGVec) -> str:
+        values = self._values(x)
+        if x.logical:
+            values = values.astype(bool)
+        return format_vector(values)
+
+    def _print_matrix(self, m: NGMat) -> str:
+        data = self.session.force(m.node)
+        arr = data.to_numpy() if hasattr(data, "to_numpy") else data
+        rows, cols = arr.shape
+        lines = [f"matrix {rows}x{cols}"]
+        for r in range(min(rows, 6)):
+            vals = " ".join(f"{v:g}" for v in arr[r, :min(cols, 8)])
+            lines.append(f"[{r + 1},] {vals}{' ...' if cols > 8 else ''}")
+        if rows > 6:
+            lines.append("...")
+        return "\n".join(lines)
+
+    def _first(self, x: NGVec) -> RScalar:
+        node = Subscript(x.node, Range(1, 1))
+        return RScalar(float(np.asarray(self.session.values(node))[0]))
+
+    def _which(self, x: NGVec) -> NGVec:
+        mask = self._values(x).astype(bool)
+        return self.make_vector((np.flatnonzero(mask) + 1
+                                 ).astype(np.float64))
+
+    def _head(self, x: NGVec, n: RScalar) -> NGVec:
+        return NGVec(self.session,
+                     Subscript(x.node, Range(1, min(n.as_int(),
+                                                    x.length))),
+                     logical=x.logical)
+
+    # -- metrics -------------------------------------------------------------
+    def io_stats(self) -> IOStats:
+        return self.session.io_stats
+
+    def reset_stats(self) -> None:
+        self.session.reset_stats()
+        self.clock = SimClock()
+
+    def sim_seconds(self) -> float:
+        io = self.io_stats()
+        values_scanned = io.reads * (
+            self.session.store.device.block_size // 8)
+        return (self.clock.seconds(io)
+                + 2 * values_scanned * self.clock.cpu_op_cost)

@@ -1,0 +1,223 @@
+"""Database-style rewrite rules over expression DAGs (§5, Figure 2).
+
+The optimizer applies transformation rules until fixpoint:
+
+1. **Subscript pushdown through elementwise maps** — ``f(x, y)[s]``
+   becomes ``f(x[s], y[s])``: only the selected elements are ever computed.
+2. **Subscript pushdown through deferred modification** — the Figure-2
+   headline: ``(b with b[mask] <- v)[s]`` becomes
+   ``ifelse(mask[s], v, b[s])``, so "modifications to b (as well as tests of
+   whether an element of b should be modified) only need to be executed on
+   10 elements".
+3. **Subscript of a range** is index arithmetic, no data access at all.
+4. **Subscript composition** — ``x[i][j]`` becomes ``x[i[j]]``.
+5. **Constant folding** over scalar subtrees.
+6. **Common-subexpression elimination** by structural hashing (the two
+   ``sqrt`` terms of Example 1 share their ``x`` and ``y`` scans).
+7. **Matrix-chain reordering** — chains of ``%*%`` are re-parenthesized by
+   the dynamic program of Appendix B (see :mod:`repro.core.chain`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import chain as chain_mod
+from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
+                   Scalar, Subscript, SubscriptAssign, Transpose, UNARY_OPS,
+                   walk)
+
+
+class Rewriter:
+    """Applies rewrite rules bottom-up until fixpoint."""
+
+    def __init__(self, enable_pushdown: bool = True,
+                 enable_chain_reorder: bool = True,
+                 enable_cse: bool = True,
+                 enable_fold: bool = True,
+                 max_passes: int = 10) -> None:
+        self.enable_pushdown = enable_pushdown
+        self.enable_chain_reorder = enable_chain_reorder
+        self.enable_cse = enable_cse
+        self.enable_fold = enable_fold
+        self.max_passes = max_passes
+        self.applied: list[str] = []
+
+    # ------------------------------------------------------------------
+    def optimize(self, root: Node) -> Node:
+        """Rewrite ``root`` and return the optimized DAG."""
+        self.applied = []
+        node = root
+        for _ in range(self.max_passes):
+            before = self._signature(node)
+            node = self._rewrite(node, {})
+            if self.enable_cse:
+                node = self._cse(node)
+            if self._signature(node) == before:
+                break
+        return node
+
+    @staticmethod
+    def _signature(node: Node) -> tuple:
+        sig = []
+        ids: dict[int, int] = {}
+        for n in walk(node):
+            ids[id(n)] = len(ids)
+            sig.append((type(n).__name__, getattr(n, "op", None),
+                        tuple(ids[id(c)] for c in n.children)))
+        return tuple(sig)
+
+    # ------------------------------------------------------------------
+    def _rewrite(self, node: Node, memo: dict[int, Node]) -> Node:
+        if id(node) in memo:
+            return memo[id(node)]
+        children = tuple(self._rewrite(c, memo) for c in node.children)
+        if children != node.children:
+            node = node.with_children(children)
+        node = self._apply_rules(node)
+        memo[id(node)] = node
+        return node
+
+    def _apply_rules(self, node: Node) -> Node:
+        if self.enable_fold:
+            folded = self._fold_constants(node)
+            if folded is not node:
+                self.applied.append("constant-fold")
+                return folded
+        if self.enable_pushdown and isinstance(node, Subscript):
+            pushed = self._push_subscript(node)
+            if pushed is not node:
+                return self._apply_rules(pushed)
+        if self.enable_chain_reorder and isinstance(node, MatMul):
+            reordered = self._reorder_chain(node)
+            if reordered is not node:
+                return reordered
+        return node
+
+    # -- rule: constant folding -----------------------------------------
+    def _fold_constants(self, node: Node) -> Node:
+        if isinstance(node, Map) and all(
+                isinstance(c, Scalar) for c in node.children):
+            from .expr import TERNARY_OPS
+            fns = {**UNARY_OPS, **BINARY_OPS, **TERNARY_OPS}
+            value = fns[node.op](*(c.value for c in node.children))
+            return Scalar(float(value))
+        return node
+
+    # -- rule: subscript pushdown -----------------------------------------
+    def _push_subscript(self, node: Subscript) -> Node:
+        src, index = node.src, node.index
+        if isinstance(src, Map):
+            self.applied.append(f"pushdown-map:{src.op}")
+            new_children = []
+            for c in src.children:
+                if c.shape == ():
+                    new_children.append(c)
+                else:
+                    new_children.append(Subscript(c, index))
+            return Map(src.op, *new_children)
+        if isinstance(src, SubscriptAssign) and src.logical_mask:
+            # Figure 2(a) -> 2(b): selection pushed through []<-.
+            self.applied.append("pushdown-assign")
+            mask_sel = Subscript(src.index, index)
+            base_sel = Subscript(src.base, index)
+            value = src.value
+            if value.shape != ():
+                value = Subscript(value, index)
+            return Map("ifelse", mask_sel, value, base_sel)
+        if isinstance(src, Range):
+            self.applied.append("pushdown-range")
+            if src.lo == 1:
+                return index
+            return Map("+", index, Scalar(src.lo - 1))
+        if isinstance(src, Subscript):
+            self.applied.append("pushdown-compose")
+            return Subscript(src.src, Subscript(src.index, index))
+        return node
+
+    # -- rule: matrix chain reordering ---------------------------------------
+    def _collect_chain(self, node: Node, factors: list[Node]) -> None:
+        if isinstance(node, MatMul):
+            self._collect_chain(node.children[0], factors)
+            self._collect_chain(node.children[1], factors)
+        else:
+            factors.append(node)
+
+    def _reorder_chain(self, node: MatMul) -> Node:
+        factors: list[Node] = []
+        self._collect_chain(node, factors)
+        if len(factors) < 3:
+            return node
+        dims = [factors[0].shape[0]] + [f.shape[1] for f in factors]
+        order = chain_mod.optimal_order(dims)
+        current = self._signature_order(node, factors)
+        if order == current:
+            return node
+        self.applied.append("chain-reorder")
+        return self._build_order(factors, order)
+
+    def _signature_order(self, node: Node, factors: list[Node]):
+        index_of = {id(f): i for i, f in enumerate(factors)}
+
+        def build(n: Node):
+            if isinstance(n, MatMul) and id(n) not in index_of:
+                return (build(n.children[0]), build(n.children[1]))
+            return index_of[id(n)]
+        return build(node)
+
+    def _build_order(self, factors: list[Node], order) -> Node:
+        if isinstance(order, int):
+            return factors[order]
+        left = self._build_order(factors, order[0])
+        right = self._build_order(factors, order[1])
+        return MatMul(left, right)
+
+    # -- rule: common subexpression elimination -----------------------------
+    def _cse(self, root: Node) -> Node:
+        canon: dict[tuple, Node] = {}
+        mapping: dict[int, Node] = {}
+
+        def visit(node: Node) -> Node:
+            if id(node) in mapping:
+                return mapping[id(node)]
+            children = tuple(visit(c) for c in node.children)
+            if children != node.children:
+                node2 = node.with_children(children)
+            else:
+                node2 = node
+            key = self._canon_key(node2)
+            if key in canon:
+                result = canon[key]
+                if result is not node2:
+                    self.applied.append("cse")
+            else:
+                canon[key] = node2
+                result = node2
+            mapping[id(node)] = result
+            return result
+
+        return visit(root)
+
+    @staticmethod
+    def _canon_key(node: Node) -> tuple:
+        base: tuple
+        if isinstance(node, ArrayInput):
+            base = ("ArrayInput", id(node.data))
+        elif isinstance(node, Scalar):
+            base = ("Scalar", node.value)
+        elif isinstance(node, Range):
+            base = ("Range", node.lo, node.hi)
+        elif isinstance(node, Map):
+            base = ("Map", node.op)
+        elif isinstance(node, Reduce):
+            base = ("Reduce", node.op)
+        elif isinstance(node, SubscriptAssign):
+            base = ("SubscriptAssign", node.logical_mask)
+        else:
+            base = (type(node).__name__,)
+        return base + tuple(id(c) for c in node.children)
+
+
+def optimize(root: Node, **kwargs) -> Node:
+    """One-shot convenience: rewrite a DAG with default settings."""
+    return Rewriter(**kwargs).optimize(root)

@@ -1,0 +1,119 @@
+"""RiotSession: the public entry point to next-generation RIOT.
+
+A session owns the tile store (with its memory-capped buffer pool), the
+rewriter, the evaluator, and a cache of materialized results for named
+objects (§5's materialization policy: deferred evaluation needs selective
+materialization "otherwise RIOT may have to repeat the same computation
+across multiple complex expression DAGs").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
+
+from .arrays import RiotMatrix, RiotVector
+from .evaluator import Evaluator
+from .expr import ArrayInput, Node, Range, walk
+from .rewrite import Rewriter
+
+
+class RiotSession:
+    """Deferred, I/O-efficient array computing over a memory-capped store."""
+
+    def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 optimize: bool = True,
+                 policy: str = "lru") -> None:
+        self.store = ArrayStore(memory_bytes=memory_bytes,
+                                block_size=block_size, policy=policy)
+        self.rewriter = Rewriter() if optimize else Rewriter(
+            enable_pushdown=False, enable_chain_reorder=False,
+            enable_cse=False, enable_fold=False)
+        self.optimize_enabled = optimize
+        self.evaluator = Evaluator(
+            self.store,
+            memory_scalars=memory_bytes // 8)
+        self._materialized: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    def vector(self, data, name: str | None = None) -> RiotVector:
+        """Store a vector and return its deferred handle."""
+        stored = self.store.vector_from_numpy(
+            np.asarray(data, dtype=np.float64), name=name)
+        return RiotVector(self, ArrayInput(stored, name=stored.name))
+
+    def matrix(self, data, layout: str = "square",
+               linearization: str = "row",
+               name: str | None = None) -> RiotMatrix:
+        stored = self.store.matrix_from_numpy(
+            np.asarray(data, dtype=np.float64), layout=layout,
+            linearization=linearization, name=name)
+        return RiotMatrix(self, ArrayInput(stored, name=stored.name))
+
+    def arange(self, lo: int, hi: int) -> RiotVector:
+        """The lazy range ``lo:hi`` (generated, never stored)."""
+        return RiotVector(self, Range(lo, hi))
+
+    def zeros(self, n: int) -> RiotVector:
+        return self.vector(np.zeros(n))
+
+    def random_vector(self, n: int, seed: int = 0) -> RiotVector:
+        rng = np.random.default_rng(seed)
+        return self.vector(rng.standard_normal(n))
+
+    def random_matrix(self, rows: int, cols: int, seed: int = 0,
+                      layout: str = "square") -> RiotMatrix:
+        rng = np.random.default_rng(seed)
+        return self.matrix(rng.standard_normal((rows, cols)),
+                           layout=layout)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def optimize(self, node: Node) -> Node:
+        return self.rewriter.optimize(node)
+
+    def force(self, obj):
+        """Evaluate a handle's DAG; returns the stored array or scalar.
+
+        Results for the exact DAG node are cached, so forcing a named
+        object twice does not repeat its computation (the materialization
+        policy of §5's Discussion).
+        """
+        node = obj.node if hasattr(obj, "node") else obj
+        if id(node) in self._materialized:
+            return self._materialized[id(node)]
+        optimized = self.optimize(node)
+        memo: dict[int, object] = {}
+        result = self.evaluator.force(optimized, memo)
+        self._materialized[id(node)] = result
+        return result
+
+    def values(self, obj) -> np.ndarray | float:
+        """Force and pull the result into memory as numpy data."""
+        result = self.force(obj)
+        if hasattr(result, "to_numpy"):
+            return result.to_numpy()
+        return result
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def io_stats(self) -> IOStats:
+        return self.store.device.stats
+
+    def reset_stats(self) -> None:
+        self.store.reset_stats()
+
+    def explain(self, obj) -> str:
+        """Render the DAG before and after optimization (Figure 2 view)."""
+        from .expr import render
+        node = obj.node if hasattr(obj, "node") else obj
+        optimized = self.optimize(node)
+        return ("-- original --\n" + render(node)
+                + "\n-- optimized --\n" + render(optimized))

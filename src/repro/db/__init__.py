@@ -1,0 +1,26 @@
+"""Embedded relational engine: the MySQL stand-in behind RIOT-DB.
+
+Provides paged heap tables, B+tree primary-key indexes, a view catalog, a
+rule+cost optimizer, and a vectorized pipelined executor — everything §4 of
+the paper needs from its backend, with every block of I/O counted.
+"""
+
+from .btree import BPlusTree, KeyCodec
+from .catalog import Catalog, TableIndex
+from .database import Database
+from .executor import ExecContext, PhysOp, run_to_batch
+from .plan import (Filter, GroupAgg, Join, Limit, PlanNode, Project, Rename,
+                   Scan, Sort, Values, walk)
+from .schema import Batch, Column, ColumnType, Schema
+from .sqlexpr import (And, Arith, CaseWhen, Cmp, Col, Const, Expr, Func,
+                      InSet, Not, Or, conjoin, split_conjuncts)
+from .table import HeapTable
+
+__all__ = [
+    "And", "Arith", "BPlusTree", "Batch", "CaseWhen", "Catalog", "Cmp",
+    "Col", "Column", "ColumnType", "Const", "Database", "ExecContext",
+    "Expr", "Filter", "Func", "GroupAgg", "HeapTable", "InSet", "Join",
+    "KeyCodec", "Limit", "Not", "Or", "PhysOp", "PlanNode", "Project",
+    "Rename", "Scan", "Schema", "Sort", "TableIndex", "Values", "conjoin",
+    "run_to_batch", "split_conjuncts", "walk",
+]

@@ -1,0 +1,105 @@
+"""Catalog: tables, primary-key indexes, and views.
+
+The view catalog is the heart of RIOT-DB (§4.1): *"We map each RIOT-DB
+object to a database table or view. The result of operating on RIOT-DB
+objects becomes a view, whose definition encapsulates the computation
+involved in generating this result."*  Views here store a logical plan; the
+optimizer expands view references by inlining that plan, which is exactly
+SQL view expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .btree import BPlusTree, KeyCodec
+from .schema import Schema
+from .table import HeapTable
+
+
+@dataclass
+class TableIndex:
+    """A B+tree over a table's (possibly composite) key columns."""
+
+    table_name: str
+    key_columns: tuple[str, ...]
+    codec: KeyCodec
+    tree: BPlusTree
+
+    def pack_keys(self, *cols: np.ndarray) -> np.ndarray:
+        return self.codec.pack(*cols)
+
+
+class Catalog:
+    """Name -> object mapping for tables, indexes, and views."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, HeapTable] = {}
+        self.indexes: dict[str, TableIndex] = {}
+        self.views: dict[str, "object"] = {}  # name -> PlanNode
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    def register_table(self, table: HeapTable) -> None:
+        if table.name in self.tables or table.name in self.views:
+            raise ValueError(f"name {table.name!r} already in use")
+        self.tables[table.name] = table
+
+    def register_index(self, index: TableIndex) -> None:
+        self.indexes[index.table_name] = index
+
+    def register_view(self, name: str, plan) -> None:
+        if name in self.tables or name in self.views:
+            raise ValueError(f"name {name!r} already in use")
+        self.views[name] = plan
+
+    # ------------------------------------------------------------------
+    def is_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def is_view(self, name: str) -> bool:
+        return name in self.views
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def view(self, name: str):
+        try:
+            return self.views[name]
+        except KeyError:
+            raise KeyError(f"no view named {name!r}") from None
+
+    def index_on(self, table_name: str) -> TableIndex | None:
+        return self.indexes.get(table_name)
+
+    def schema_of(self, name: str) -> Schema:
+        """Schema of a table or a view (bare column names)."""
+        if name in self.tables:
+            return self.tables[name].schema
+        if name in self.views:
+            return self.views[name].output_schema(self)
+        raise KeyError(f"no table or view named {name!r}")
+
+    # ------------------------------------------------------------------
+    def drop(self, name: str) -> None:
+        if name in self.views:
+            del self.views[name]
+            return
+        if name in self.tables:
+            self.tables[name].drop()
+            del self.tables[name]
+            self.indexes.pop(name, None)
+            return
+        raise KeyError(f"no table or view named {name!r}")
+
+    def fresh_temp_name(self, prefix: str = "tmp") -> str:
+        self._temp_counter += 1
+        return f"__{prefix}_{self._temp_counter}"
+
+    def names(self) -> list[str]:
+        return sorted(self.tables) + sorted(self.views)

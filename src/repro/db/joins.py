@@ -1,0 +1,291 @@
+"""Join operators: merge, hash (with grace partitioning), index nested-loop.
+
+All joins are single-column int64 inner equijoins — exactly the joins
+RIOT-DB emits (``E1.I = E2.I`` for elementwise ops, ``A.J = B.I`` for matrix
+multiply, ``D.I = S.V`` for subscripting).  The optimizer picks:
+
+- **merge join** when both inputs arrive clustered on the key (aligned
+  vector tables — a purely pipelined, zero-spill plan),
+- **index nested-loop join** when one input is tiny and the other has a
+  primary-key index (the paper's selective-evaluation plan: *"probes X and Y
+  with each S.V value"*),
+- **hash join** otherwise, spilling grace partitions to temp tables when the
+  build side exceeds ``work_mem`` (the plan behind matrix multiply in SQL).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .executor import ExecContext, PhysOp, batch_bytes
+from .schema import Batch, Schema, batch_length, slice_batch
+from .table import HeapTable
+
+
+def _combine_schemas(left: Schema, right: Schema) -> Schema:
+    return Schema(tuple(left.columns) + tuple(right.columns))
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s+c)`` for each (s, c) pair, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    reps = np.repeat(starts, counts)
+    offsets = np.arange(total, dtype=np.int64)
+    group_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return reps + (offsets - group_starts)
+
+
+class MergeJoin(PhysOp):
+    """Pipelined join of two inputs sorted on the key, keys unique per side.
+
+    The unique-key restriction is safe because the optimizer only selects
+    merge join for primary-key-to-primary-key joins (vector tables clustered
+    on ``I``), which is RIOT-DB's common case for elementwise operations.
+    """
+
+    def __init__(self, left: PhysOp, right: PhysOp,
+                 left_key: str, right_key: str) -> None:
+        self.children = (left, right)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.schema = _combine_schemas(left.schema, right.schema)
+        self.sorted_on = (left_key,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Batch]:
+        left_it = self.children[0].execute(ctx)
+        right_it = self.children[1].execute(ctx)
+        left_buf: Batch | None = None
+        right_buf: Batch | None = None
+        left_done = right_done = False
+
+        def refill(buf: Batch | None, it, done: bool
+                   ) -> tuple[Batch | None, bool]:
+            if done:
+                return buf, done
+            try:
+                nxt = next(it)
+            except StopIteration:
+                return buf, True
+            if buf is None or batch_length(buf) == 0:
+                return nxt, done
+            return ({k: np.concatenate([buf[k], nxt[k]]) for k in nxt},
+                    done)
+
+        left_buf, left_done = refill(left_buf, left_it, left_done)
+        right_buf, right_done = refill(right_buf, right_it, right_done)
+        while (left_buf is not None and batch_length(left_buf)
+               and right_buf is not None and batch_length(right_buf)):
+            lkeys = np.asarray(left_buf[self.left_key], dtype=np.int64)
+            rkeys = np.asarray(right_buf[self.right_key], dtype=np.int64)
+            # Rows beyond the smaller side's last key cannot match yet.
+            bound = min(int(lkeys[-1]), int(rkeys[-1]))
+            lmask = lkeys <= bound
+            rmask = rkeys <= bound
+            lk = lkeys[lmask]
+            rk = rkeys[rmask]
+            common, lidx, ridx = np.intersect1d(
+                lk, rk, assume_unique=True, return_indices=True)
+            if common.size:
+                lsel = np.flatnonzero(lmask)[lidx]
+                rsel = np.flatnonzero(rmask)[ridx]
+                out = {k: v[lsel] for k, v in left_buf.items()}
+                out.update({k: v[rsel] for k, v in right_buf.items()})
+                yield out
+            left_buf = (slice_batch(left_buf, ~lmask)
+                        if not lmask.all() else None)
+            right_buf = (slice_batch(right_buf, ~rmask)
+                         if not rmask.all() else None)
+            if left_buf is None or batch_length(left_buf) == 0:
+                left_buf, left_done = refill(None, left_it, left_done)
+                if left_buf is None:
+                    return
+            if right_buf is None or batch_length(right_buf) == 0:
+                right_buf, right_done = refill(None, right_it, right_done)
+                if right_buf is None:
+                    return
+
+    def _describe(self) -> str:
+        return f"MergeJoin({self.left_key} = {self.right_key})"
+
+
+class _HashSide:
+    """Build-side state: payload sorted by key, probed via searchsorted."""
+
+    def __init__(self, batch: Batch, key: str) -> None:
+        keys = np.asarray(batch[key], dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        self.keys = keys[order]
+        self.payload = {k: v[order] for k, v in batch.items()}
+
+    def probe(self, probe_keys: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (probe_row_idx, build_row_idx) for all matches."""
+        probes = np.asarray(probe_keys, dtype=np.int64)
+        lo = np.searchsorted(self.keys, probes, side="left")
+        hi = np.searchsorted(self.keys, probes, side="right")
+        counts = hi - lo
+        probe_idx = np.repeat(np.arange(probes.size), counts)
+        build_idx = expand_ranges(lo, counts)
+        return probe_idx, build_idx
+
+
+class HashJoin(PhysOp):
+    """Hash join: build the right input, stream the left as probe side.
+
+    When the build side exceeds ``work_mem`` both inputs are partitioned by
+    ``key mod P`` into temporary tables (grace hash join) and partitions are
+    joined one at a time.  Partition I/O is charged to the shared device, so
+    an oversized build side is *visible* in the experiment numbers.
+    """
+
+    def __init__(self, probe: PhysOp, build: PhysOp,
+                 probe_key: str, build_key: str) -> None:
+        self.children = (probe, build)
+        self.probe_key = probe_key
+        self.build_key = build_key
+        self.schema = _combine_schemas(probe.schema, build.schema)
+        self.partitions_used = 0  # exposed for tests
+
+    def execute(self, ctx: ExecContext) -> Iterator[Batch]:
+        probe_op, build_op = self.children
+        build_batches: list[Batch] = []
+        build_bytes = 0
+        spill = False
+        build_it = build_op.execute(ctx)
+        for batch in build_it:
+            build_batches.append(batch)
+            build_bytes += batch_bytes(batch)
+            if build_bytes > ctx.work_mem_bytes:
+                spill = True
+                break
+        if not spill:
+            if not build_batches:
+                return
+            merged = {k: np.concatenate([b[k] for b in build_batches])
+                      for k in build_batches[0]}
+            side = _HashSide(merged, self.build_key)
+            for batch in probe_op.execute(ctx):
+                yield from self._emit(batch, side)
+            return
+        yield from self._grace(ctx, build_batches, build_it)
+
+    def _emit(self, probe_batch: Batch, side: _HashSide) -> Iterator[Batch]:
+        pidx, bidx = side.probe(probe_batch[self.probe_key])
+        if pidx.size == 0:
+            return
+        out = {k: v[pidx] for k, v in probe_batch.items()}
+        out.update({k: v[bidx] for k, v in side.payload.items()})
+        yield out
+
+    # ------------------------------------------------------------------
+    def _grace(self, ctx: ExecContext, prefix: list[Batch], build_it
+               ) -> Iterator[Batch]:
+        probe_op, build_op = self.children
+        n_parts = 8
+        while True:
+            est_total = sum(batch_bytes(b) for b in prefix) * 4
+            if est_total / n_parts <= ctx.work_mem_bytes or n_parts >= 256:
+                break
+            n_parts *= 2
+        self.partitions_used = n_parts
+
+        def encoding(schema: Schema) -> dict[str, str]:
+            # Positional names keep spill-table columns valid no matter how
+            # the logical names are qualified.
+            return {c.name: f"c{i}" for i, c in enumerate(schema.columns)}
+
+        def partition(batches: Iterator[Batch], key: str, schema: Schema
+                      ) -> tuple[list[HeapTable], dict[str, str]]:
+            enc = encoding(schema)
+            bare = schema.rename(enc)
+            tables = [ctx.make_temp(bare) for _ in range(n_parts)]
+            for batch in batches:
+                keys = np.asarray(batch[key], dtype=np.int64)
+                part = keys % n_parts
+                for p in range(n_parts):
+                    mask = part == p
+                    if mask.any():
+                        sub = slice_batch(batch, mask)
+                        tables[p].append_batch(
+                            {enc[k]: v for k, v in sub.items()})
+            for t in tables:
+                t.finish_append()
+            return tables, {v: k for k, v in enc.items()}
+
+        def chain(first: list[Batch], rest) -> Iterator[Batch]:
+            yield from first
+            yield from rest
+
+        build_parts, build_dec = partition(
+            chain(prefix, build_it), self.build_key,
+            self.children[1].schema)
+        probe_parts, probe_dec = partition(
+            probe_op.execute(ctx), self.probe_key,
+            self.children[0].schema)
+        try:
+            for p in range(n_parts):
+                bt = build_parts[p]
+                if bt.row_count == 0:
+                    continue
+                merged_parts = list(bt.scan())
+                if not merged_parts:
+                    continue
+                merged = {build_dec[k]:
+                          np.concatenate([b[k] for b in merged_parts])
+                          for k in merged_parts[0]}
+                side = _HashSide(merged, self.build_key)
+                for batch in probe_parts[p].scan():
+                    named = {probe_dec[k]: v for k, v in batch.items()}
+                    yield from self._emit(named, side)
+        finally:
+            for t in build_parts + probe_parts:
+                ctx.drop_temp(t)
+
+    def _describe(self) -> str:
+        return f"HashJoin({self.probe_key} = {self.build_key})"
+
+
+class IndexNestedLoopJoin(PhysOp):
+    """Probe a table's primary-key index with each outer key value.
+
+    For every outer batch the probe keys are looked up in the B+tree (in
+    sorted order, so upper index levels stay buffer-resident) and matching
+    rows are fetched page by page.  With a 100-row outer (the sample ``S``),
+    total I/O is a few hundred blocks regardless of the inner table's size —
+    the mechanism behind the paper's orders-of-magnitude win.
+    """
+
+    def __init__(self, outer: PhysOp, inner_table: HeapTable, index,
+                 inner_alias: str, outer_key: str) -> None:
+        self.children = (outer,)
+        self.inner_table = inner_table
+        self.index = index
+        self.inner_alias = inner_alias
+        self.outer_key = outer_key
+        mapping = {c.name: f"{inner_alias}.{c.name}"
+                   for c in inner_table.schema.columns}
+        self.schema = _combine_schemas(
+            outer.schema, inner_table.schema.rename(mapping))
+        self.sorted_on = self.children[0].sorted_on
+
+    def execute(self, ctx: ExecContext) -> Iterator[Batch]:
+        for batch in self.children[0].execute(ctx):
+            keys = np.asarray(batch[self.outer_key], dtype=np.int64)
+            found, row_ids = self.index.tree.search_batch(keys)
+            if not found.any():
+                continue
+            outer = slice_batch(batch, found)
+            inner = self.inner_table.fetch_rows(row_ids[found])
+            out = dict(outer)
+            out.update({f"{self.inner_alias}.{name}": arr
+                        for name, arr in inner.items()})
+            yield out
+
+    def _describe(self) -> str:
+        return (f"IndexNestedLoopJoin({self.outer_key} -> "
+                f"{self.inner_table.name}.{'.'.join(self.index.key_columns)}"
+                f" AS {self.inner_alias})")

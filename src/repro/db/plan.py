@@ -1,0 +1,442 @@
+"""Logical query plans.
+
+A plan is a tree of relational operators over tables, views, and literal
+relations.  Plans are what RIOT-DB stores as view definitions; the optimizer
+(``repro.db.optimizer``) expands views, pushes predicates, orders joins and
+chooses physical operators, and the executor (``repro.db.executor``) runs the
+physical tree in a pipelined, batch-at-a-time fashion — the execution model
+whose intermediate-result avoidance §4.1 credits for RIOT-DB's wins.
+
+Column naming convention: a :class:`Scan` qualifies every output column with
+its alias (``E1.I``), while a :class:`Project` assigns explicit (usually
+bare) output names.  View definitions end in a Project producing bare names;
+expanding ``Scan(view, alias=A)`` wraps the stored plan so columns come out
+as ``A.col``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .catalog import Catalog
+from .schema import Batch, Column, Schema
+from .sqlexpr import Col, Expr
+
+#: Default selectivity guessed for an arbitrary filter predicate.
+FILTER_SELECTIVITY = 0.33
+
+
+class PlanNode:
+    """Base class for logical plan operators."""
+
+    children: tuple["PlanNode", ...] = ()
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        raise NotImplementedError
+
+    def est_rows(self, catalog: Catalog) -> float:
+        raise NotImplementedError
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        """Columns the output is known to be sorted by (may be empty)."""
+        return ()
+
+    def with_children(self, children: tuple["PlanNode", ...]) -> "PlanNode":
+        raise NotImplementedError
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class Scan(PlanNode):
+    """Scan of a base table or view, with an alias qualifying its columns."""
+
+    def __init__(self, name: str, alias: str | None = None) -> None:
+        self.name = name
+        self.alias = alias or name
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        base = catalog.schema_of(self.name)
+        mapping = {c.name: f"{self.alias}.{c.name}" for c in base.columns}
+        return base.rename(mapping)
+
+    def est_rows(self, catalog: Catalog) -> float:
+        if catalog.is_table(self.name):
+            return float(catalog.table(self.name).row_count)
+        return catalog.view(self.name).est_rows(catalog)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        if catalog.is_table(self.name):
+            clustered = catalog.table(self.name).clustered_on
+            return tuple(f"{self.alias}.{c}" for c in clustered)
+        return ()
+
+    def with_children(self, children) -> "Scan":
+        assert not children
+        return Scan(self.name, self.alias)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        if self.alias != self.name:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+class Values(PlanNode):
+    """A literal in-memory relation (e.g. the 100 sampled indexes S)."""
+
+    def __init__(self, batch: Batch, schema: Schema,
+                 name: str = "VALUES") -> None:
+        self.batch = {k: np.asarray(v) for k, v in batch.items()}
+        self.schema = schema
+        self.name = name
+        lengths = {arr.shape[0] for arr in self.batch.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged Values relation")
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.schema
+
+    def est_rows(self, catalog: Catalog) -> float:
+        for arr in self.batch.values():
+            return float(arr.shape[0])
+        return 0.0
+
+    def with_children(self, children) -> "Values":
+        assert not children
+        return Values(self.batch, self.schema, self.name)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        return f"({self.name})"
+
+
+class Filter(PlanNode):
+    """Row selection by a boolean predicate."""
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        self.children = (child,)
+        self.predicate = predicate
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def est_rows(self, catalog: Catalog) -> float:
+        return max(1.0, self.child.est_rows(catalog) * FILTER_SELECTIVITY)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        return self.child.ordering(catalog)
+
+    def with_children(self, children) -> "Filter":
+        (child,) = children
+        return Filter(child, self.predicate)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        return (f"SELECT * FROM ({self.child.to_sql(catalog)}) "
+                f"WHERE {self.predicate.to_sql()}")
+
+
+class Project(PlanNode):
+    """Compute named output expressions (the SELECT list)."""
+
+    def __init__(self, child: PlanNode,
+                 outputs: list[tuple[str, Expr]]) -> None:
+        self.children = (child,)
+        self.outputs = list(outputs)
+        names = [n for n, _ in outputs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate output names: {names}")
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        cols = []
+        for name, expr in self.outputs:
+            cols.append(Column(name, _infer_type(expr, child_schema)))
+        return Schema(tuple(cols))
+
+    def est_rows(self, catalog: Catalog) -> float:
+        return self.child.est_rows(catalog)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        child_order = self.child.ordering(catalog)
+        if not child_order:
+            return ()
+        # The output stays sorted by the prefix of ordering columns that are
+        # passed through as plain column references.
+        passthrough = {expr.name: name for name, expr in self.outputs
+                       if isinstance(expr, Col)}
+        out: list[str] = []
+        for col in child_order:
+            if col in passthrough:
+                out.append(passthrough[col])
+            else:
+                break
+        return tuple(out)
+
+    def with_children(self, children) -> "Project":
+        (child,) = children
+        return Project(child, self.outputs)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        select = ", ".join(f"{expr.to_sql()} AS {name}"
+                           for name, expr in self.outputs)
+        return f"SELECT {select} FROM ({self.child.to_sql(catalog)})"
+
+
+class Join(PlanNode):
+    """Inner equijoin on pairwise key equality."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: list[str], right_keys: list[str]) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("join needs matching non-empty key lists")
+        self.children = (left, right)
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        lcols = self.left.output_schema(catalog).columns
+        rcols = self.right.output_schema(catalog).columns
+        return Schema(tuple(lcols) + tuple(rcols))
+
+    def est_rows(self, catalog: Catalog) -> float:
+        l, r = self.left.est_rows(catalog), self.right.est_rows(catalog)
+        # Key-key equijoin heuristic: at most the smaller input when one
+        # side's key is unique (always true for RIOT-DB's PK joins).
+        return max(1.0, min(l, r))
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        # Conservative: physical operators that preserve order declare it
+        # during physical planning, not here.
+        return ()
+
+    def with_children(self, children) -> "Join":
+        left, right = children
+        return Join(left, right, self.left_keys, self.right_keys)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        conds = " AND ".join(f"{l} = {r}" for l, r in
+                             zip(self.left_keys, self.right_keys))
+        return (f"SELECT * FROM ({self.left.to_sql(catalog)}) JOIN "
+                f"({self.right.to_sql(catalog)}) ON {conds}")
+
+
+_AGG_FUNCS = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+
+class GroupAgg(PlanNode):
+    """Grouped aggregation: GROUP BY ``group_keys`` computing ``aggs``.
+
+    ``aggs`` is a list of ``(output_name, func, input_expr)`` with func in
+    SUM | COUNT | AVG | MIN | MAX.  An empty ``group_keys`` computes a single
+    global aggregate row.
+    """
+
+    def __init__(self, child: PlanNode, group_keys: list[str],
+                 aggs: list[tuple[str, str, Expr]]) -> None:
+        self.children = (child,)
+        self.group_keys = list(group_keys)
+        for _, func, _ in aggs:
+            if func.upper() not in _AGG_FUNCS:
+                raise ValueError(f"unknown aggregate {func!r}")
+        self.aggs = [(name, func.upper(), expr) for name, func, expr in aggs]
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        cols = []
+        for key in self.group_keys:
+            base = child_schema.column(key)
+            cols.append(Column(_bare(key), base.type))
+        for name, func, expr in self.aggs:
+            if func == "COUNT":
+                cols.append(Column(name, "INT"))
+            else:
+                cols.append(Column(name, "DOUBLE"))
+        return Schema(tuple(cols))
+
+    def est_rows(self, catalog: Catalog) -> float:
+        if not self.group_keys:
+            return 1.0
+        return max(1.0, self.child.est_rows(catalog) * 0.1)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        # Sort-based aggregation emits groups in key order.
+        return tuple(_bare(k) for k in self.group_keys)
+
+    def with_children(self, children) -> "GroupAgg":
+        (child,) = children
+        return GroupAgg(child, self.group_keys, self.aggs)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        select = ", ".join(
+            [f"{k} AS {_bare(k)}" for k in self.group_keys]
+            + [f"{func}({expr.to_sql()}) AS {name}"
+               for name, func, expr in self.aggs])
+        sql = f"SELECT {select} FROM ({self.child.to_sql(catalog)})"
+        if self.group_keys:
+            sql += f" GROUP BY {', '.join(self.group_keys)}"
+        return sql
+
+
+class Sort(PlanNode):
+    """ORDER BY (ascending on each key, in key-list order)."""
+
+    def __init__(self, child: PlanNode, keys: list[str]) -> None:
+        if not keys:
+            raise ValueError("sort needs at least one key")
+        self.children = (child,)
+        self.keys = list(keys)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def est_rows(self, catalog: Catalog) -> float:
+        return self.child.est_rows(catalog)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        return tuple(self.keys)
+
+    def with_children(self, children) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        return (f"SELECT * FROM ({self.child.to_sql(catalog)}) "
+                f"ORDER BY {', '.join(self.keys)}")
+
+
+class Limit(PlanNode):
+    """Emit at most ``n`` rows."""
+
+    def __init__(self, child: PlanNode, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"limit must be >= 0, got {n}")
+        self.children = (child,)
+        self.n = n
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def est_rows(self, catalog: Catalog) -> float:
+        return float(min(self.n, self.child.est_rows(catalog)))
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        return self.child.ordering(catalog)
+
+    def with_children(self, children) -> "Limit":
+        (child,) = children
+        return Limit(child, self.n)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        return (f"SELECT * FROM ({self.child.to_sql(catalog)}) "
+                f"LIMIT {self.n}")
+
+
+class Rename(PlanNode):
+    """Rename output columns (used when expanding aliased view scans)."""
+
+    def __init__(self, child: PlanNode, mapping: dict[str, str]) -> None:
+        self.children = (child,)
+        self.mapping = dict(mapping)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog).rename(self.mapping)
+
+    def est_rows(self, catalog: Catalog) -> float:
+        return self.child.est_rows(catalog)
+
+    def ordering(self, catalog: Catalog) -> tuple[str, ...]:
+        return tuple(self.mapping.get(c, c)
+                     for c in self.child.ordering(catalog))
+
+    def with_children(self, children) -> "Rename":
+        (child,) = children
+        return Rename(child, self.mapping)
+
+    def to_sql(self, catalog: Catalog | None = None) -> str:
+        select = ", ".join(f"{old} AS {new}"
+                           for old, new in self.mapping.items())
+        return f"SELECT {select} FROM ({self.child.to_sql(catalog)})"
+
+
+def _bare(name: str) -> str:
+    """Strip an alias qualifier: 'E1.I' -> 'I'."""
+    return name.split(".")[-1]
+
+
+def _infer_type(expr: Expr, schema: Schema) -> str:
+    """Infer INT vs DOUBLE for a projected expression (best effort)."""
+    from . import sqlexpr as sx
+
+    if isinstance(expr, sx.Col):
+        try:
+            return _resolve_schema_column(expr.name, schema).type
+        except KeyError:
+            return "DOUBLE"
+    if isinstance(expr, sx.Const):
+        return "INT" if isinstance(expr.value, (int, np.integer)) \
+            and not isinstance(expr.value, bool) else "DOUBLE"
+    if isinstance(expr, sx.Arith):
+        lt = _infer_type(expr.left, schema)
+        rt = _infer_type(expr.right, schema)
+        if expr.op == "/":
+            return "DOUBLE"
+        return "INT" if lt == "INT" and rt == "INT" else "DOUBLE"
+    if isinstance(expr, sx.CaseWhen):
+        lt = _infer_type(expr.then, schema)
+        rt = _infer_type(expr.otherwise, schema)
+        return "INT" if lt == "INT" and rt == "INT" else "DOUBLE"
+    if isinstance(expr, (sx.Cmp, sx.And, sx.Or, sx.Not, sx.InSet)):
+        return "INT"
+    return "DOUBLE"
+
+
+def _resolve_schema_column(name: str, schema: Schema) -> Column:
+    if schema.has_column(name):
+        return schema.column(name)
+    suffix = "." + name.split(".")[-1]
+    matches = [c for c in schema.columns if c.name.endswith(suffix)
+               or c.name == name.split(".")[-1]]
+    if len(matches) == 1:
+        return matches[0]
+    raise KeyError(f"cannot resolve column {name!r} in {schema.names}")
+
+
+def walk(plan: PlanNode):
+    """Yield every node of a plan tree, pre-order."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)

@@ -1,0 +1,145 @@
+"""Column types and table schemas for the relational substrate.
+
+The engine supports exactly the data model RIOT-DB needs: fixed-width
+8-byte columns, either 64-bit integers (array indexes ``I``, ``J``, ...) or
+64-bit floats (the value column ``V``).  This is the "(I1, ..., In, V)"
+representation of §4 whose storage overhead the paper measures against plain
+R's raw arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Bytes used by every column value (both INT and DOUBLE are 8 bytes).
+COLUMN_BYTES = 8
+
+
+class ColumnType:
+    """Enumeration of supported column types."""
+
+    INT = "INT"
+    DOUBLE = "DOUBLE"
+
+    _DTYPES = {INT: np.int64, DOUBLE: np.float64}
+
+    @classmethod
+    def dtype(cls, type_name: str) -> np.dtype:
+        try:
+            return np.dtype(cls._DTYPES[type_name])
+        except KeyError:
+            raise ValueError(f"unknown column type {type_name!r}") from None
+
+    @classmethod
+    def validate(cls, type_name: str) -> str:
+        if type_name not in cls._DTYPES:
+            raise ValueError(f"unknown column type {type_name!r}")
+        return type_name
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a type."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        ColumnType.validate(self.type)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return ColumnType.dtype(self.type)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of columns, with optional primary-key columns.
+
+    ``primary_key`` names the clustering columns: rows are stored in
+    primary-key order and a B+tree index over the key is maintained, the way
+    RIOT-DB declares ``I`` (or ``(I, J)``) as the primary key of every array
+    table.
+    """
+
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        for key in self.primary_key:
+            if key not in names:
+                raise ValueError(
+                    f"primary key column {key!r} not in schema {names}")
+
+    @staticmethod
+    def of(*cols: tuple[str, str], primary_key: tuple[str, ...] = ()
+           ) -> "Schema":
+        """Convenience constructor: ``Schema.of(("I","INT"), ("V","DOUBLE"))``."""
+        return Schema(tuple(Column(n, t) for n, t in cols),
+                      primary_key=tuple(primary_key))
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    @property
+    def row_bytes(self) -> int:
+        return self.width * COLUMN_BYTES
+
+    def index_of(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise KeyError(f"no column {name!r} in {self.names}")
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed via ``mapping``."""
+        cols = tuple(Column(mapping.get(c.name, c.name), c.type)
+                     for c in self.columns)
+        pk = tuple(mapping.get(k, k) for k in self.primary_key)
+        return Schema(cols, primary_key=pk)
+
+
+#: A batch of rows in columnar form: column name -> numpy array.  All arrays
+#: in one batch have equal length.  This is the unit of data flow through the
+#: vectorized executor.
+Batch = dict[str, np.ndarray]
+
+
+def batch_length(batch: Batch) -> int:
+    """Number of rows in a batch (0 for an empty dict)."""
+    for arr in batch.values():
+        return int(arr.shape[0])
+    return 0
+
+
+def empty_batch(schema: Schema) -> Batch:
+    return {c.name: np.empty(0, dtype=c.dtype) for c in schema.columns}
+
+
+def slice_batch(batch: Batch, mask_or_index: np.ndarray) -> Batch:
+    """Row-select every column of a batch with a boolean mask or index array."""
+    return {name: arr[mask_or_index] for name, arr in batch.items()}
+
+
+def concat_batches(batches: list[Batch], schema: Schema) -> Batch:
+    """Concatenate batches into one (used by small materializations)."""
+    if not batches:
+        return empty_batch(schema)
+    return {name: np.concatenate([b[name] for b in batches])
+            for name in batches[0]}

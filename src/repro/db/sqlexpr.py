@@ -1,0 +1,381 @@
+"""Scalar expressions evaluated over columnar batches.
+
+These are the SELECT-list and WHERE-clause expressions of the relational
+substrate.  Evaluation is vectorized: an expression maps a batch (dict of
+numpy columns) to a numpy array.  ``to_sql`` renders the expression as SQL
+text so demos and tests can display the views RIOT-DB builds, exactly like
+the listings in §4 of the paper.
+
+Column references may be qualified (``E1.I``) or bare (``I``); bare names
+resolve against a batch by exact match first, then by unique suffix match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Batch
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns referenced by this expression."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        """Return a copy with column references renamed via ``mapping``."""
+        raise NotImplementedError
+
+    # Operator sugar so engines can compose expressions naturally ------
+    def __add__(self, other: "Expr") -> "Expr":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return Arith("/", self, _wrap(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}: {self.to_sql()}>"
+
+
+def _wrap(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+def resolve_column(name: str, batch: Batch) -> np.ndarray:
+    """Resolve a possibly-qualified column name in a batch."""
+    if name in batch:
+        return batch[name]
+    suffix = "." + name.split(".")[-1] if "." not in name else None
+    if suffix is not None:
+        matches = [k for k in batch if k.endswith(suffix)]
+        if len(matches) == 1:
+            return batch[matches[0]]
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous column {name!r}: matches {sorted(matches)}")
+    # Qualified name referenced where batch holds bare names.
+    bare = name.split(".")[-1]
+    if bare != name and bare in batch:
+        return batch[bare]
+    raise KeyError(
+        f"no column {name!r} in batch with columns {sorted(batch)}")
+
+
+class Col(Expr):
+    """A column reference."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return resolve_column(self.name, batch)
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def to_sql(self) -> str:
+        return self.name
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Col(mapping.get(self.name, self.name))
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, float) and self.value.is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return self
+
+
+_ARITH_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+
+class Arith(Expr):
+    """Binary arithmetic: + - * / %."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return _ARITH_OPS[self.op](self.left.eval(batch),
+                                   self.right.eval(batch))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Arith(self.op, self.left.rename_columns(mapping),
+                     self.right.rename_columns(mapping))
+
+
+def _np_pow(base, exp):
+    return np.power(np.asarray(base, dtype=np.float64), exp)
+
+
+_FUNCS = {
+    "SQRT": (1, lambda a: np.sqrt(np.asarray(a, dtype=np.float64))),
+    "POW": (2, _np_pow),
+    "ABS": (1, np.abs),
+    "EXP": (1, np.exp),
+    "LN": (1, np.log),
+    "FLOOR": (1, np.floor),
+    "CEIL": (1, np.ceil),
+    "NEG": (1, np.negative),
+    "SIGN": (1, np.sign),
+}
+
+
+class Func(Expr):
+    """Scalar function call (SQRT, POW, ABS, EXP, LN, ...)."""
+
+    def __init__(self, name: str, *args: Expr) -> None:
+        name = name.upper()
+        if name not in _FUNCS:
+            raise ValueError(f"unknown function {name!r}")
+        arity, _ = _FUNCS[name]
+        if len(args) != arity:
+            raise ValueError(
+                f"{name} expects {arity} argument(s), got {len(args)}")
+        self.name = name
+        self.args = tuple(args)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        _, fn = _FUNCS[self.name]
+        return fn(*(a.eval(batch) for a in self.args))
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.columns()
+        return out
+
+    def to_sql(self) -> str:
+        if self.name == "NEG":
+            return f"(-{self.args[0].to_sql()})"
+        return f"{self.name}({', '.join(a.to_sql() for a in self.args)})"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Func(self.name,
+                    *(a.rename_columns(mapping) for a in self.args))
+
+
+_CMP_OPS = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class Cmp(Expr):
+    """Comparison producing a boolean column."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return _CMP_OPS[self.op](self.left.eval(batch),
+                                 self.right.eval(batch))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Cmp(self.op, self.left.rename_columns(mapping),
+                   self.right.rename_columns(mapping))
+
+
+class And(Expr):
+    """Conjunction of boolean expressions."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise ValueError("And needs at least one term")
+        self.terms = tuple(terms)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        out = self.terms[0].eval(batch)
+        for term in self.terms[1:]:
+            out = np.logical_and(out, term.eval(batch))
+        return out
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def to_sql(self) -> str:
+        return " AND ".join(t.to_sql() for t in self.terms)
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return And(*(t.rename_columns(mapping) for t in self.terms))
+
+
+class Or(Expr):
+    """Disjunction of boolean expressions."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise ValueError("Or needs at least one term")
+        self.terms = tuple(terms)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        out = self.terms[0].eval(batch)
+        for term in self.terms[1:]:
+            out = np.logical_or(out, term.eval(batch))
+        return out
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(t.to_sql() for t in self.terms) + ")"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Or(*(t.rename_columns(mapping) for t in self.terms))
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    def __init__(self, term: Expr) -> None:
+        self.term = term
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return np.logical_not(self.term.eval(batch))
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.term.to_sql()})"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return Not(self.term.rename_columns(mapping))
+
+
+class CaseWhen(Expr):
+    """``CASE WHEN cond THEN a ELSE b END`` — how RIOT-DB expresses the
+    deferred modification ``b[b>100] <- 100`` relationally."""
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr) -> None:
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        cond = self.cond.eval(batch)
+        return np.where(cond, self.then.eval(batch),
+                        self.otherwise.eval(batch))
+
+    def columns(self) -> set[str]:
+        return (self.cond.columns() | self.then.columns()
+                | self.otherwise.columns())
+
+    def to_sql(self) -> str:
+        return (f"CASE WHEN {self.cond.to_sql()} THEN {self.then.to_sql()} "
+                f"ELSE {self.otherwise.to_sql()} END")
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return CaseWhen(self.cond.rename_columns(mapping),
+                        self.then.rename_columns(mapping),
+                        self.otherwise.rename_columns(mapping))
+
+
+class InSet(Expr):
+    """Membership test against a small literal set (optimizer helper)."""
+
+    def __init__(self, expr: Expr, values: np.ndarray) -> None:
+        self.expr = expr
+        self.values = np.asarray(values)
+
+    def eval(self, batch: Batch) -> np.ndarray:
+        return np.isin(self.expr.eval(batch), self.values)
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+    def to_sql(self) -> str:
+        vals = ", ".join(str(v) for v in self.values.tolist()[:8])
+        suffix = ", ..." if self.values.size > 8 else ""
+        return f"{self.expr.to_sql()} IN ({vals}{suffix})"
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Expr":
+        return InSet(self.expr.rename_columns(mapping), self.values)
+
+
+def split_conjuncts(pred: Expr) -> list[Expr]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if isinstance(pred, And):
+        out: list[Expr] = []
+        for term in pred.terms:
+            out.extend(split_conjuncts(term))
+        return out
+    return [pred]
+
+
+def conjoin(preds: list[Expr]) -> Expr | None:
+    """Combine conjuncts back into one predicate (None when empty)."""
+    if not preds:
+        return None
+    if len(preds) == 1:
+        return preds[0]
+    return And(*preds)

@@ -1,0 +1,251 @@
+"""Heap tables: fixed-width rows packed into pages, scanned in batches.
+
+A table stores rows of 8-byte columns back to back in page-sized slabs of a
+:class:`~repro.storage.PageFile`.  Pages are read and written through the
+database's shared buffer pool, so a scan of a cold table costs exactly
+``ceil(rows * row_bytes / page_size)`` sequential block reads — the storage
+overhead relative to plain R's raw arrays (extra index columns) is therefore
+measurable, which is one of the paper's Figure 1 observations about the
+strawman.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.storage import BufferPool, PageFile
+
+from .schema import Batch, COLUMN_BYTES, Schema
+
+
+class HeapTable:
+    """Append-only heap of fixed-width rows with batched scans."""
+
+    def __init__(self, name: str, schema: Schema, file: PageFile,
+                 pool: BufferPool) -> None:
+        self.name = name
+        self.schema = schema
+        self.file = file
+        self.pool = pool
+        self.row_count = 0
+        #: Columns the physical row order is sorted by (clustering order).
+        #: Set when rows are bulk-loaded in primary-key order.
+        self.clustered_on: tuple[str, ...] = ()
+        self._append_buffer: list[Batch] = []
+        self._buffered_rows = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rows_per_page(self) -> int:
+        return self.file.page_size // self.schema.row_bytes
+
+    @property
+    def num_pages(self) -> int:
+        return self.file.num_pages
+
+    def page_of_row(self, row_id: int) -> tuple[int, int]:
+        """Return ``(page_no, slot)`` of a row id."""
+        if not 0 <= row_id < self.row_count:
+            raise IndexError(
+                f"row {row_id} outside table {self.name!r} "
+                f"[0, {self.row_count})")
+        return divmod(row_id, self.rows_per_page)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append_batch(self, batch: Batch) -> None:
+        """Buffer a batch for appending; flushed page by page."""
+        length = None
+        for col in self.schema.columns:
+            if col.name not in batch:
+                raise KeyError(
+                    f"batch missing column {col.name!r} for {self.name!r}")
+            arr = np.ascontiguousarray(batch[col.name], dtype=col.dtype)
+            batch[col.name] = arr
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise ValueError("ragged batch")
+        if not length:
+            return
+        self._append_buffer.append(
+            {c.name: batch[c.name] for c in self.schema.columns})
+        self._buffered_rows += length
+        while self._buffered_rows >= self.rows_per_page:
+            self._flush_one_page()
+
+    def finish_append(self) -> None:
+        """Flush any partially filled trailing page."""
+        while self._buffered_rows > 0:
+            self._flush_one_page()
+
+    def _flush_one_page(self) -> None:
+        take = min(self._buffered_rows, self.rows_per_page)
+        cols: dict[str, list[np.ndarray]] = {
+            c.name: [] for c in self.schema.columns}
+        remaining = take
+        while remaining > 0:
+            head = self._append_buffer[0]
+            head_len = next(iter(head.values())).shape[0]
+            use = min(head_len, remaining)
+            for name in cols:
+                cols[name].append(head[name][:use])
+            if use == head_len:
+                self._append_buffer.pop(0)
+            else:
+                self._append_buffer[0] = {
+                    name: arr[use:] for name, arr in head.items()}
+            remaining -= use
+        page_batch = {name: np.concatenate(parts)
+                      for name, parts in cols.items()}
+        self._write_page_rows(page_batch, take)
+        self._buffered_rows -= take
+        self.row_count += take
+
+    def _write_page_rows(self, batch: Batch, n_rows: int) -> None:
+        """Encode ``n_rows`` rows into one fresh page and write it."""
+        width = self.schema.width
+        raw = np.zeros((self.rows_per_page, width * COLUMN_BYTES),
+                       dtype=np.uint8)
+        for j, col in enumerate(self.schema.columns):
+            arr = np.ascontiguousarray(batch[col.name][:n_rows],
+                                       dtype=col.dtype)
+            raw[:n_rows, j * COLUMN_BYTES: (j + 1) * COLUMN_BYTES] = (
+                arr.view(np.uint8).reshape(n_rows, COLUMN_BYTES))
+        page_no = self.file.allocate_page()
+        self.pool.put(self.file.block_of(page_no), raw.reshape(-1))
+
+    def load(self, batch: Batch, clustered_on: tuple[str, ...] = ()) -> None:
+        """Bulk-load a full table from one columnar batch."""
+        self.append_batch(dict(batch))
+        self.finish_append()
+        self.clustered_on = tuple(clustered_on)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _decode_page(self, page_no: int, n_rows: int) -> Batch:
+        frame = self.pool.get(self.file.block_of(page_no))
+        width = self.schema.width
+        raw = frame[: self.rows_per_page * width * COLUMN_BYTES].reshape(
+            self.rows_per_page, width * COLUMN_BYTES)
+        out: Batch = {}
+        for j, col in enumerate(self.schema.columns):
+            col_bytes = np.ascontiguousarray(
+                raw[:n_rows, j * COLUMN_BYTES: (j + 1) * COLUMN_BYTES])
+            out[col.name] = col_bytes.view(col.dtype).reshape(n_rows)
+        return out
+
+    def scan(self, batch_pages: int = 8) -> Iterator[Batch]:
+        """Yield the table as batches of up to ``batch_pages`` pages."""
+        rpp = self.rows_per_page
+        page_no = 0
+        remaining = self.row_count
+        while remaining > 0:
+            parts: list[Batch] = []
+            for _ in range(batch_pages):
+                if remaining <= 0:
+                    break
+                n = min(rpp, remaining)
+                parts.append(self._decode_page(page_no, n))
+                page_no += 1
+                remaining -= n
+            if len(parts) == 1:
+                yield parts[0]
+            else:
+                yield {name: np.concatenate([p[name] for p in parts])
+                       for name in parts[0]}
+
+    def fetch_rows(self, row_ids: np.ndarray) -> Batch:
+        """Random access: fetch specific rows (index-nested-loop inner side).
+
+        Touches one page per distinct page among the row ids; rows come back
+        in the order requested.
+        """
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.size == 0:
+            return {c.name: np.empty(0, dtype=c.dtype)
+                    for c in self.schema.columns}
+        if ids.min() < 0 or ids.max() >= self.row_count:
+            raise IndexError("row id out of range")
+        rpp = self.rows_per_page
+        pages = ids // rpp
+        order = np.argsort(pages, kind="stable")
+        out = {c.name: np.empty(ids.size, dtype=c.dtype)
+               for c in self.schema.columns}
+        pos = 0
+        while pos < ids.size:
+            page = int(pages[order[pos]])
+            end = pos
+            while end < ids.size and pages[order[end]] == page:
+                end += 1
+            n_on_page = min(rpp, self.row_count - page * rpp)
+            decoded = self._decode_page(page, n_on_page)
+            sel = order[pos:end]
+            slots = ids[sel] - page * rpp
+            for name, arr in decoded.items():
+                out[name][sel] = arr[slots]
+            pos = end
+        return out
+
+    def update_rows(self, row_ids: np.ndarray,
+                    updates: dict[str, np.ndarray]) -> None:
+        """In-place update of specific rows (read-modify-write per page).
+
+        This is the scatter path behind ``b[s] <- v`` once an object is
+        materialized: touched pages are re-encoded and written back, costing
+        random I/O proportional to the number of distinct pages.
+        """
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.row_count:
+            raise IndexError("row id out of range")
+        for name in updates:
+            if not self.schema.has_column(name):
+                raise KeyError(f"no column {name!r} in {self.name!r}")
+        rpp = self.rows_per_page
+        pages = ids // rpp
+        order = np.argsort(pages, kind="stable")
+        pos = 0
+        while pos < ids.size:
+            page = int(pages[order[pos]])
+            end = pos
+            while end < ids.size and pages[order[end]] == page:
+                end += 1
+            n_on_page = min(rpp, self.row_count - page * rpp)
+            decoded = self._decode_page(page, n_on_page)
+            decoded = {k: v.copy() for k, v in decoded.items()}
+            sel = order[pos:end]
+            slots = ids[sel] - page * rpp
+            for name, values in updates.items():
+                col = self.schema.column(name)
+                vals = np.asarray(values, dtype=col.dtype)
+                decoded[name][slots] = vals[sel]
+            self._rewrite_page(page, decoded, n_on_page)
+            pos = end
+
+    def _rewrite_page(self, page_no: int, batch: Batch,
+                      n_rows: int) -> None:
+        width = self.schema.width
+        raw = np.zeros((self.rows_per_page, width * COLUMN_BYTES),
+                       dtype=np.uint8)
+        for j, col in enumerate(self.schema.columns):
+            arr = np.ascontiguousarray(batch[col.name][:n_rows],
+                                       dtype=col.dtype)
+            raw[:n_rows, j * COLUMN_BYTES: (j + 1) * COLUMN_BYTES] = (
+                arr.view(np.uint8).reshape(n_rows, COLUMN_BYTES))
+        self.pool.put(self.file.block_of(page_no), raw.reshape(-1))
+
+    def drop(self) -> None:
+        for page in range(self.file.num_pages):
+            self.pool.invalidate(self.file.block_of(page))
+        self.file.drop()
+        self.row_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HeapTable({self.name!r}, rows={self.row_count}, "
+                f"pages={self.num_pages})")

@@ -1,0 +1,63 @@
+"""The four systems compared in Figure 1 of the paper, behind one interface.
+
+======================  ============================================
+class                   behaviour
+======================  ============================================
+PlainREngine            eager, in-memory, thrashes under a memory cap
+StrawmanEngine          every op materialized into a DB table
+MatNamedEngine          views, but named objects are materialized
+RiotDBEngine            fully deferred views + selective evaluation
+======================  ============================================
+"""
+
+from .base import Engine, RunResult
+from .dbcommon import DBEngineBase, DBMat, DBVec
+from .matnamed import MatNamedEngine
+from .plain_r import PlainREngine, PlainRMatrix, PlainRVector
+from .riotdb import RiotDBEngine
+from .strawman import StrawmanEngine
+
+
+def _riotng():
+    # Imported lazily: repro.core imports repro.engines.base, so pulling it
+    # in at module top would be a cycle during package init.
+    from repro.core.engine import RiotNGEngine
+    return RiotNGEngine
+
+
+class _LazyEngines(dict):
+    """Engine registry that resolves the next-gen engine on first use."""
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        if value is _riotng:
+            value = _riotng()
+            super().__setitem__(key, value)
+        return value
+
+
+ALL_ENGINES = _LazyEngines({
+    "plain": PlainREngine,
+    "strawman": StrawmanEngine,
+    "matnamed": MatNamedEngine,
+    "riotdb": RiotDBEngine,
+    "riotng": _riotng,
+})
+
+
+def make_engine(name: str, **kwargs) -> Engine:
+    """Construct an engine by short name: plain|strawman|matnamed|riotdb."""
+    try:
+        cls = ALL_ENGINES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; options: {sorted(ALL_ENGINES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ALL_ENGINES", "DBEngineBase", "DBMat", "DBVec", "Engine",
+    "MatNamedEngine", "PlainREngine", "PlainRMatrix", "PlainRVector",
+    "RiotDBEngine", "RunResult", "StrawmanEngine", "make_engine",
+]

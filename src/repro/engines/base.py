@@ -1,0 +1,87 @@
+"""Engine interface and metrics shared by the four Figure-1 systems.
+
+An *engine* supplies vector/matrix classes, registers their methods on a
+generics table, and accounts for I/O on a counted device.  The interpreter
+(:mod:`repro.rlang`) is engine-agnostic; benchmark harnesses run the same
+program source on every engine and read the metrics off this interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.rlang.interp import Interpreter
+from repro.storage import IOStats, SimClock
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one program on one engine."""
+
+    engine: str
+    output: list[str]
+    io: IOStats
+    sim_seconds: float
+    wall_seconds: float
+    env: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def io_mb(self) -> float:
+        return self.io.mb_total()
+
+
+class Engine:
+    """Base class: subclasses provide generics + array constructors."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+
+    # -- required API -----------------------------------------------------
+    #: Subclasses assign a Generics table during construction.
+    generics = None
+
+    def make_vector(self, data):
+        raise NotImplementedError
+
+    def make_matrix(self, data):
+        raise NotImplementedError
+
+    def io_stats(self) -> IOStats:
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        raise NotImplementedError
+
+    # -- optional hooks ---------------------------------------------------
+    #: Called by the interpreter on every assignment; may return a
+    #: replacement value (how RIOT-DB/MatNamed forces materialization).
+    on_assign = None
+
+    # -- convenience --------------------------------------------------------
+    def sim_seconds(self) -> float:
+        return self.clock.seconds(self.io_stats())
+
+    def run_program(self, source: str, seed: int = 20090104,
+                    env: dict | None = None) -> RunResult:
+        """Run R source on this engine and collect metrics.
+
+        ``env`` pre-populates interpreter bindings (e.g. with vectors the
+        harness built ahead of time so data generation is not measured).
+        """
+        interp = Interpreter(self, seed=seed)
+        if env:
+            interp.env.update(env)
+        start = time.perf_counter()
+        interp.run(source)
+        wall = time.perf_counter() - start
+        return RunResult(
+            engine=self.name,
+            output=list(interp.output),
+            io=self.io_stats().snapshot(),
+            sim_seconds=self.sim_seconds(),
+            wall_seconds=wall,
+            env=interp.env,
+        )

@@ -1,0 +1,644 @@
+"""Shared machinery for the three database-backed engines (§4).
+
+A ``dbvector`` maps to a table ``(I, V)`` with primary key ``I``; a
+``dbmatrix`` maps to ``(I, J, V)`` keyed on ``(I, J)``; 1-based indexes
+match R and the paper's SQL.  Every R operation builds a logical plan over
+its operands, and the policy knobs distinguish the Figure-1 variants:
+
+============================  =====================  ====================
+engine                        unnamed results        named objects
+============================  =====================  ====================
+RIOT-DB/Strawman              materialized tables    (already tables)
+RIOT-DB/MatNamed              views                  materialized tables
+RIOT-DB (full)                views                  views
+============================  =====================  ====================
+
+View lifetime follows Python references: each wrapper keeps its operand
+wrappers alive (``deps``), which is the dependency tracking the paper had to
+hook R assignments for (footnote 2 of §4.1).
+
+Metadata (length, shape, logical-ness) travels on the wrapper, never
+touching the database — which is why ``length(x)`` is free and
+``sample(length(x), 100)`` costs no I/O.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import (Col, Const, Database, Filter, Func, GroupAgg, Join,
+                      Limit, Project, Scan, Schema, Sort)
+from repro.db import sqlexpr as sx
+from repro.rlang.generics import Generics
+from repro.rlang.values import MISSING, MissingIndex, RError, RScalar
+from repro.storage import IOStats, SimClock
+
+from .base import Engine
+
+#: Safety cap for operations that must pull an index vector into memory.
+MAX_SCATTER_INDEXES = 1 << 20
+
+VEC_SCHEMA = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+MAT_SCHEMA = Schema.of(("I", "INT"), ("J", "INT"), ("V", "DOUBLE"),
+                       primary_key=("I", "J"))
+
+
+class DBVec:
+    """Handle to a vector stored as a table or defined by a view."""
+
+    def __init__(self, engine: "DBEngineBase", name: str, length: int,
+                 kind: str, logical: bool = False, deps: tuple = ()) -> None:
+        self.engine = engine
+        self.name = name
+        self.length = int(length)
+        self.kind = kind          # "table" | "view"
+        self.logical = logical
+        self.deps = tuple(deps)   # keep operand views alive
+
+    def __del__(self) -> None:
+        try:
+            self.engine._release(self)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DBVec({self.name}, n={self.length}, kind={self.kind}"
+                f"{', logical' if self.logical else ''})")
+
+
+class DBMat:
+    """Handle to a matrix stored as a table or defined by a view."""
+
+    def __init__(self, engine: "DBEngineBase", name: str,
+                 shape: tuple[int, int], kind: str,
+                 deps: tuple = ()) -> None:
+        self.engine = engine
+        self.name = name
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.kind = kind
+        self.deps = tuple(deps)
+
+    def __del__(self) -> None:
+        try:
+            self.engine._release(self)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DBMat({self.name}, shape={self.shape}, kind={self.kind})"
+
+
+def _v(alias: str) -> Col:
+    return Col(f"{alias}.V")
+
+
+def _truthy(expr) -> sx.Expr:
+    """SQL expression testing a stored 0/1 logical column."""
+    return sx.Cmp("<>", expr, Const(0))
+
+
+class DBEngineBase(Engine):
+    """Common implementation of the three RIOT-DB variants."""
+
+    name = "RIOT-DB base"
+    #: Strawman: run and store every single operation immediately.
+    EAGER_MATERIALIZE = False
+    #: MatNamed: force evaluation whenever a result is bound to a name.
+    MATERIALIZE_ON_ASSIGN = False
+
+    def __init__(self, memory_bytes: int = 68 * 1024 * 1024,
+                 block_size: int = 8192) -> None:
+        Engine.__init__(self)
+        self.db = Database(memory_bytes=memory_bytes,
+                           block_size=block_size, name=self.name)
+        self.generics = Generics()
+        self._counter = 0
+        self._register_all()
+
+    # ------------------------------------------------------------------
+    # Naming / lifetime
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _release(self, obj) -> None:
+        catalog = self.db.catalog
+        if obj.kind == "view" and catalog.is_view(obj.name):
+            catalog.drop(obj.name)
+        elif obj.kind == "table" and catalog.is_table(obj.name):
+            catalog.drop(obj.name)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    def make_vector(self, data: np.ndarray, logical: bool = False) -> DBVec:
+        values = np.asarray(data, dtype=np.float64).ravel()
+        name = self._fresh("T")
+        self.db.load_table(name, VEC_SCHEMA, {
+            "I": np.arange(1, values.size + 1, dtype=np.int64),
+            "V": values,
+        })
+        return DBVec(self, name, values.size, "table", logical=logical)
+
+    def make_matrix(self, data: np.ndarray) -> DBMat:
+        values = np.asarray(data, dtype=np.float64)
+        n1, n2 = values.shape
+        ii, jj = np.meshgrid(np.arange(1, n1 + 1), np.arange(1, n2 + 1),
+                             indexing="ij")
+        name = self._fresh("M")
+        self.db.load_table(name, MAT_SCHEMA, {
+            "I": ii.ravel().astype(np.int64),
+            "J": jj.ravel().astype(np.int64),
+            "V": values.ravel(),
+        })
+        return DBMat(self, name, (n1, n2), "table")
+
+    # ------------------------------------------------------------------
+    # Result-object policy (the Figure-1 variants differ only here)
+    # ------------------------------------------------------------------
+    def _new_vector(self, plan, length: int, logical: bool,
+                    deps: tuple) -> DBVec:
+        if self.EAGER_MATERIALIZE:
+            name = self._fresh("T")
+            self.db.materialize(plan, name, build_index=True,
+                                primary_key=("I",))
+            return DBVec(self, name, length, "table", logical=logical)
+        name = self._fresh("V")
+        self.db.create_view(name, plan)
+        return DBVec(self, name, length, "view", logical=logical,
+                     deps=deps)
+
+    def _new_matrix(self, plan, shape: tuple[int, int],
+                    deps: tuple) -> DBMat:
+        if self.EAGER_MATERIALIZE:
+            name = self._fresh("M")
+            self.db.materialize(plan, name, build_index=True,
+                                primary_key=("I", "J"))
+            return DBMat(self, name, shape, "table")
+        name = self._fresh("W")
+        self.db.create_view(name, plan)
+        return DBMat(self, name, shape, "view", deps=deps)
+
+    def force_vector(self, vec: DBVec) -> DBVec:
+        """Materialize a view-backed vector into an indexed table."""
+        if vec.kind == "table":
+            return vec
+        name = self._fresh("T")
+        self.db.materialize(Scan(vec.name), name, build_index=True,
+                            primary_key=("I",))
+        return DBVec(self, name, vec.length, "table", logical=vec.logical)
+
+    def force_matrix(self, mat: DBMat) -> DBMat:
+        if mat.kind == "table":
+            return mat
+        name = self._fresh("M")
+        plan = Sort(Scan(mat.name), [f"{mat.name}.I", f"{mat.name}.J"])
+        self.db.materialize(plan, name, build_index=True,
+                            primary_key=("I", "J"))
+        return DBMat(self, name, mat.shape, "table")
+
+    def on_assign(self, name: str, value, old):
+        """Interpreter assignment hook (the paper's one R-core change)."""
+        if self.MATERIALIZE_ON_ASSIGN:
+            if isinstance(value, DBVec) and value.kind == "view":
+                return self.force_vector(value)
+            if isinstance(value, DBMat) and value.kind == "view":
+                return self.force_matrix(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Plan-building helpers
+    # ------------------------------------------------------------------
+    def _vec_vec_plan(self, a: DBVec, b: DBVec, expr_fn):
+        """SELECT E1.I, f(E1.V, E2.V) FROM A E1, B E2 WHERE E1.I = E2.I."""
+        if a.length != b.length:
+            raise RError(
+                f"non-conformable vectors: {a.length} vs {b.length}")
+        plan = Join(Scan(a.name, "E1"), Scan(b.name, "E2"),
+                    ["E1.I"], ["E2.I"])
+        return Project(plan, [("I", Col("E1.I")),
+                              ("V", expr_fn(_v("E1"), _v("E2")))])
+
+    def _vec_scalar_plan(self, a: DBVec, expr_fn):
+        return Project(Scan(a.name, "E1"),
+                       [("I", Col("E1.I")), ("V", expr_fn(_v("E1")))])
+
+    def _mat_mat_plan(self, a: DBMat, b: DBMat, expr_fn):
+        if a.shape != b.shape:
+            raise RError(
+                f"non-conformable matrices: {a.shape} vs {b.shape}")
+        plan = Join(Scan(a.name, "E1"), Scan(b.name, "E2"),
+                    ["E1.I", "E1.J"], ["E2.I", "E2.J"])
+        return Project(plan, [("I", Col("E1.I")), ("J", Col("E1.J")),
+                              ("V", expr_fn(_v("E1"), _v("E2")))])
+
+    def _mat_scalar_plan(self, a: DBMat, expr_fn):
+        return Project(Scan(a.name, "E1"),
+                       [("I", Col("E1.I")), ("J", Col("E1.J")),
+                        ("V", expr_fn(_v("E1")))])
+
+    # -- SQL expression constructors per R operator -----------------------
+    _ARITH = {"+": "+", "-": "-", "*": "*", "/": "/", "%%": "%"}
+    _CMP = {"==": "=", "!=": "<>", "<": "<", ">": ">",
+            "<=": "<=", ">=": ">="}
+
+    def _scalar_expr(self, op: str, swap: bool, const: float):
+        def expr_fn(v):
+            c = Const(const)
+            left, right = (c, v) if swap else (v, c)
+            return self._combine(op, left, right)
+        return expr_fn
+
+    def _combine(self, op: str, left, right):
+        if op in self._ARITH:
+            return sx.Arith(self._ARITH[op], left, right)
+        if op == "^":
+            return Func("POW", left, right)
+        if op in self._CMP:
+            return sx.Cmp(self._CMP[op], left, right)
+        if op == "&":
+            return sx.And(_truthy(left), _truthy(right))
+        if op == "|":
+            return sx.Or(_truthy(left), _truthy(right))
+        raise RError(f"unsupported operator {op!r}")
+
+    _LOGICAL_OPS = frozenset(
+        ["==", "!=", "<", ">", "<=", ">=", "&", "|"])
+
+    # ------------------------------------------------------------------
+    # Query execution helpers
+    # ------------------------------------------------------------------
+    def _collect(self, plan) -> dict[str, np.ndarray]:
+        return self.db.query(plan)
+
+    def vector_values(self, vec: DBVec) -> np.ndarray:
+        """Pull a whole vector into memory, ordered by I (forces it)."""
+        out = self._collect(self._ordered_scan(vec))
+        icol, vcol = self._iv_names(out)
+        order = np.argsort(out[icol], kind="stable")
+        return np.asarray(out[vcol])[order]
+
+    def matrix_values(self, mat: DBMat) -> np.ndarray:
+        out = self._collect(Scan(mat.name))
+        names = {n.split(".")[-1]: n for n in out}
+        data = np.zeros(mat.shape)
+        ii = np.asarray(out[names["I"]], dtype=np.int64) - 1
+        jj = np.asarray(out[names["J"]], dtype=np.int64) - 1
+        data[ii, jj] = out[names["V"]]
+        return data
+
+    @staticmethod
+    def _iv_names(batch) -> tuple[str, str]:
+        names = {n.split(".")[-1]: n for n in batch}
+        return names["I"], names["V"]
+
+    def _ordered_scan(self, vec: DBVec):
+        return Scan(vec.name)
+
+    # ------------------------------------------------------------------
+    # Generic registration
+    # ------------------------------------------------------------------
+    def _register_all(self) -> None:
+        g = self.generics
+        for op in list(self._ARITH) + ["^"] + list(self._CMP) + ["&", "|"]:
+            g.set_method(op, (DBVec, DBVec), self._make_vv(op))
+            g.set_method(op, (DBVec, RScalar), self._make_vs(op, False))
+            g.set_method(op, (RScalar, DBVec), self._make_vs(op, True))
+            g.set_method(op, (DBMat, DBMat), self._make_mm(op))
+            g.set_method(op, (DBMat, RScalar), self._make_ms(op, False))
+            g.set_method(op, (RScalar, DBMat), self._make_ms(op, True))
+        for name, func in [("sqrt", "SQRT"), ("abs", "ABS"),
+                           ("exp", "EXP"), ("log", "LN"),
+                           ("floor", "FLOOR"), ("ceiling", "CEIL")]:
+            g.set_method(name, (DBVec,), self._make_unary_vec(func))
+            g.set_method(name, (DBMat,), self._make_unary_mat(func))
+        g.set_method("unary-", (DBVec,), self._make_unary_vec("NEG"))
+        g.set_method("unary-", (DBMat,), self._make_unary_mat("NEG"))
+        g.set_method("unary!", (DBVec,), self._logical_not)
+        for red in ("sum", "mean", "min", "max"):
+            g.set_method(red, (DBVec,), self._make_reduction(red))
+            g.set_method(red, (DBMat,), self._make_reduction(red))
+        g.set_method("all", (DBVec,), self._all)
+        g.set_method("any", (DBVec,), self._any)
+        g.set_method("length", (DBVec,),
+                     lambda v: RScalar(v.length))
+        g.set_method("length", (DBMat,),
+                     lambda m: RScalar(m.shape[0] * m.shape[1]))
+        g.set_method("dim", (DBMat,), self._dim)
+        g.set_method("range", (RScalar, RScalar), self._range)
+        g.set_method("concat", (object,), self._concat)
+        g.set_method("concat", (object, object), self._concat)
+        g.set_method("concat", (object, object, object), self._concat)
+        g.set_method("[", (DBVec, object), self._vector_index)
+        g.set_method("[", (DBMat, object, object), self._matrix_index)
+        g.set_method("[<-", (DBVec, object, object), self._vector_assign)
+        g.set_method("%*%", (DBMat, DBMat), self._matmul)
+        g.set_method("t", (DBMat,), self._transpose)
+        g.set_method("reshape", (DBVec, RScalar, RScalar), self._reshape)
+        g.set_method("print", (DBVec,), self._print_vector)
+        g.set_method("print", (DBMat,), self._print_matrix)
+        g.set_method("iterate", (DBVec,),
+                     lambda v: self.vector_values(v).tolist())
+        g.set_method("first", (DBVec,), self._first)
+        g.set_method("which", (DBVec,), self._which)
+        g.set_method("head", (DBVec, RScalar), self._head)
+
+    # -- operator factories -------------------------------------------------
+    def _make_vv(self, op: str):
+        def call(a: DBVec, b: DBVec) -> DBVec:
+            plan = self._vec_vec_plan(
+                a, b, lambda l, r: self._combine(op, l, r))
+            return self._new_vector(plan, a.length,
+                                    op in self._LOGICAL_OPS, (a, b))
+        return call
+
+    def _make_vs(self, op: str, swap: bool):
+        def call(x, y) -> DBVec:
+            vec, scalar = (y, x) if swap else (x, y)
+            plan = self._vec_scalar_plan(
+                vec, self._scalar_expr(op, swap, scalar.as_float()))
+            return self._new_vector(plan, vec.length,
+                                    op in self._LOGICAL_OPS, (vec,))
+        return call
+
+    def _make_mm(self, op: str):
+        def call(a: DBMat, b: DBMat) -> DBMat:
+            plan = self._mat_mat_plan(
+                a, b, lambda l, r: self._combine(op, l, r))
+            return self._new_matrix(plan, a.shape, (a, b))
+        return call
+
+    def _make_ms(self, op: str, swap: bool):
+        def call(x, y) -> DBMat:
+            mat, scalar = (y, x) if swap else (x, y)
+            plan = self._mat_scalar_plan(
+                mat, self._scalar_expr(op, swap, scalar.as_float()))
+            return self._new_matrix(plan, mat.shape, (mat,))
+        return call
+
+    def _make_unary_vec(self, func: str):
+        def call(a: DBVec) -> DBVec:
+            plan = self._vec_scalar_plan(a, lambda v: Func(func, v))
+            return self._new_vector(plan, a.length, False, (a,))
+        return call
+
+    def _make_unary_mat(self, func: str):
+        def call(a: DBMat) -> DBMat:
+            plan = self._mat_scalar_plan(a, lambda v: Func(func, v))
+            return self._new_matrix(plan, a.shape, (a,))
+        return call
+
+    def _logical_not(self, a: DBVec) -> DBVec:
+        plan = self._vec_scalar_plan(
+            a, lambda v: sx.Cmp("=", v, Const(0)))
+        return self._new_vector(plan, a.length, True, (a,))
+
+    def _make_reduction(self, red: str):
+        func = {"sum": "SUM", "mean": "AVG",
+                "min": "MIN", "max": "MAX"}[red]
+
+        def call(obj) -> RScalar:
+            plan = GroupAgg(Scan(obj.name, "E1"), [],
+                            [("R", func, _v("E1"))])
+            out = self._collect(plan)
+            return RScalar(float(out["R"][0]))
+        return call
+
+    def _all(self, a: DBVec) -> RScalar:
+        plan = GroupAgg(Scan(a.name, "E1"), [],
+                        [("R", "MIN", _v("E1"))])
+        return RScalar(bool(self._collect(plan)["R"][0] != 0))
+
+    def _any(self, a: DBVec) -> RScalar:
+        plan = GroupAgg(Scan(a.name, "E1"), [],
+                        [("R", "MAX", _v("E1"))])
+        return RScalar(bool(self._collect(plan)["R"][0] != 0))
+
+    def _dim(self, m: DBMat) -> DBVec:
+        return self.make_vector(np.asarray(m.shape, dtype=np.float64))
+
+    def _range(self, lo: RScalar, hi: RScalar) -> DBVec:
+        a, b = lo.as_int(), hi.as_int()
+        step = 1 if b >= a else -1
+        return self.make_vector(
+            np.arange(a, b + step, step, dtype=np.float64))
+
+    def _concat(self, *parts) -> DBVec:
+        arrays = []
+        for p in parts:
+            if isinstance(p, RScalar):
+                arrays.append(np.asarray([p.as_float()]))
+            elif isinstance(p, DBVec):
+                arrays.append(self.vector_values(p))
+            else:
+                raise RError(f"cannot concatenate {type(p).__name__}")
+        return self.make_vector(np.concatenate(arrays))
+
+    # -- subscripts -----------------------------------------------------------
+    def _vector_index(self, x: DBVec, idx) -> "DBVec | RScalar":
+        if isinstance(idx, MissingIndex):
+            return x
+        if isinstance(idx, RScalar):
+            plan = Filter(Scan(x.name, "D"),
+                          sx.Cmp("=", Col("D.I"), Const(idx.as_int())))
+            out = self._collect(plan)
+            _, vcol = self._iv_names(out)
+            if out[vcol].shape[0] == 0:
+                raise RError("subscript out of bounds")
+            return RScalar(float(out[vcol][0]))
+        if idx.logical:
+            # x[mask]: filter + renumber forces (partial) evaluation.
+            return self._masked_select(x, idx)
+        # x[s]: dereference via join — the paper's Z view verbatim.
+        plan = Project(
+            Join(Scan(x.name, "D"), Scan(idx.name, "S"),
+                 ["D.I"], ["S.V"]),
+            [("I", Col("S.I")), ("V", Col("D.V"))])
+        return self._new_vector(plan, idx.length, x.logical, (x, idx))
+
+    def _masked_select(self, x: DBVec, mask: DBVec) -> DBVec:
+        plan = Project(
+            Filter(Join(Scan(x.name, "D"), Scan(mask.name, "M"),
+                        ["D.I"], ["M.I"]),
+                   _truthy(Col("M.V"))),
+            [("I", Col("D.I")), ("V", Col("D.V"))])
+        return self._renumber_materialize(plan, logical=x.logical)
+
+    def _renumber_materialize(self, plan, logical: bool) -> DBVec:
+        """Run a plan and store its rows with a fresh dense 1..k index."""
+        name = self._fresh("T")
+        table = self.db.create_table(name, VEC_SCHEMA)
+        next_i = 1
+        values_seen = 0
+        for batch in self.db.execute(plan):
+            vcol = [c for c in batch if c.split(".")[-1] == "V"][0]
+            vals = batch[vcol]
+            k = vals.shape[0]
+            table.append_batch({
+                "I": np.arange(next_i, next_i + k, dtype=np.int64),
+                "V": np.asarray(vals, dtype=np.float64),
+            })
+            next_i += k
+            values_seen += k
+        table.finish_append()
+        table.clustered_on = ("I",)
+        return DBVec(self, name, values_seen, "table", logical=logical)
+
+    def _matrix_index(self, m: DBMat, ri, ci):
+        if isinstance(ri, RScalar) and isinstance(ci, RScalar):
+            pred = sx.And(
+                sx.Cmp("=", Col("E1.I"), Const(ri.as_int())),
+                sx.Cmp("=", Col("E1.J"), Const(ci.as_int())))
+            out = self._collect(Filter(Scan(m.name, "E1"), pred))
+            names = {n.split(".")[-1]: n for n in out}
+            if out[names["V"]].shape[0] == 0:
+                raise RError("subscript out of bounds")
+            return RScalar(float(out[names["V"]][0]))
+        # Row or column extraction as a vector.
+        if isinstance(ri, RScalar) and isinstance(ci, MissingIndex):
+            plan = Project(
+                Filter(Scan(m.name, "E1"),
+                       sx.Cmp("=", Col("E1.I"), Const(ri.as_int()))),
+                [("I", Col("E1.J")), ("V", Col("E1.V"))])
+            return self._new_vector(plan, m.shape[1], False, (m,))
+        if isinstance(ci, RScalar) and isinstance(ri, MissingIndex):
+            plan = Project(
+                Filter(Scan(m.name, "E1"),
+                       sx.Cmp("=", Col("E1.J"), Const(ci.as_int()))),
+                [("I", Col("E1.I")), ("V", Col("E1.V"))])
+            return self._new_vector(plan, m.shape[0], False, (m,))
+        raise RError("unsupported matrix subscript combination")
+
+    def _vector_assign(self, x: DBVec, idx, value) -> DBVec:
+        if isinstance(idx, DBVec) and idx.logical \
+                and isinstance(value, RScalar):
+            # b[b>100] <- 100 as CASE WHEN — deferrable like any other op.
+            plan = Project(
+                Join(Scan(x.name, "B"), Scan(idx.name, "M"),
+                     ["B.I"], ["M.I"]),
+                [("I", Col("B.I")),
+                 ("V", sx.CaseWhen(_truthy(Col("M.V")),
+                                   Const(value.as_float()),
+                                   Col("B.V")))])
+            return self._new_vector(plan, x.length, x.logical, (x, idx))
+        # Positional scatter: force a copy, then random-write the pages.
+        if isinstance(idx, RScalar):
+            positions = np.asarray([idx.as_int()], dtype=np.int64)
+        elif isinstance(idx, DBVec):
+            if idx.length > MAX_SCATTER_INDEXES:
+                raise RError("scatter index vector too large")
+            positions = self.vector_values(idx).astype(np.int64)
+        else:
+            raise RError("unsupported subscript in assignment")
+        if isinstance(value, RScalar):
+            new_vals = np.full(positions.size, value.as_float())
+        elif isinstance(value, DBVec):
+            new_vals = self.vector_values(value)
+        else:
+            raise RError("unsupported replacement value")
+        if new_vals.shape[0] != positions.shape[0]:
+            raise RError("replacement length mismatch")
+        forced = self.force_vector(x)
+        # force_vector returns x itself when already a table; copy then.
+        if forced is x:
+            name = self._fresh("T")
+            self.db.materialize(Scan(x.name), name, build_index=True,
+                                primary_key=("I",))
+            forced = DBVec(self, name, x.length, "table",
+                           logical=x.logical)
+        table = self.db.table(forced.name)
+        table.update_rows(positions - 1, {"V": new_vals})
+        return forced
+
+    # -- linear algebra --------------------------------------------------------
+    def _matmul(self, a: DBMat, b: DBMat) -> DBMat:
+        if a.shape[1] != b.shape[0]:
+            raise RError(
+                f"non-conformable matrices: {a.shape} x {b.shape}")
+        plan = GroupAgg(
+            Join(Scan(a.name, "A"), Scan(b.name, "B"),
+                 ["A.J"], ["B.I"]),
+            ["A.I", "B.J"],
+            [("V", "SUM", sx.Arith("*", Col("A.V"), Col("B.V")))])
+        # GroupAgg output columns are (I, J, V) bare names.
+        return self._new_matrix(plan, (a.shape[0], b.shape[1]), (a, b))
+
+    def _transpose(self, m: DBMat) -> DBMat:
+        plan = Project(Scan(m.name, "E1"),
+                       [("I", Col("E1.J")), ("J", Col("E1.I")),
+                        ("V", Col("E1.V"))])
+        return self._new_matrix(plan, (m.shape[1], m.shape[0]), (m,))
+
+    def _reshape(self, v: DBVec, nrow: RScalar, ncol: RScalar) -> DBMat:
+        n1, n2 = nrow.as_int(), ncol.as_int()
+        if n1 * n2 != v.length:
+            raise RError("reshape size mismatch")
+        # Column-major fill, all in SQL arithmetic on the index.
+        zero_based = sx.Arith("-", Col("E1.I"), Const(1))
+        plan = Project(Scan(v.name, "E1"), [
+            ("I", sx.Arith("+", sx.Arith("%", zero_based, Const(n1)),
+                           Const(1))),
+            ("J", sx.Arith("+", Func("FLOOR",
+                                     sx.Arith("/", zero_based,
+                                              Const(n1))),
+                           Const(1))),
+            ("V", Col("E1.V")),
+        ])
+        return self._new_matrix(plan, (n1, n2), (v,))
+
+    # -- inspection -------------------------------------------------------------
+    def _print_vector(self, x: DBVec) -> str:
+        from repro.rlang.reference import format_vector
+        values = self.vector_values(x)
+        if x.logical:
+            values = values.astype(bool)
+        return format_vector(values)
+
+    def _print_matrix(self, m: DBMat) -> str:
+        data = self.matrix_values(m)
+        rows, cols = data.shape
+        lines = [f"matrix {rows}x{cols}"]
+        for r in range(min(rows, 6)):
+            vals = " ".join(f"{v:g}" for v in data[r, :min(cols, 8)])
+            lines.append(f"[{r + 1},] {vals}{' ...' if cols > 8 else ''}")
+        if rows > 6:
+            lines.append("...")
+        return "\n".join(lines)
+
+    def _first(self, x: DBVec) -> RScalar:
+        plan = Filter(Scan(x.name, "D"),
+                      sx.Cmp("=", Col("D.I"), Const(1)))
+        out = self._collect(plan)
+        _, vcol = self._iv_names(out)
+        return RScalar(float(out[vcol][0]))
+
+    def _which(self, x: DBVec) -> DBVec:
+        plan = Project(
+            Filter(Scan(x.name, "D"), _truthy(Col("D.V"))),
+            [("I", Col("D.I")), ("V", Col("D.I"))])
+        return self._renumber_materialize(plan, logical=False)
+
+    def _head(self, x: DBVec, n: RScalar) -> DBVec:
+        plan = Limit(Filter(Scan(x.name, "D"),
+                            sx.Cmp("<=", Col("D.I"), Const(n.as_int()))),
+                     n.as_int())
+        return self._new_vector(plan, min(n.as_int(), x.length),
+                                x.logical, (x,))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def io_stats(self) -> IOStats:
+        return self.db.io_stats
+
+    def reset_stats(self) -> None:
+        self.db.reset_stats()
+        self.clock = SimClock()
+
+    def sim_seconds(self) -> float:
+        io = self.io_stats()
+        # CPU model: ~2 element-operations per value scanned off disk.
+        values_scanned = io.reads * (self.db.device.block_size // 8)
+        return (self.clock.seconds(io)
+                + 2 * values_scanned * self.clock.cpu_op_cost)

@@ -1,0 +1,21 @@
+"""RIOT-DB/MatNamed: views for intermediates, tables for named objects (§4.2).
+
+Operations compose views, so evaluating a complex expression is one
+pipelined query with no materialized intermediates — but every *named*
+object (``d``, ``s``, ``z``) is forced to a table at assignment time.  This
+variant isolates the benefit of pipelining from the benefit of cross-
+statement deferral: it avoids the strawman's intermediate tables yet still
+computes all of ``d`` even though only 100 elements are ever used.
+"""
+
+from __future__ import annotations
+
+from .dbcommon import DBEngineBase
+
+
+class MatNamedEngine(DBEngineBase):
+    """Views within an expression; materialization at every assignment."""
+
+    name = "RIOT-DB/MatNamed"
+    EAGER_MATERIALIZE = False
+    MATERIALIZE_ON_ASSIGN = True

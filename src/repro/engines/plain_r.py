@@ -1,0 +1,119 @@
+"""The "Plain R" engine: eager evaluation under a simulated memory cap.
+
+Models exactly what §3 of the paper describes: every operation eagerly
+allocates a full-size result, R's generous garbage collector reclaims
+intermediates the moment they are unreferenced (CPython refcounting plays
+that role deterministically), and the operating system's virtual memory —
+our :class:`~repro.vm.Pager` — thrashes once the working set outgrows the
+cap.  All swap traffic is counted, standing in for the paper's DTrace
+numbers.
+
+The working set the paper walks through emerges naturally here: while
+evaluating ``(y-ye)^2`` inside Example 1's line (1), five full-length
+vectors are simultaneously live (x, y, the first sqrt, ``(x-xe)^2``, and
+``y-ye``), which exceeds an 84 MB cap already at n = 2^21.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rlang.reference import NumpyEngine, NumpyMatrix, NumpyVector
+from repro.storage import IOStats, SimClock
+from repro.vm import MemArray, MemHeap, Pager
+
+from .base import Engine
+
+#: Default memory cap: the paper's 84 MB minus ~16 MB of R runtime overhead,
+#: i.e. room for roughly two 2^22-element vectors of float64 plus change.
+DEFAULT_MEMORY_BYTES = 68 * 1024 * 1024
+
+
+class PlainRVector(NumpyVector):
+    """An eager vector whose pages live in simulated virtual memory."""
+
+    def __init__(self, data: np.ndarray, heap: MemHeap) -> None:
+        super().__init__(data)
+        self._heap = heap
+        self.mem: MemArray = heap.alloc(data)
+
+    def __del__(self) -> None:  # deterministic CPython refcount GC
+        try:
+            self._heap.release(self.mem)
+        except Exception:
+            pass
+
+
+class PlainRMatrix(NumpyMatrix):
+    """An eager matrix whose pages live in simulated virtual memory."""
+
+    def __init__(self, data: np.ndarray, heap: MemHeap) -> None:
+        super().__init__(data)
+        self._heap = heap
+        self.mem: MemArray = heap.alloc(data)
+
+    def __del__(self) -> None:
+        try:
+            self._heap.release(self.mem)
+        except Exception:
+            pass
+
+
+class PlainREngine(NumpyEngine, Engine):
+    """Eager numpy semantics + page-level paging charges."""
+
+    name = "Plain R"
+    vector_class = PlainRVector
+    matrix_class = PlainRMatrix
+
+    def __init__(self, memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 page_size: int = 8192) -> None:
+        Engine.__init__(self)
+        self.pager = Pager(memory_bytes, page_size=page_size)
+        self.heap = MemHeap(self.pager)
+        NumpyEngine.__init__(self)
+
+    # -- wiring the reference engine to simulated memory -------------------
+    def _wrap_vector(self, data: np.ndarray) -> PlainRVector:
+        return PlainRVector(np.asarray(data), self.heap)
+
+    def _wrap_matrix(self, data: np.ndarray) -> PlainRMatrix:
+        return PlainRMatrix(np.asarray(data), self.heap)
+
+    def _charge(self, inputs: list, output) -> None:
+        """Stream page-by-page through operands and result, interleaved.
+
+        R's vectorized C loops read their operands and write the result in
+        one pass; the page-touch order below reproduces that access pattern,
+        which is what decides how badly LRU paging behaves.
+        """
+        arrays = [obj.mem for obj in inputs
+                  if isinstance(obj, (PlainRVector, PlainRMatrix))]
+        out_mem = (output.mem
+                   if isinstance(output, (PlainRVector, PlainRMatrix))
+                   else None)
+        max_pages = max(
+            [a.n_pages for a in arrays] + ([out_mem.n_pages]
+                                           if out_mem else [0]) + [0])
+        elements = max(
+            [a.size for a in arrays]
+            + ([out_mem.size] if out_mem else [0]) + [0])
+        for page in range(max_pages):
+            for arr in arrays:
+                if page < arr.n_pages:
+                    self.pager.touch(arr.first_page + page)
+            if out_mem is not None and page < out_mem.n_pages:
+                self.pager.touch(out_mem.first_page + page, write=True)
+        self.clock.charge_cpu(elements)
+
+    # -- metrics ----------------------------------------------------------
+    def io_stats(self) -> IOStats:
+        return self.pager.stats
+
+    def reset_stats(self) -> None:
+        self.pager.reset_stats()
+        self.clock = SimClock()
+
+    @property
+    def peak_live_bytes(self) -> int:
+        return self.heap.peak_live_bytes

@@ -1,0 +1,21 @@
+"""RIOT-DB/Strawman: every operation materializes immediately (§4).
+
+*"A dbvector object would be mapped to a table ... The result of the above
+query would be stored in another database table."*  No views, no deferral:
+the twelve intermediates of Example 1's line (1) all hit disk as tables,
+which is why the strawman underperforms even thrashing plain R at moderate
+sizes (Figure 1) — while still degrading more gracefully because its I/O is
+bulky and sequential.
+"""
+
+from __future__ import annotations
+
+from .dbcommon import DBEngineBase
+
+
+class StrawmanEngine(DBEngineBase):
+    """One table per operation result, evaluated eagerly."""
+
+    name = "RIOT-DB/Strawman"
+    EAGER_MATERIALIZE = True
+    MATERIALIZE_ON_ASSIGN = False

@@ -1,0 +1,12 @@
+"""Out-of-core linear algebra over the tile store (measured algorithms)."""
+
+from .lu import lu_decompose, split_lu
+from .matmul import (ALGORITHMS, bnlj_matmul, multiply_chain,
+                     naive_tile_matmul, square_tile_matmul)
+from .solve import backward_substitute, forward_substitute, lu_solve
+
+__all__ = [
+    "ALGORITHMS", "backward_substitute", "bnlj_matmul",
+    "forward_substitute", "lu_decompose", "lu_solve", "multiply_chain",
+    "naive_tile_matmul", "split_lu", "square_tile_matmul",
+]

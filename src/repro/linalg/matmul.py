@@ -1,0 +1,169 @@
+"""Measured out-of-core matrix multiplication over the tile store.
+
+Two real algorithms from the paper, both running against
+:class:`~repro.storage.TiledMatrix` with every block counted:
+
+- :func:`bnlj_matmul` — the §3/§4 algorithm "borrowing the idea from block
+  nested-loop join": as many rows of A (and the matching rows of the result)
+  as fit in memory, scanning B once per chunk.  Cost
+  ``Theta(n1*n2*n3*(n2+n3)/(B*M))``.
+- :func:`square_tile_matmul` — the Appendix-A optimal schedule: p x p
+  submatrices with ``p = sqrt(M/3)``, cost ``Theta(lmn/(B*sqrt(M)))``.
+
+``tests/linalg`` checks both for numerical equality with numpy and for
+I/O agreement with the analytic models of :mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.storage import ArrayStore, TiledMatrix
+
+
+def _check_conformable(a: TiledMatrix, b: TiledMatrix) -> None:
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"non-conformable matrices: {a.shape} x {b.shape}")
+
+
+def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
+                       memory_scalars: int,
+                       name: str | None = None) -> TiledMatrix:
+    """Appendix-A schedule: three p x p submatrices resident at a time.
+
+    ``p`` is sized so one submatrix of A, one of B and one of the result
+    fill the memory budget, then rounded down to a whole number of storage
+    tiles so submatrix reads map to whole-tile I/O.
+    """
+    _check_conformable(a, b)
+    m, l = a.shape
+    n = b.shape[1]
+    tile_side = max(a.tile_shape[0], a.tile_shape[1])
+    p = int(math.sqrt(memory_scalars / 3.0))
+    p = max(tile_side, (p // tile_side) * tile_side)
+    out = store.create_matrix((m, n), layout="square", name=name)
+    for i0 in range(0, m, p):
+        i1 = min(i0 + p, m)
+        for j0 in range(0, n, p):
+            j1 = min(j0 + p, n)
+            acc = np.zeros((i1 - i0, j1 - j0))
+            for k0 in range(0, l, p):
+                k1 = min(k0 + p, l)
+                a_sub = a.read_submatrix(i0, i1, k0, k1)
+                b_sub = b.read_submatrix(k0, k1, j0, j1)
+                acc += a_sub @ b_sub
+            out.write_submatrix(i0, j0, acc)
+    return out
+
+
+def bnlj_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
+                memory_scalars: int,
+                name: str | None = None) -> TiledMatrix:
+    """§3's block-nested-loop-join-inspired algorithm.
+
+    Memory is split between ``q`` rows of A and the matching ``q`` rows of
+    the result (q = M/(n2+n3)); each chunk of A rows scans B in full.  Works
+    best when A is stored with row tiles and B with column tiles, exactly
+    as the paper's BNLJ-Inspired strategy assumes.
+    """
+    _check_conformable(a, b)
+    n1, n2 = a.shape
+    n3 = b.shape[1]
+    q = max(1, int(memory_scalars / (n2 + n3)))
+    out = store.create_matrix((n1, n3), layout="row", name=name)
+    for r0 in range(0, n1, q):
+        r1 = min(r0 + q, n1)
+        a_rows = a.read_submatrix(r0, r1, 0, n2)
+        t_rows = np.zeros((r1 - r0, n3))
+        # Scan B one column-block at a time (a block of columns costs the
+        # same I/O as one column when B uses column tiles).
+        col_step = max(1, b.tile_shape[1])
+        for c0 in range(0, n3, col_step):
+            c1 = min(c0 + col_step, n3)
+            b_cols = b.read_submatrix(0, n2, c0, c1)
+            t_rows[:, c0:c1] = a_rows @ b_cols
+        out.write_submatrix(r0, 0, t_rows)
+    return out
+
+
+def naive_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
+                      name: str | None = None) -> TiledMatrix:
+    """The unblocked triple loop at tile granularity (baseline).
+
+    Iterates output tiles in row-major order and re-reads the A tile row
+    and B tile column for every output tile with no submatrix blocking —
+    the access pattern of Example 2's straightforward algorithm, at tile
+    rather than element granularity.  I/O grows as
+    ``Theta(n1*n2*n3 / (B * t))`` for tile side t, which a small buffer
+    pool cannot hide.
+    """
+    _check_conformable(a, b)
+    m, l = a.shape
+    n = b.shape[1]
+    out = store.create_matrix((m, n), layout="square", name=name)
+    th_a, tw_a = a.tile_shape
+    th_b, tw_b = b.tile_shape
+    th_o, tw_o = out.tile_shape
+    for ti in range(out.grid[0]):
+        for tj in range(out.grid[1]):
+            r0, r1, c0, c1 = out.tile_bounds(ti, tj)
+            acc = np.zeros((r1 - r0, c1 - c0))
+            for k0 in range(0, l, tw_a):
+                k1 = min(k0 + tw_a, l)
+                a_sub = a.read_submatrix(r0, r1, k0, k1)
+                b_sub = b.read_submatrix(k0, k1, c0, c1)
+                acc += a_sub @ b_sub
+            out.write_tile(ti, tj, acc)
+    return out
+
+
+ALGORITHMS = {
+    "square": square_tile_matmul,
+    "bnlj": bnlj_matmul,
+}
+
+
+def multiply_chain(store: ArrayStore, mats: list[TiledMatrix],
+                   memory_scalars: int, order=None,
+                   algorithm: str = "square") -> TiledMatrix:
+    """Appendix-B schedule: one multiplication at a time, optimal order.
+
+    ``order`` defaults to the DP-optimal parenthesization; pass
+    ``repro.core.chain.in_order(len(mats))`` to reproduce R's left-deep
+    evaluation for comparison.
+    """
+    from repro.core.chain import optimal_order
+
+    if len(mats) == 1:
+        return mats[0]
+    dims = [mats[0].shape[0]] + [m.shape[1] for m in mats]
+    if order is None:
+        order = optimal_order(dims)
+    if algorithm == "square":
+        multiply = lambda x, y: square_tile_matmul(  # noqa: E731
+            store, x, y, memory_scalars)
+    elif algorithm == "bnlj":
+        multiply = lambda x, y: bnlj_matmul(  # noqa: E731
+            store, x, y, memory_scalars)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    temps: list[TiledMatrix] = []
+
+    def build(o) -> TiledMatrix:
+        if isinstance(o, int):
+            return mats[o]
+        left = build(o[0])
+        right = build(o[1])
+        result = multiply(left, right)
+        for t in (left, right):
+            if t in temps:
+                temps.remove(t)
+                t.drop()
+        temps.append(result)
+        return result
+
+    return build(order)

@@ -1,0 +1,20 @@
+"""R-subset language: lexer, parser, interpreter, and generic dispatch.
+
+The interpreter runs the same source against any registered engine — the
+transparency property RIOT is built around (*"existing code should run
+without modification, and automatically gain I/O-efficiency"*).
+"""
+
+from .generics import DispatchError, Generics
+from .interp import Interpreter
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .reference import NumpyEngine, NumpyMatrix, NumpyVector, format_vector
+from .values import MISSING, NULL, RError, RNull, RScalar, RString
+
+__all__ = [
+    "DispatchError", "Generics", "Interpreter", "LexError", "MISSING",
+    "NULL", "NumpyEngine", "NumpyMatrix", "NumpyVector", "ParseError",
+    "RError", "RNull", "RScalar", "RString", "Token", "format_vector",
+    "parse", "tokenize",
+]

@@ -1,0 +1,267 @@
+"""Builtin functions of the R subset.
+
+Builtins own argument plumbing and RNG; any data-touching work is forwarded
+to the engine through the generics table, so each engine decides *how* (and
+*whether*, for deferring engines) computation happens.
+
+A few contracts worth noting, straight from the paper:
+
+- ``length(x)`` is metadata: engines answer it without forcing evaluation,
+  which is why ``s <- sample(length(x), 100)`` costs no I/O in RIOT-DB.
+- ``sample(n, k)`` draws WITHOUT replacement (R's default), producing the
+  small index vector S of Example 1.
+- ``print(x)`` is the evaluation point: deferring engines force computation
+  here and only here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .values import MISSING, NULL, RError, RNull, RScalar, RString
+
+
+def _scalar_int(value, what: str) -> int:
+    if isinstance(value, RScalar):
+        return value.as_int()
+    raise RError(f"{what} must be a scalar")
+
+
+def _scalar_float(value, what: str) -> float:
+    if isinstance(value, RScalar):
+        return value.as_float()
+    raise RError(f"{what} must be a scalar")
+
+
+def _builtin_c(interp, args, kwargs):
+    """Concatenate scalars/vectors into one vector."""
+    if not args:
+        return NULL
+    if all(isinstance(a, RScalar) for a in args):
+        values = np.asarray([a.as_float() for a in args])
+        return interp.engine.make_vector(values)
+    return interp.generics.dispatch("concat", *args)
+
+
+def _builtin_length(interp, args, kwargs):
+    (x,) = args
+    if isinstance(x, RScalar):
+        return RScalar(1)
+    if isinstance(x, RNull):
+        return RScalar(0)
+    return interp.generics.dispatch("length", x)
+
+
+def _unary(op):
+    def call(interp, args, kwargs):
+        (x,) = args
+        if isinstance(x, RScalar):
+            fn = {"sqrt": np.sqrt, "abs": np.abs, "exp": np.exp,
+                  "log": np.log, "floor": np.floor,
+                  "ceiling": np.ceil}[op]
+            val = float(fn(x.as_float()))
+            return RScalar(val)
+        return interp.generics.dispatch(op, x)
+    return call
+
+
+def _reduction(op):
+    def call(interp, args, kwargs):
+        (x,) = args
+        if isinstance(x, RScalar):
+            return x
+        return interp.generics.dispatch(op, x)
+    return call
+
+
+def _builtin_sample(interp, args, kwargs):
+    """``sample(n, size)``: draw ``size`` values from 1..n w/o replacement."""
+    n = _scalar_int(args[0], "sample population")
+    size = _scalar_int(args[1] if len(args) > 1 else args[0],
+                       "sample size")
+    if size > n:
+        raise RError("cannot take a sample larger than the population")
+    values = interp.rng.choice(np.arange(1, n + 1), size=size,
+                               replace=False).astype(np.float64)
+    return interp.engine.make_vector(values)
+
+
+def _builtin_rnorm(interp, args, kwargs):
+    n = _scalar_int(args[0], "rnorm n")
+    mean = _scalar_float(args[1] if len(args) > 1
+                         else kwargs.get("mean", RScalar(0.0)), "mean")
+    sd = _scalar_float(args[2] if len(args) > 2
+                       else kwargs.get("sd", RScalar(1.0)), "sd")
+    return interp.engine.make_vector(
+        interp.rng.normal(mean, sd, size=n))
+
+
+def _builtin_runif(interp, args, kwargs):
+    n = _scalar_int(args[0], "runif n")
+    lo = _scalar_float(args[1] if len(args) > 1
+                       else kwargs.get("min", RScalar(0.0)), "min")
+    hi = _scalar_float(args[2] if len(args) > 2
+                       else kwargs.get("max", RScalar(1.0)), "max")
+    return interp.engine.make_vector(interp.rng.uniform(lo, hi, size=n))
+
+
+def _builtin_numeric(interp, args, kwargs):
+    n = _scalar_int(args[0], "numeric n") if args else 0
+    return interp.engine.make_vector(np.zeros(n))
+
+
+def _builtin_rep(interp, args, kwargs):
+    value = _scalar_float(args[0], "rep value")
+    times = _scalar_int(args[1] if len(args) > 1
+                        else kwargs.get("times", RScalar(1)), "times")
+    return interp.engine.make_vector(np.full(times, value))
+
+
+def _builtin_seq(interp, args, kwargs):
+    frm = _scalar_float(args[0] if args
+                        else kwargs.get("from", RScalar(1)), "from")
+    to = _scalar_float(args[1] if len(args) > 1
+                       else kwargs.get("to", RScalar(1)), "to")
+    by = _scalar_float(args[2] if len(args) > 2
+                       else kwargs.get("by", RScalar(1.0)), "by")
+    return interp.engine.make_vector(np.arange(frm, to + by / 2, by))
+
+
+def _builtin_seq_len(interp, args, kwargs):
+    n = _scalar_int(args[0], "seq_len n")
+    return interp.generics.dispatch("range", RScalar(1), RScalar(n))
+
+
+def _builtin_matrix(interp, args, kwargs):
+    data = args[0] if args else kwargs.get("data", RScalar(0.0))
+    nrow = _scalar_int(args[1] if len(args) > 1
+                       else kwargs.get("nrow", RScalar(1)), "nrow")
+    ncol = _scalar_int(args[2] if len(args) > 2
+                       else kwargs.get("ncol", RScalar(1)), "ncol")
+    if isinstance(data, RScalar):
+        return interp.engine.make_matrix(
+            np.full((nrow, ncol), data.as_float()))
+    return interp.generics.dispatch("reshape", data,
+                                    RScalar(nrow), RScalar(ncol))
+
+
+def _builtin_dim(interp, args, kwargs):
+    (x,) = args
+    if isinstance(x, RScalar):
+        return NULL
+    return interp.generics.dispatch("dim", x)
+
+
+def _dim_part(which: int):
+    def call(interp, args, kwargs):
+        (x,) = args
+        dims = interp.generics.dispatch("dim", x)
+        values = interp.generics.dispatch("iterate", dims)
+        return RScalar(int(values[which]))
+    return call
+
+
+def _builtin_t(interp, args, kwargs):
+    (x,) = args
+    return interp.generics.dispatch("t", x)
+
+
+def _builtin_print(interp, args, kwargs):
+    (x,) = args
+    if isinstance(x, (RScalar, RString, RNull)):
+        text = repr(x)
+    else:
+        text = interp.generics.dispatch("print", x)
+    interp.emit(text)
+    return x
+
+
+def _builtin_cat(interp, args, kwargs):
+    parts = []
+    for a in args:
+        if isinstance(a, RString):
+            parts.append(a.value)
+        elif isinstance(a, RScalar):
+            parts.append(repr(a))
+        else:
+            parts.append(interp.generics.dispatch("print", a))
+    interp.emit(" ".join(parts))
+    return NULL
+
+
+def _builtin_head(interp, args, kwargs):
+    x = args[0]
+    n = _scalar_int(args[1] if len(args) > 1
+                    else kwargs.get("n", RScalar(6)), "head n")
+    return interp.generics.dispatch("head", x, RScalar(n))
+
+
+def _builtin_stopifnot(interp, args, kwargs):
+    for a in args:
+        ok = a.truthy() if isinstance(a, RScalar) else bool(
+            interp.generics.dispatch("all", a).value)
+        if not ok:
+            raise RError("stopifnot() condition failed")
+    return NULL
+
+
+def _builtin_all(interp, args, kwargs):
+    (x,) = args
+    if isinstance(x, RScalar):
+        return RScalar(bool(x.value))
+    return interp.generics.dispatch("all", x)
+
+
+def _builtin_any(interp, args, kwargs):
+    (x,) = args
+    if isinstance(x, RScalar):
+        return RScalar(bool(x.value))
+    return interp.generics.dispatch("any", x)
+
+
+def _builtin_which(interp, args, kwargs):
+    (x,) = args
+    return interp.generics.dispatch("which", x)
+
+
+def _builtin_crossprod(interp, args, kwargs):
+    x = args[0]
+    y = args[1] if len(args) > 1 else x
+    tx = interp.generics.dispatch("t", x)
+    return interp.generics.dispatch("%*%", tx, y)
+
+
+BUILTINS = {
+    "c": _builtin_c,
+    "length": _builtin_length,
+    "sqrt": _unary("sqrt"),
+    "abs": _unary("abs"),
+    "exp": _unary("exp"),
+    "log": _unary("log"),
+    "floor": _unary("floor"),
+    "ceiling": _unary("ceiling"),
+    "sum": _reduction("sum"),
+    "mean": _reduction("mean"),
+    "min": _reduction("min"),
+    "max": _reduction("max"),
+    "sample": _builtin_sample,
+    "rnorm": _builtin_rnorm,
+    "runif": _builtin_runif,
+    "numeric": _builtin_numeric,
+    "rep": _builtin_rep,
+    "seq": _builtin_seq,
+    "seq_len": _builtin_seq_len,
+    "matrix": _builtin_matrix,
+    "dim": _builtin_dim,
+    "nrow": _dim_part(0),
+    "ncol": _dim_part(1),
+    "t": _builtin_t,
+    "print": _builtin_print,
+    "cat": _builtin_cat,
+    "head": _builtin_head,
+    "stopifnot": _builtin_stopifnot,
+    "all": _builtin_all,
+    "any": _builtin_any,
+    "which": _builtin_which,
+    "crossprod": _builtin_crossprod,
+}

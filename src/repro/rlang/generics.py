@@ -1,0 +1,76 @@
+"""S4-style generic dispatch — the transparency mechanism of §4.
+
+The paper plugs RIOT-DB into R by registering methods on generic functions:
+
+    setMethod("+", signature(e1="dbvector", e2="dbvector"), ...)
+
+This module is that mechanism: a :class:`Generics` table maps an operation
+name plus a tuple of argument classes to an implementation.  Engines register
+methods for their own vector/matrix classes; user programs never mention the
+engine, and the same source runs on any of them.
+
+Dispatch tries the most specific signature first (exact classes), then
+signatures with ``object`` wildcards, preferring matches with more exact
+positions — a faithful, simplified model of S4 method selection.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+
+class DispatchError(TypeError):
+    """No applicable method for the argument classes."""
+
+
+class Generics:
+    """A registry of (operation, signature) -> implementation."""
+
+    def __init__(self) -> None:
+        self._methods: dict[tuple[str, tuple[type, ...]], object] = {}
+
+    def set_method(self, op: str, signature: tuple[type, ...],
+                   func) -> None:
+        """Register ``func`` for ``op`` on the given argument classes.
+
+        ``object`` in a signature position acts as a wildcard.
+        """
+        self._methods[(op, tuple(signature))] = func
+
+    def set_methods(self, table: dict) -> None:
+        """Bulk registration: {(op, signature): func}."""
+        for (op, signature), func in table.items():
+            self.set_method(op, signature, func)
+
+    def has_method(self, op: str, signature: tuple[type, ...]) -> bool:
+        return (op, tuple(signature)) in self._methods
+
+    def lookup(self, op: str, arg_types: tuple[type, ...]):
+        """Find the most specific applicable method, or None."""
+        # Candidate signatures: each position is the exact class, one of its
+        # bases, or the object wildcard; prefer more exact positions.
+        position_options: list[list[type]] = []
+        for t in arg_types:
+            mro = [c for c in t.__mro__ if c is not object]
+            position_options.append(mro + [object])
+        candidates = []
+        for combo in product(*position_options):
+            method = self._methods.get((op, combo))
+            if method is not None:
+                exactness = sum(1 for c, t in zip(combo, arg_types)
+                                if c is t)
+                wildcards = sum(1 for c in combo if c is object)
+                candidates.append((-exactness, wildcards, combo, method))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        return candidates[0][3]
+
+    def dispatch(self, op: str, *args, **kwargs):
+        """Select and invoke the method for ``op`` on ``args``."""
+        method = self.lookup(op, tuple(type(a) for a in args))
+        if method is None:
+            types = ", ".join(type(a).__name__ for a in args)
+            raise DispatchError(
+                f"no applicable method for {op!r} on ({types})")
+        return method(*args, **kwargs)

@@ -1,0 +1,246 @@
+"""The interpreter: evaluates R-subset programs against an engine.
+
+The interpreter owns control flow, scalars, and the environment; everything
+touching vectors or matrices goes through the engine's generics table.  Two
+hooks mirror what RIOT-DB needed from R:
+
+- **assignment hook** (``engine.on_assign``): the paper's *only* change to
+  core R — RIOT-DB must learn when a name is (re)bound so it can track view
+  dependencies and drop views safely (§4.1, footnote 2).
+- **modification as a pure operator**: ``x[i] <- v`` evaluates the generic
+  ``[<-`` which *returns a new object state* that is then rebound — R's
+  value semantics, and exactly the ``[]<-`` operator of Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import rast
+from .generics import Generics
+from .parser import parse
+from .values import MISSING, NULL, RError, RNull, RScalar, RString
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _NextSignal(Exception):
+    pass
+
+
+#: Binary AST operators forwarded to the generics table under these names.
+_BINOP_GENERIC = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "^": "^", "%%": "%%",
+    "%*%": "%*%", "==": "==", "!=": "!=", "<": "<", ">": ">",
+    "<=": "<=", ">=": ">=", "&": "&", "|": "|",
+}
+
+_SCALAR_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "^": lambda a, b: a ** b,
+    "%%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "&": lambda a, b: bool(a) and bool(b),
+    "|": lambda a, b: bool(a) or bool(b),
+}
+
+
+class Interpreter:
+    """Evaluate R-subset programs against a pluggable engine."""
+
+    def __init__(self, engine, seed: int = 20090104) -> None:
+        self.engine = engine
+        self.generics: Generics = engine.generics
+        self.env: dict[str, object] = {}
+        self.output: list[str] = []
+        self.rng = np.random.default_rng(seed)
+        from .builtins import BUILTINS
+        self.builtins = dict(BUILTINS)
+
+    # ------------------------------------------------------------------
+    def run(self, source: str):
+        """Parse and evaluate a program; returns the last statement's value."""
+        program = parse(source)
+        result: object = NULL
+        for stmt in program.statements:
+            result = self.eval(stmt)
+        return result
+
+    # ------------------------------------------------------------------
+    def eval(self, node: rast.Node):
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise RError(f"cannot evaluate node {type(node).__name__}")
+        return method(node)
+
+    # Literals -----------------------------------------------------------
+    def _eval_num(self, node: rast.Num):
+        return RScalar(int(node.value) if node.is_int else node.value)
+
+    def _eval_str(self, node: rast.Str):
+        return RString(node.value)
+
+    def _eval_logical(self, node: rast.Logical):
+        return RScalar(bool(node.value))
+
+    def _eval_null(self, node: rast.Null):
+        return NULL
+
+    def _eval_name(self, node: rast.Name):
+        if node.id in self.env:
+            return self.env[node.id]
+        raise RError(f"object {node.id!r} not found")
+
+    def _eval_missing(self, node: rast.Missing):
+        return MISSING
+
+    # Operators ----------------------------------------------------------
+    def _eval_binop(self, node: rast.BinOp):
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if node.op == ":":
+            return self._make_range(left, right)
+        if isinstance(left, RScalar) and isinstance(right, RScalar):
+            fn = _SCALAR_BINOPS[node.op]
+            value = fn(left.value, right.value)
+            if isinstance(value, bool):
+                return RScalar(value)
+            if isinstance(value, float) and value.is_integer() \
+                    and left.is_int and right.is_int \
+                    and node.op not in ("/",):
+                return RScalar(int(value))
+            return RScalar(value)
+        generic = _BINOP_GENERIC[node.op]
+        return self.generics.dispatch(generic, left, right)
+
+    def _eval_unaryop(self, node: rast.UnaryOp):
+        operand = self.eval(node.operand)
+        if isinstance(operand, RScalar):
+            if node.op == "-":
+                return RScalar(-operand.value)
+            return RScalar(not operand.truthy())
+        return self.generics.dispatch(f"unary{node.op}", operand)
+
+    def _make_range(self, lo, hi):
+        if isinstance(lo, RScalar) and isinstance(hi, RScalar):
+            return self.generics.dispatch("range", lo, hi)
+        raise RError("range endpoints must be scalars")
+
+    # Calls ----------------------------------------------------------------
+    def _eval_call(self, node: rast.Call):
+        args = [self.eval(a) for a in node.args]
+        kwargs = {k: self.eval(v) for k, v in node.kwargs.items()}
+        builtin = self.builtins.get(node.func)
+        if builtin is not None:
+            return builtin(self, args, kwargs)
+        # Engines may register whole functions as generics too.
+        if args and self.generics.lookup(
+                node.func, tuple(type(a) for a in args)) is not None:
+            return self.generics.dispatch(node.func, *args, **kwargs)
+        raise RError(f"could not find function {node.func!r}")
+
+    # Subscripts ------------------------------------------------------------
+    def _eval_index(self, node: rast.Index):
+        obj = self.eval(node.obj)
+        indices = [self.eval(i) for i in node.indices]
+        return self.generics.dispatch("[", obj, *indices)
+
+    # Assignment --------------------------------------------------------------
+    def _bind(self, name: str, value):
+        old = self.env.get(name)
+        hook = getattr(self.engine, "on_assign", None)
+        if hook is not None:
+            value = hook(name, value, old) or value
+        self.env[name] = value
+        return value
+
+    def _eval_assign(self, node: rast.Assign):
+        value = self.eval(node.value)
+        self._bind(node.target, value)
+        return value
+
+    def _eval_indexassign(self, node: rast.IndexAssign):
+        if node.target not in self.env:
+            raise RError(f"object {node.target!r} not found")
+        obj = self.env[node.target]
+        indices = [self.eval(i) for i in node.indices]
+        value = self.eval(node.value)
+        # Pure-functional update: the generic returns the NEW state, which
+        # is rebound — the paper's []<- operator.
+        new_obj = self.generics.dispatch("[<-", obj, *indices, value)
+        self._bind(node.target, new_obj)
+        return new_obj
+
+    # Control flow ---------------------------------------------------------
+    def _truthy(self, value) -> bool:
+        if isinstance(value, RScalar):
+            return value.truthy()
+        if isinstance(value, RNull):
+            raise RError("argument is of length zero")
+        # R uses the first element of a vector as an if() condition.
+        first = self.generics.dispatch("first", value)
+        return bool(first.value) if isinstance(first, RScalar) \
+            else bool(first)
+
+    def _eval_if(self, node: rast.If):
+        if self._truthy(self.eval(node.cond)):
+            return self.eval(node.then)
+        if node.otherwise is not None:
+            return self.eval(node.otherwise)
+        return NULL
+
+    def _eval_for(self, node: rast.For):
+        iterable = self.eval(node.iterable)
+        values = self.generics.dispatch("iterate", iterable)
+        for v in values:
+            self._bind(node.var, RScalar(v) if not isinstance(
+                v, (RScalar, RString)) else v)
+            try:
+                self.eval(node.body)
+            except _BreakSignal:
+                break
+            except _NextSignal:
+                continue
+        return NULL
+
+    def _eval_while(self, node: rast.While):
+        while self._truthy(self.eval(node.cond)):
+            try:
+                self.eval(node.body)
+            except _BreakSignal:
+                break
+            except _NextSignal:
+                continue
+        return NULL
+
+    def _eval_block(self, node: rast.Block):
+        result: object = NULL
+        for stmt in node.statements:
+            result = self.eval(stmt)
+        return result
+
+    def _eval_break(self, node: rast.Break):
+        raise _BreakSignal()
+
+    def _eval_next(self, node: rast.Next):
+        raise _NextSignal()
+
+    def _eval_program(self, node: rast.Program):
+        result: object = NULL
+        for stmt in node.statements:
+            result = self.eval(stmt)
+        return result
+
+    # Output ------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.output.append(text)

@@ -1,0 +1,336 @@
+"""Recursive-descent parser for the R subset.
+
+Operator precedence follows R (tightest first):
+
+    ( )  [ ]          calls and subscripts
+    ^                 right-associative
+    unary - !
+    :                 range
+    %*% %%            special operators
+    * /
+    + -
+    == != < > <= >=
+    &  &&
+    |  ||
+    <- =              assignment (lowest)
+
+Statements are separated by newlines or ``;``.  ``x[i] <- v`` parses into a
+dedicated :class:`~repro.rlang.rast.IndexAssign` node — the hook RIOT needs
+to model modification as the pure ``[]<-`` operator of §5.
+"""
+
+from __future__ import annotations
+
+from . import rast
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed input, with line information."""
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def match(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.match(kind, text)
+        if tok is None:
+            actual = self.peek()
+            raise ParseError(
+                f"expected {text or kind} but found {actual.text!r} "
+                f"at line {actual.line}")
+        return tok
+
+    def skip_newlines(self) -> None:
+        while self.match("NEWLINE") or self.match("OP", ";"):
+            pass
+
+    def skip_newlines_only(self) -> None:
+        while self.match("NEWLINE"):
+            pass
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> rast.Program:
+        stmts: list[rast.Node] = []
+        self.skip_newlines()
+        while not self.check("EOF"):
+            stmts.append(self.parse_statement())
+            self.skip_newlines()
+        return rast.Program(stmts)
+
+    def parse_statement(self) -> rast.Node:
+        if self.check("KEYWORD", "if"):
+            return self.parse_if()
+        if self.check("KEYWORD", "for"):
+            return self.parse_for()
+        if self.check("KEYWORD", "while"):
+            return self.parse_while()
+        if self.check("KEYWORD", "break"):
+            self.advance()
+            return rast.Break()
+        if self.check("KEYWORD", "next"):
+            self.advance()
+            return rast.Next()
+        if self.check("OP", "{"):
+            return self.parse_block()
+        return self.parse_assignment()
+
+    def parse_block(self) -> rast.Block:
+        self.expect("OP", "{")
+        stmts: list[rast.Node] = []
+        self.skip_newlines()
+        while not self.check("OP", "}"):
+            stmts.append(self.parse_statement())
+            self.skip_newlines()
+        self.expect("OP", "}")
+        return rast.Block(stmts)
+
+    def parse_if(self) -> rast.If:
+        self.expect("KEYWORD", "if")
+        self.expect("OP", "(")
+        cond = self.parse_expr()
+        self.expect("OP", ")")
+        self.skip_newlines_only()
+        then = self.parse_statement()
+        otherwise = None
+        save = self.pos
+        self.skip_newlines_only()
+        if self.check("KEYWORD", "else"):
+            self.advance()
+            self.skip_newlines_only()
+            otherwise = self.parse_statement()
+        else:
+            self.pos = save
+        return rast.If(cond, then, otherwise)
+
+    def parse_for(self) -> rast.For:
+        self.expect("KEYWORD", "for")
+        self.expect("OP", "(")
+        var = self.expect("NAME").text
+        self.expect("KEYWORD", "in")
+        iterable = self.parse_expr()
+        self.expect("OP", ")")
+        self.skip_newlines_only()
+        body = self.parse_statement()
+        return rast.For(var, iterable, body)
+
+    def parse_while(self) -> rast.While:
+        self.expect("KEYWORD", "while")
+        self.expect("OP", "(")
+        cond = self.parse_expr()
+        self.expect("OP", ")")
+        self.skip_newlines_only()
+        body = self.parse_statement()
+        return rast.While(cond, body)
+
+    def parse_assignment(self) -> rast.Node:
+        expr = self.parse_expr()
+        if self.check("OP", "<-") or self.check("OP", "="):
+            self.advance()
+            self.skip_newlines_only()
+            value = self.parse_assignment()
+            if isinstance(expr, rast.Name):
+                return rast.Assign(expr.id, value)
+            if isinstance(expr, rast.Index) and isinstance(expr.obj,
+                                                           rast.Name):
+                return rast.IndexAssign(expr.obj.id, expr.indices, value)
+            raise ParseError(
+                "assignment target must be a name or simple subscript")
+        return expr
+
+    # Expression precedence climb ----------------------------------------
+    def parse_expr(self) -> rast.Node:
+        return self.parse_or()
+
+    def parse_or(self) -> rast.Node:
+        left = self.parse_and()
+        while self.check("OP", "|") or self.check("OP", "||"):
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp("|", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> rast.Node:
+        left = self.parse_comparison()
+        while self.check("OP", "&") or self.check("OP", "&&"):
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp("&", left, self.parse_comparison())
+        return left
+
+    _CMP = ("==", "!=", "<", ">", "<=", ">=")
+
+    def parse_comparison(self) -> rast.Node:
+        left = self.parse_additive()
+        while self.peek().kind == "OP" and self.peek().text in self._CMP:
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> rast.Node:
+        left = self.parse_multiplicative()
+        while self.check("OP", "+") or self.check("OP", "-"):
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> rast.Node:
+        left = self.parse_special()
+        while self.check("OP", "*") or self.check("OP", "/"):
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp(op, left, self.parse_special())
+        return left
+
+    def parse_special(self) -> rast.Node:
+        left = self.parse_range()
+        while self.check("OP", "%*%") or self.check("OP", "%%"):
+            op = self.advance().text
+            self.skip_newlines_only()
+            left = rast.BinOp(op, left, self.parse_range())
+        return left
+
+    def parse_range(self) -> rast.Node:
+        left = self.parse_unary()
+        if self.check("OP", ":"):
+            self.advance()
+            self.skip_newlines_only()
+            return rast.BinOp(":", left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> rast.Node:
+        if self.check("OP", "-"):
+            self.advance()
+            return rast.UnaryOp("-", self.parse_unary())
+        if self.check("OP", "+"):
+            self.advance()
+            return self.parse_unary()
+        if self.check("OP", "!"):
+            self.advance()
+            return rast.UnaryOp("!", self.parse_unary())
+        return self.parse_power()
+
+    def parse_power(self) -> rast.Node:
+        base = self.parse_postfix()
+        if self.check("OP", "^"):
+            self.advance()
+            self.skip_newlines_only()
+            # Right-associative: recurse through unary so -x parses in the
+            # exponent and 2^3^2 == 2^(3^2).
+            return rast.BinOp("^", base, self.parse_unary())
+        return base
+
+    def parse_postfix(self) -> rast.Node:
+        expr = self.parse_primary()
+        while True:
+            if self.check("OP", "("):
+                if not isinstance(expr, rast.Name):
+                    raise ParseError("only named functions can be called")
+                expr = self.parse_call(expr.id)
+            elif self.check("OP", "["):
+                expr = self.parse_index(expr)
+            else:
+                return expr
+
+    def parse_call(self, func: str) -> rast.Call:
+        self.expect("OP", "(")
+        args: list[rast.Node] = []
+        kwargs: dict[str, rast.Node] = {}
+        self.skip_newlines_only()
+        if not self.check("OP", ")"):
+            while True:
+                if (self.check("NAME")
+                        and self.tokens[self.pos + 1].kind == "OP"
+                        and self.tokens[self.pos + 1].text == "="
+                        and not (self.tokens[self.pos + 2].kind == "OP"
+                                 and self.tokens[self.pos + 2].text == "=")):
+                    key = self.advance().text
+                    self.advance()  # '='
+                    kwargs[key] = self.parse_expr()
+                else:
+                    args.append(self.parse_expr())
+                self.skip_newlines_only()
+                if not self.match("OP", ","):
+                    break
+                self.skip_newlines_only()
+        self.expect("OP", ")")
+        return rast.Call(func, args, kwargs)
+
+    def parse_index(self, obj: rast.Node) -> rast.Index:
+        self.expect("OP", "[")
+        indices: list[rast.Node] = []
+        self.skip_newlines_only()
+        while True:
+            if self.check("OP", ",") or self.check("OP", "]"):
+                indices.append(rast.Missing())
+            else:
+                indices.append(self.parse_expr())
+            self.skip_newlines_only()
+            if self.match("OP", ","):
+                self.skip_newlines_only()
+                continue
+            break
+        self.expect("OP", "]")
+        return rast.Index(obj, indices)
+
+    def parse_primary(self) -> rast.Node:
+        tok = self.peek()
+        if tok.kind == "NUM":
+            self.advance()
+            text = tok.text
+            if ("." not in text and "e" not in text and "E" not in text):
+                return rast.Num(float(int(text)), is_int=True)
+            return rast.Num(float(text))
+        if tok.kind == "STR":
+            self.advance()
+            return rast.Str(tok.text)
+        if tok.kind == "KEYWORD" and tok.text in ("TRUE", "FALSE"):
+            self.advance()
+            return rast.Logical(tok.text == "TRUE")
+        if tok.kind == "KEYWORD" and tok.text == "NULL":
+            self.advance()
+            return rast.Null()
+        if tok.kind == "NAME":
+            self.advance()
+            return rast.Name(tok.text)
+        if tok.kind == "OP" and tok.text == "(":
+            self.advance()
+            self.skip_newlines_only()
+            expr = self.parse_expr()
+            self.skip_newlines_only()
+            self.expect("OP", ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {tok.text!r} at line {tok.line}")
+
+
+def parse(source: str) -> rast.Program:
+    """Parse R source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

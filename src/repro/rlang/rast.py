@@ -1,0 +1,133 @@
+"""Abstract syntax tree for the R subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for AST nodes."""
+
+
+@dataclass
+class Program(Node):
+    statements: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Num(Node):
+    value: float
+    is_int: bool = False
+
+
+@dataclass
+class Str(Node):
+    value: str
+
+
+@dataclass
+class Logical(Node):
+    value: bool
+
+
+@dataclass
+class Null(Node):
+    pass
+
+
+@dataclass
+class Name(Node):
+    id: str
+
+
+@dataclass
+class BinOp(Node):
+    """Binary operator: + - * / ^ %% %*% : and comparisons & |."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class UnaryOp(Node):
+    """Unary minus / plus / not."""
+
+    op: str
+    operand: Node
+
+
+@dataclass
+class Call(Node):
+    """Function call ``f(a, b, named=c)``."""
+
+    func: str
+    args: list[Node] = field(default_factory=list)
+    kwargs: dict[str, Node] = field(default_factory=dict)
+
+
+@dataclass
+class Index(Node):
+    """Subscript ``x[i]`` or ``m[i, j]``; empty slots become Missing."""
+
+    obj: Node
+    indices: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Missing(Node):
+    """An omitted index position, as in ``m[i, ]``."""
+
+
+@dataclass
+class Assign(Node):
+    """``name <- value`` (also ``=``)."""
+
+    target: str
+    value: Node
+
+
+@dataclass
+class IndexAssign(Node):
+    """``x[i] <- value`` — the modification the paper models as ``[]<-``."""
+
+    target: str
+    indices: list[Node]
+    value: Node
+
+
+@dataclass
+class If(Node):
+    cond: Node
+    then: Node
+    otherwise: Node | None = None
+
+
+@dataclass
+class For(Node):
+    var: str
+    iterable: Node
+    body: Node
+
+
+@dataclass
+class While(Node):
+    cond: Node
+    body: Node
+
+
+@dataclass
+class Block(Node):
+    """Braced statement sequence; evaluates to its last statement."""
+
+    statements: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Next(Node):
+    pass

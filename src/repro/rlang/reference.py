@@ -1,0 +1,393 @@
+"""Reference engine: eager in-memory evaluation with numpy.
+
+This engine defines the *semantics* every other engine must match: R's
+vectorized operations, 1-based indexing, logical masks, column-major matrix
+fill, and value-semantics modification.  It has no I/O model — the Plain-R
+engine of :mod:`repro.engines.plain_r` subclasses it and charges simulated
+paging for every array it touches.
+
+Engines register methods on the generics table exactly the way §4 of the
+paper registers ``dbvector`` methods with R's S4 system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .generics import Generics
+from .values import MISSING, MissingIndex, RError, RScalar
+
+
+class NumpyVector:
+    """An eager in-memory vector (float64 or bool)."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data)
+        if self.data.ndim != 1:
+            raise ValueError("NumpyVector requires 1-D data")
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NumpyVector(n={len(self)})"
+
+
+class NumpyMatrix:
+    """An eager in-memory matrix."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data)
+        if self.data.ndim != 2:
+            raise ValueError("NumpyMatrix requires 2-D data")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NumpyMatrix(shape={self.shape})"
+
+
+def format_vector(values: np.ndarray, limit: int = 10) -> str:
+    """R-flavoured rendering: ``[1] 1.0 2.5 ...``."""
+    shown = values[:limit]
+    body = " ".join(f"{v:g}" if not isinstance(v, (bool, np.bool_))
+                    else ("TRUE" if v else "FALSE")
+                    for v in shown.tolist())
+    suffix = " ..." if values.shape[0] > limit else ""
+    return f"[1] {body}{suffix}"
+
+
+class NumpyEngine:
+    """Eager reference engine; subclass hooks: ``_wrap``, ``_charge``."""
+
+    vector_class = NumpyVector
+    matrix_class = NumpyMatrix
+
+    def __init__(self) -> None:
+        self.generics = Generics()
+        self._register_all()
+
+    # -- subclass hooks -------------------------------------------------
+    def _wrap_vector(self, data: np.ndarray) -> NumpyVector:
+        return self.vector_class(np.asarray(data))
+
+    def _wrap_matrix(self, data: np.ndarray) -> NumpyMatrix:
+        return self.matrix_class(np.asarray(data))
+
+    def _charge(self, inputs: list, output) -> None:
+        """Account for one vectorized operation (no-op here).
+
+        Subclasses charge paging I/O for streaming through ``inputs`` and
+        writing ``output``.
+        """
+
+    # -- public constructors ---------------------------------------------
+    def make_vector(self, data: np.ndarray) -> NumpyVector:
+        out = self._wrap_vector(np.asarray(data, dtype=np.float64))
+        self._charge([], out)
+        return out
+
+    def make_matrix(self, data: np.ndarray) -> NumpyMatrix:
+        out = self._wrap_matrix(np.asarray(data, dtype=np.float64))
+        self._charge([], out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Generic registration
+    # ------------------------------------------------------------------
+    def _register_all(self) -> None:
+        g = self.generics
+        V, M = self.vector_class, self.matrix_class
+
+        for op in ("+", "-", "*", "/", "^", "%%",
+                   "==", "!=", "<", ">", "<=", ">=", "&", "|"):
+            g.set_method(op, (V, V), self._binop(op))
+            g.set_method(op, (V, RScalar), self._binop(op))
+            g.set_method(op, (RScalar, V), self._binop(op))
+            g.set_method(op, (M, M), self._binop(op))
+            g.set_method(op, (M, RScalar), self._binop(op))
+            g.set_method(op, (RScalar, M), self._binop(op))
+        for name in ("sqrt", "abs", "exp", "log", "floor", "ceiling"):
+            g.set_method(name, (V,), self._unary(name))
+            g.set_method(name, (M,), self._unary(name))
+        g.set_method("unary-", (V,), self._unary("neg"))
+        g.set_method("unary-", (M,), self._unary("neg"))
+        g.set_method("unary!", (V,), self._unary("not"))
+        for name in ("sum", "mean", "min", "max"):
+            g.set_method(name, (V,), self._reduction(name))
+            g.set_method(name, (M,), self._reduction(name))
+        g.set_method("all", (V,), lambda x: RScalar(
+            bool(np.all(self._values(x)))))
+        g.set_method("any", (V,), lambda x: RScalar(
+            bool(np.any(self._values(x)))))
+        g.set_method("length", (V,), lambda x: RScalar(len(x)))
+        g.set_method("length", (M,), lambda x: RScalar(
+            int(x.data.size)))
+        g.set_method("dim", (M,), self._dim)
+        g.set_method("range", (RScalar, RScalar), self._range)
+        g.set_method("concat", (object,), self._concat)
+        g.set_method("concat", (object, object), self._concat)
+        g.set_method("concat", (object, object, object), self._concat)
+        g.set_method("[", (V, object), self._vector_index)
+        g.set_method("[", (M, object, object), self._matrix_index)
+        g.set_method("[<-", (V, object, object), self._vector_assign)
+        g.set_method("[<-", (M, object, object, object),
+                     self._matrix_assign)
+        g.set_method("%*%", (M, M), self._matmul)
+        g.set_method("%*%", (M, V), self._matvec)
+        g.set_method("%*%", (V, M), self._vecmat)
+        g.set_method("t", (M,), self._transpose)
+        g.set_method("t", (V,), self._transpose_vector)
+        g.set_method("reshape", (V, RScalar, RScalar), self._reshape)
+        g.set_method("print", (V,), self._print_vector)
+        g.set_method("print", (M,), self._print_matrix)
+        g.set_method("iterate", (V,), lambda x: self._values(x).tolist())
+        g.set_method("first", (V,), lambda x: RScalar(
+            float(self._values(x)[0])))
+        g.set_method("which", (V,), self._which)
+        g.set_method("head", (V, RScalar), self._head)
+
+    # ------------------------------------------------------------------
+    # Raw-value access (subclasses may charge for it)
+    # ------------------------------------------------------------------
+    def _values(self, obj) -> np.ndarray:
+        return obj.data
+
+    def _operand(self, obj):
+        """Raw ndarray for an operand that may be scalar or container."""
+        if isinstance(obj, RScalar):
+            return obj.as_float()
+        return self._values(obj)
+
+    # ------------------------------------------------------------------
+    # Implementations
+    # ------------------------------------------------------------------
+    _BIN_FN = {
+        "+": np.add, "-": np.subtract, "*": np.multiply,
+        "/": np.divide, "^": np.power, "%%": np.mod,
+        "==": np.equal, "!=": np.not_equal, "<": np.less,
+        ">": np.greater, "<=": np.less_equal, ">=": np.greater_equal,
+        "&": np.logical_and, "|": np.logical_or,
+    }
+
+    def _binop(self, op: str):
+        fn = self._BIN_FN[op]
+
+        def call(a, b):
+            av, bv = self._operand(a), self._operand(b)
+            self._check_lengths(av, bv)
+            result = fn(av, bv)
+            out = (self._wrap_matrix(result) if result.ndim == 2
+                   else self._wrap_vector(result))
+            self._charge([x for x in (a, b)
+                          if not isinstance(x, RScalar)], out)
+            return out
+        return call
+
+    @staticmethod
+    def _check_lengths(av, bv) -> None:
+        ashape = getattr(av, "shape", ())
+        bshape = getattr(bv, "shape", ())
+        if ashape and bshape and ashape != bshape:
+            raise RError(
+                f"non-conformable arguments: {ashape} vs {bshape}")
+
+    _UNARY_FN = {
+        "sqrt": np.sqrt, "abs": np.abs, "exp": np.exp, "log": np.log,
+        "floor": np.floor, "ceiling": np.ceil, "neg": np.negative,
+        "not": np.logical_not,
+    }
+
+    def _unary(self, name: str):
+        fn = self._UNARY_FN[name]
+
+        def call(x):
+            result = fn(self._values(x))
+            out = (self._wrap_matrix(result) if result.ndim == 2
+                   else self._wrap_vector(result))
+            self._charge([x], out)
+            return out
+        return call
+
+    def _reduction(self, name: str):
+        fn = {"sum": np.sum, "mean": np.mean,
+              "min": np.min, "max": np.max}[name]
+
+        def call(x):
+            self._charge([x], None)
+            return RScalar(float(fn(self._values(x))))
+        return call
+
+    def _dim(self, m):
+        return self._wrap_vector(np.asarray(m.shape, dtype=np.float64))
+
+    def _range(self, lo: RScalar, hi: RScalar):
+        a, b = lo.as_int(), hi.as_int()
+        step = 1 if b >= a else -1
+        out = self._wrap_vector(
+            np.arange(a, b + step, step, dtype=np.float64))
+        self._charge([], out)
+        return out
+
+    def _concat(self, *parts):
+        arrays = []
+        for p in parts:
+            if isinstance(p, RScalar):
+                arrays.append(np.asarray([p.as_float()]))
+            else:
+                arrays.append(np.asarray(self._values(p),
+                                         dtype=np.float64))
+        out = self._wrap_vector(np.concatenate(arrays))
+        self._charge([p for p in parts if not isinstance(p, RScalar)],
+                     out)
+        return out
+
+    # -- subscripts ------------------------------------------------------
+    def _as_index(self, idx, length: int) -> np.ndarray:
+        """Translate an R index (1-based positions or logical mask)."""
+        if isinstance(idx, RScalar):
+            if idx.is_logical:
+                raise RError("scalar logical subscripts not supported")
+            return np.asarray([idx.as_int() - 1])
+        values = self._values(idx)
+        if values.dtype == bool:
+            if values.shape[0] != length:
+                raise RError("logical subscript length mismatch")
+            return np.flatnonzero(values)
+        return np.asarray(values, dtype=np.int64) - 1
+
+    def _vector_index(self, x, idx):
+        if isinstance(idx, MissingIndex):
+            return x
+        positions = self._as_index(idx, len(x))
+        values = self._values(x)
+        if positions.min(initial=0) < 0 or \
+                positions.max(initial=-1) >= values.shape[0]:
+            raise RError("subscript out of bounds")
+        result = values[positions]
+        if isinstance(idx, RScalar):
+            self._charge([x], None)
+            return RScalar(float(result[0]))
+        out = self._wrap_vector(result)
+        self._charge([x] + ([] if isinstance(idx, RScalar) else [idx]),
+                     out)
+        return out
+
+    def _vector_assign(self, x, idx, value):
+        values = self._values(x).copy()
+        if isinstance(idx, MissingIndex):
+            positions = np.arange(values.shape[0])
+        else:
+            positions = self._as_index(idx, len(x))
+        if isinstance(value, RScalar):
+            values[positions] = value.as_float()
+        else:
+            values[positions] = self._values(value)
+        out = self._wrap_vector(values)
+        self._charge([x], out)
+        return out
+
+    def _matrix_index(self, m, ri, ci):
+        data = self._values(m)
+        scalar = isinstance(ri, RScalar) and isinstance(ci, RScalar)
+        rows = (np.arange(data.shape[0]) if isinstance(ri, MissingIndex)
+                else self._as_index(ri, data.shape[0]))
+        cols = (np.arange(data.shape[1]) if isinstance(ci, MissingIndex)
+                else self._as_index(ci, data.shape[1]))
+        sub = data[np.ix_(rows, cols)]
+        self._charge([m], None)
+        if scalar:
+            return RScalar(float(sub[0, 0]))
+        if sub.shape[0] == 1 and isinstance(ri, RScalar):
+            return self._wrap_vector(sub[0])
+        if sub.shape[1] == 1 and isinstance(ci, RScalar):
+            return self._wrap_vector(sub[:, 0])
+        return self._wrap_matrix(sub)
+
+    def _matrix_assign(self, m, ri, ci, value):
+        data = self._values(m).copy()
+        rows = (np.arange(data.shape[0]) if isinstance(ri, MissingIndex)
+                else self._as_index(ri, data.shape[0]))
+        cols = (np.arange(data.shape[1]) if isinstance(ci, MissingIndex)
+                else self._as_index(ci, data.shape[1]))
+        if isinstance(value, RScalar):
+            data[np.ix_(rows, cols)] = value.as_float()
+        else:
+            values = self._values(value)
+            data[np.ix_(rows, cols)] = values.reshape(
+                rows.shape[0], cols.shape[0])
+        out = self._wrap_matrix(data)
+        self._charge([m], out)
+        return out
+
+    # -- linear algebra ----------------------------------------------------
+    def _matmul(self, a, b):
+        if a.shape[1] != b.shape[0]:
+            raise RError(
+                f"non-conformable matrices: {a.shape} x {b.shape}")
+        out = self._wrap_matrix(self._values(a) @ self._values(b))
+        self._charge([a, b], out)
+        return out
+
+    def _matvec(self, a, v):
+        out = self._wrap_matrix(
+            (self._values(a) @ self._values(v)).reshape(-1, 1))
+        self._charge([a, v], out)
+        return out
+
+    def _vecmat(self, v, a):
+        out = self._wrap_matrix(
+            (self._values(v) @ self._values(a)).reshape(1, -1))
+        self._charge([v, a], out)
+        return out
+
+    def _transpose(self, m):
+        out = self._wrap_matrix(self._values(m).T.copy())
+        self._charge([m], out)
+        return out
+
+    def _transpose_vector(self, v):
+        out = self._wrap_matrix(self._values(v).reshape(1, -1).copy())
+        self._charge([v], out)
+        return out
+
+    def _reshape(self, v, nrow: RScalar, ncol: RScalar):
+        # R fills matrices column-major.
+        data = self._values(v).reshape(
+            (nrow.as_int(), ncol.as_int()), order="F")
+        out = self._wrap_matrix(data.copy())
+        self._charge([v], out)
+        return out
+
+    # -- inspection -------------------------------------------------------
+    def _print_vector(self, x) -> str:
+        self._charge([x], None)
+        return format_vector(self._values(x))
+
+    def _print_matrix(self, m) -> str:
+        self._charge([m], None)
+        data = self._values(m)
+        rows, cols = data.shape
+        lines = [f"matrix {rows}x{cols}"]
+        for r in range(min(rows, 6)):
+            vals = " ".join(f"{v:g}" for v in data[r, :min(cols, 8)])
+            more = " ..." if cols > 8 else ""
+            lines.append(f"[{r + 1},] {vals}{more}")
+        if rows > 6:
+            lines.append("...")
+        return "\n".join(lines)
+
+    def _which(self, x):
+        mask = self._values(x)
+        out = self._wrap_vector(
+            (np.flatnonzero(mask) + 1).astype(np.float64))
+        self._charge([x], out)
+        return out
+
+    def _head(self, x, n: RScalar):
+        values = self._values(x)[: n.as_int()]
+        out = self._wrap_vector(np.asarray(values, dtype=np.float64))
+        self._charge([x], out)
+        return out

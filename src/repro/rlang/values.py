@@ -1,0 +1,89 @@
+"""Runtime values shared by every engine.
+
+Scalars stay ordinary in-memory values (the paper substitutes scalar
+constants like ``xs`` directly into view definitions); vectors and matrices
+are *engine-owned handles* whose classes register methods with the generics
+table — the direct analogue of RIOT-DB's ``dbvector`` / ``dbmatrix``
+classes plugged into R's S4 dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RNull:
+    """R's NULL."""
+
+    _instance: "RNull | None" = None
+
+    def __new__(cls) -> "RNull":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+NULL = RNull()
+
+
+@dataclass(frozen=True)
+class RScalar:
+    """A scalar numeric/logical value (R's length-1 vector, kept cheap)."""
+
+    value: float | int | bool
+
+    @property
+    def is_logical(self) -> bool:
+        return isinstance(self.value, bool)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self.value, int) and not self.is_logical
+
+    def as_float(self) -> float:
+        return float(self.value)
+
+    def as_int(self) -> int:
+        return int(self.value)
+
+    def truthy(self) -> bool:
+        return bool(self.value)
+
+    def __repr__(self) -> str:
+        if self.is_logical:
+            return "TRUE" if self.value else "FALSE"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class RString:
+    """A character scalar."""
+
+    value: str
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class MissingIndex:
+    """The omitted slot in ``m[i, ]``."""
+
+    _instance: "MissingIndex | None" = None
+
+    def __new__(cls) -> "MissingIndex":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+MISSING = MissingIndex()
+
+
+class RError(RuntimeError):
+    """Runtime error raised by interpretation (R's ``stop()``)."""

@@ -1,0 +1,42 @@
+"""Simulated disk, buffer management, and tiled array storage.
+
+This package is the storage substrate shared by every subsystem in the
+reproduction: the virtual-memory pager that stands in for plain R, the
+relational engine that stands in for MySQL, and the next-generation RIOT
+tile store.  Routing all of them through one counted
+:class:`~repro.storage.block_device.BlockDevice` is what makes the paper's
+I/O comparisons (Figure 1(a), Figure 3) exact here.
+"""
+
+from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE, IOStats,
+                           SCALARS_PER_BLOCK, SimClock)
+from .buffer_pool import BufferPool, ClockPolicy, LRUPolicy, make_policy
+from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
+                            ZOrder, linearization_names, make_linearization)
+from .pagefile import PageFile
+from .tile_store import (ArrayStore, TiledMatrix, TiledVector,
+                         tile_shape_for_layout)
+
+__all__ = [
+    "ArrayStore",
+    "BlockDevice",
+    "BufferPool",
+    "ClockPolicy",
+    "ColMajor",
+    "DEFAULT_BLOCK_SIZE",
+    "Hilbert",
+    "IOStats",
+    "Linearization",
+    "LRUPolicy",
+    "PageFile",
+    "RowMajor",
+    "SCALARS_PER_BLOCK",
+    "SimClock",
+    "TiledMatrix",
+    "TiledVector",
+    "ZOrder",
+    "linearization_names",
+    "make_linearization",
+    "make_policy",
+    "tile_shape_for_layout",
+]

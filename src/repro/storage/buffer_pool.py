@@ -1,0 +1,269 @@
+"""Buffer manager with pluggable replacement policies.
+
+The buffer pool caches device blocks in a bounded number of frames.  All
+higher layers (heap tables, B+trees, tile store) read and write pages through
+a pool so that:
+
+- repeated access to a hot page costs no I/O (a hit),
+- evicting a dirty page writes it back (counted on the device),
+- the total memory footprint is capped, which is the whole point of the
+  paper's experimental setup (84 MB cap via ``shmat`` memory locking).
+
+Two classic policies are provided — LRU and CLOCK — and ablated in
+``benchmarks/bench_ablation_buffer.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .block_device import BlockDevice
+
+
+class ReplacementPolicy:
+    """Interface for choosing a victim frame."""
+
+    def on_access(self, key: int) -> None:
+        raise NotImplementedError
+
+    def on_insert(self, key: int) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, key: int) -> None:
+        raise NotImplementedError
+
+    def choose_victim(self, pinned: set[int]) -> int:
+        """Return the key of the frame to evict (never a pinned one)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used eviction via an ordered dict."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_access(self, key: int) -> None:
+        self._order.move_to_end(key)
+
+    def on_insert(self, key: int) -> None:
+        self._order[key] = None
+
+    def on_remove(self, key: int) -> None:
+        self._order.pop(key, None)
+
+    def choose_victim(self, pinned: set[int]) -> int:
+        for key in self._order:
+            if key not in pinned:
+                return key
+        raise RuntimeError("buffer pool exhausted: all frames pinned")
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (CLOCK) eviction."""
+
+    def __init__(self) -> None:
+        self._keys: list[int] = []
+        self._ref: dict[int, bool] = {}
+        self._hand = 0
+
+    def on_access(self, key: int) -> None:
+        self._ref[key] = True
+
+    def on_insert(self, key: int) -> None:
+        self._keys.append(key)
+        self._ref[key] = True
+
+    def on_remove(self, key: int) -> None:
+        if key in self._ref:
+            del self._ref[key]
+            idx = self._keys.index(key)
+            self._keys.pop(idx)
+            if idx < self._hand:
+                self._hand -= 1
+            if self._keys:
+                self._hand %= len(self._keys)
+            else:
+                self._hand = 0
+
+    def choose_victim(self, pinned: set[int]) -> int:
+        if not self._keys:
+            raise RuntimeError("buffer pool exhausted: no frames")
+        spins = 0
+        limit = 2 * len(self._keys) + 1
+        while spins < limit:
+            key = self._keys[self._hand]
+            self._hand = (self._hand + 1) % len(self._keys)
+            spins += 1
+            if key in pinned:
+                continue
+            if self._ref.get(key, False):
+                self._ref[key] = False
+                continue
+            return key
+        # Every unpinned frame had its reference bit set twice in a row;
+        # fall back to the first unpinned frame.
+        for key in self._keys:
+            if key not in pinned:
+                return key
+        raise RuntimeError("buffer pool exhausted: all frames pinned")
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Construct a replacement policy by name ('lru' or 'clock')."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "clock":
+        return ClockPolicy()
+    raise ValueError(f"unknown replacement policy: {name!r}")
+
+
+@dataclass
+class PoolStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BufferPool:
+    """A bounded cache of device blocks with write-back semantics."""
+
+    def __init__(self, device: BlockDevice, capacity_blocks: int,
+                 policy: str | ReplacementPolicy = "lru") -> None:
+        if capacity_blocks <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_blocks}")
+        self.device = device
+        self.capacity = capacity_blocks
+        self.policy = (policy if isinstance(policy, ReplacementPolicy)
+                       else make_policy(policy))
+        self.stats = PoolStats()
+        self._frames: dict[int, np.ndarray] = {}
+        self._dirty: set[int] = set()
+        self._pinned: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    def get(self, block_id: int, *, for_write: bool = False) -> np.ndarray:
+        """Return the cached buffer for a block, faulting it in if needed.
+
+        The returned array aliases the frame: callers who mutate it must pass
+        ``for_write=True`` (or call :meth:`mark_dirty`) so the change is
+        written back on eviction.
+        """
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self.policy.on_access(block_id)
+        else:
+            self.stats.misses += 1
+            self._ensure_room()
+            frame = self.device.read_block(block_id)
+            self._frames[block_id] = frame
+            self.policy.on_insert(block_id)
+        if for_write:
+            self._dirty.add(block_id)
+        return frame
+
+    def put(self, block_id: int, data: np.ndarray) -> None:
+        """Install new contents for a block without reading it first.
+
+        Used when a page is fully overwritten (e.g. appending a fresh tile):
+        no read I/O should be charged for data that will be clobbered.
+        """
+        buf = np.asarray(data, dtype=np.uint8)
+        if buf.size > self.device.block_size:
+            raise ValueError("data exceeds block size")
+        if buf.size < self.device.block_size:
+            padded = np.zeros(self.device.block_size, dtype=np.uint8)
+            padded[:buf.size] = buf
+            buf = padded
+        if block_id in self._frames:
+            self._frames[block_id][:] = buf
+            self.policy.on_access(block_id)
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._ensure_room()
+            self._frames[block_id] = buf.copy()
+            self.policy.on_insert(block_id)
+        self._dirty.add(block_id)
+
+    def mark_dirty(self, block_id: int) -> None:
+        if block_id not in self._frames:
+            raise KeyError(f"block {block_id} is not resident")
+        self._dirty.add(block_id)
+
+    # ------------------------------------------------------------------
+    def pin(self, block_id: int) -> None:
+        """Prevent a resident block from being evicted (refcounted)."""
+        if block_id not in self._frames:
+            raise KeyError(f"cannot pin non-resident block {block_id}")
+        self._pinned[block_id] = self._pinned.get(block_id, 0) + 1
+
+    def unpin(self, block_id: int) -> None:
+        count = self._pinned.get(block_id, 0)
+        if count <= 1:
+            self._pinned.pop(block_id, None)
+        else:
+            self._pinned[block_id] = count - 1
+
+    # ------------------------------------------------------------------
+    def flush(self, block_id: int | None = None) -> None:
+        """Write back dirty frames (one block, or everything)."""
+        targets = ([block_id] if block_id is not None
+                   else sorted(self._dirty))
+        for bid in targets:
+            if bid in self._dirty:
+                self.device.write_block(bid, self._frames[bid])
+                self.stats.dirty_writebacks += 1
+                self._dirty.discard(bid)
+
+    def flush_all(self) -> None:
+        self.flush(None)
+
+    def invalidate(self, block_id: int) -> None:
+        """Drop a frame without writing it back (e.g. file dropped)."""
+        self._frames.pop(block_id, None)
+        self._dirty.discard(block_id)
+        self._pinned.pop(block_id, None)
+        self.policy.on_remove(block_id)
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool."""
+        self.flush_all()
+        for bid in list(self._frames):
+            self.invalidate(bid)
+
+    # ------------------------------------------------------------------
+    def _ensure_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = self.policy.choose_victim(set(self._pinned))
+            if victim in self._dirty:
+                self.device.write_block(victim, self._frames[victim])
+                self.stats.dirty_writebacks += 1
+                self._dirty.discard(victim)
+            del self._frames[victim]
+            self.policy.on_remove(victim)
+            self.stats.evictions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BufferPool(capacity={self.capacity}, "
+                f"resident={self.resident}, "
+                f"hit_rate={self.stats.hit_rate:.2%})")

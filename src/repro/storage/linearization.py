@@ -1,0 +1,181 @@
+"""Tile linearization orders: row, column, Z-order (Morton), Hilbert.
+
+Section 5 of the paper: *"RIOT also provides advanced linearization options
+for controlling the order in which tiles are stored on disk ... RIOT plans to
+support linearizations based on space-filling curves, for arrays whose access
+patterns are not known in advance."*
+
+A linearization maps a 2-D tile coordinate ``(ti, tj)`` on a ``rows x cols``
+tile grid to a position in the on-disk sequence of tiles.  Sequential device
+I/O happens when consecutive accesses hit consecutive positions, so the choice
+of curve decides which access patterns are cheap.
+"""
+
+from __future__ import annotations
+
+
+def _ceil_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class Linearization:
+    """Bijective map between tile coordinates and linear tile positions."""
+
+    name = "abstract"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"grid must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    def index(self, ti: int, tj: int) -> int:
+        raise NotImplementedError
+
+    def coords(self, pos: int) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def _check(self, ti: int, tj: int) -> None:
+        if not (0 <= ti < self.rows and 0 <= tj < self.cols):
+            raise IndexError(
+                f"tile ({ti},{tj}) outside grid {self.rows}x{self.cols}")
+
+
+class RowMajor(Linearization):
+    """Tiles stored row by row — R's default layout generalized to tiles."""
+
+    name = "row"
+
+    def index(self, ti: int, tj: int) -> int:
+        self._check(ti, tj)
+        return ti * self.cols + tj
+
+    def coords(self, pos: int) -> tuple[int, int]:
+        return divmod(pos, self.cols)
+
+
+class ColMajor(Linearization):
+    """Tiles stored column by column (R's element order, at tile level)."""
+
+    name = "col"
+
+    def index(self, ti: int, tj: int) -> int:
+        self._check(ti, tj)
+        return tj * self.rows + ti
+
+    def coords(self, pos: int) -> tuple[int, int]:
+        tj, ti = divmod(pos, self.rows)
+        return ti, tj
+
+
+class ZOrder(Linearization):
+    """Morton order: interleave the bits of the two coordinates.
+
+    Positions for a non-square or non-power-of-two grid are computed on the
+    enclosing power-of-two square and then compacted to a dense range so no
+    disk space is wasted on phantom tiles.
+    """
+
+    name = "zorder"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        super().__init__(rows, cols)
+        side = _ceil_pow2(max(rows, cols))
+        order = sorted(
+            ((self._interleave(ti, tj), ti, tj)
+             for ti in range(rows) for tj in range(cols)))
+        self._pos: dict[tuple[int, int], int] = {}
+        self._inv: list[tuple[int, int]] = []
+        for dense, (_, ti, tj) in enumerate(order):
+            self._pos[(ti, tj)] = dense
+            self._inv.append((ti, tj))
+        self._side = side
+
+    @staticmethod
+    def _interleave(x: int, y: int) -> int:
+        z = 0
+        for bit in range(max(x.bit_length(), y.bit_length(), 1)):
+            z |= ((x >> bit) & 1) << (2 * bit)
+            z |= ((y >> bit) & 1) << (2 * bit + 1)
+        return z
+
+    def index(self, ti: int, tj: int) -> int:
+        self._check(ti, tj)
+        return self._pos[(ti, tj)]
+
+    def coords(self, pos: int) -> tuple[int, int]:
+        return self._inv[pos]
+
+
+class Hilbert(Linearization):
+    """Hilbert curve order: best worst-case locality of the classic curves.
+
+    Uses the standard iterative d2xy/xy2d transform on the enclosing
+    power-of-two square, compacted to a dense range like :class:`ZOrder`.
+    """
+
+    name = "hilbert"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        super().__init__(rows, cols)
+        side = _ceil_pow2(max(rows, cols))
+        order = sorted(
+            ((self._xy2d(side, ti, tj), ti, tj)
+             for ti in range(rows) for tj in range(cols)))
+        self._pos: dict[tuple[int, int], int] = {}
+        self._inv: list[tuple[int, int]] = []
+        for dense, (_, ti, tj) in enumerate(order):
+            self._pos[(ti, tj)] = dense
+            self._inv.append((ti, tj))
+        self._side = side
+
+    @staticmethod
+    def _xy2d(side: int, x: int, y: int) -> int:
+        rx = ry = 0
+        d = 0
+        s = side // 2
+        while s > 0:
+            rx = 1 if (x & s) > 0 else 0
+            ry = 1 if (y & s) > 0 else 0
+            d += s * s * ((3 * rx) ^ ry)
+            # rotate
+            if ry == 0:
+                if rx == 1:
+                    x = s - 1 - x
+                    y = s - 1 - y
+                x, y = y, x
+            s //= 2
+        return d
+
+    def index(self, ti: int, tj: int) -> int:
+        self._check(ti, tj)
+        return self._pos[(ti, tj)]
+
+    def coords(self, pos: int) -> tuple[int, int]:
+        return self._inv[pos]
+
+
+_CURVES = {
+    "row": RowMajor,
+    "col": ColMajor,
+    "zorder": ZOrder,
+    "hilbert": Hilbert,
+}
+
+
+def make_linearization(name: str, rows: int, cols: int) -> Linearization:
+    """Construct a linearization by name: row | col | zorder | hilbert."""
+    try:
+        cls = _CURVES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown linearization {name!r}; "
+            f"options: {sorted(_CURVES)}") from None
+    return cls(rows, cols)
+
+
+def linearization_names() -> list[str]:
+    return sorted(_CURVES)

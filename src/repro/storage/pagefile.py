@@ -1,0 +1,94 @@
+"""Page-addressed files on top of a :class:`BlockDevice`.
+
+A :class:`PageFile` is a growable sequence of pages (one page = one device
+block) with its own local page numbering.  The relational engine stores heap
+tables and B+tree indexes in page files; the tile store keeps one page file
+per array.  Extents of consecutive device blocks are reserved eagerly so that
+a scan through a file's pages in order produces *sequential* device I/O, the
+way a real filesystem tries to lay files out contiguously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .block_device import BlockDevice
+
+#: Number of device blocks reserved at a time when a file grows.
+EXTENT_PAGES = 64
+
+
+class PageFile:
+    """A named, growable file of pages over a shared block device."""
+
+    def __init__(self, device: BlockDevice, name: str = "file") -> None:
+        self.device = device
+        self.name = name
+        self._page_to_block: list[int] = []
+        self._extent_free: list[int] = []
+        self._freed_pages: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_to_block)
+
+    @property
+    def page_size(self) -> int:
+        return self.device.block_size
+
+    def allocate_page(self) -> int:
+        """Append a page to the file and return its page number.
+
+        Freed pages are recycled first; otherwise a new extent of consecutive
+        device blocks is claimed so sequential scans stay sequential.
+        """
+        if self._freed_pages:
+            page_no = self._freed_pages.pop()
+            return page_no
+        if not self._extent_free:
+            first = self.device.allocate(EXTENT_PAGES)
+            self._extent_free = list(range(first, first + EXTENT_PAGES))
+        block = self._extent_free.pop(0)
+        self._page_to_block.append(block)
+        return len(self._page_to_block) - 1
+
+    def allocate_pages(self, count: int) -> list[int]:
+        return [self.allocate_page() for _ in range(count)]
+
+    def free_page(self, page_no: int) -> None:
+        """Mark a page reusable.  Its device block is retained by the file."""
+        self._check(page_no)
+        self._freed_pages.append(page_no)
+
+    # ------------------------------------------------------------------
+    def read_page(self, page_no: int) -> np.ndarray:
+        self._check(page_no)
+        return self.device.read_block(self._page_to_block[page_no])
+
+    def write_page(self, page_no: int, data: np.ndarray) -> None:
+        self._check(page_no)
+        self.device.write_block(self._page_to_block[page_no], data)
+
+    def block_of(self, page_no: int) -> int:
+        """Device block backing ``page_no`` (used by the buffer pool key)."""
+        self._check(page_no)
+        return self._page_to_block[page_no]
+
+    def drop(self) -> None:
+        """Release every block owned by this file back to the device."""
+        for block in self._page_to_block:
+            self.device.free(block)
+        self._page_to_block = []
+        self._extent_free = []
+        self._freed_pages = []
+
+    # ------------------------------------------------------------------
+    def _check(self, page_no: int) -> None:
+        if page_no < 0 or page_no >= len(self._page_to_block):
+            raise IndexError(
+                f"page {page_no} outside file {self.name!r} "
+                f"[0, {len(self._page_to_block)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PageFile(name={self.name!r}, pages={self.num_pages})"

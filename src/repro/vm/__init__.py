@@ -1,0 +1,6 @@
+"""Simulated virtual memory: the substrate beneath the Plain-R engine."""
+
+from .mem_array import MemArray, MemHeap
+from .pager import Pager, PageState
+
+__all__ = ["MemArray", "MemHeap", "Pager", "PageState"]

@@ -1,0 +1,119 @@
+"""Arrays living in simulated virtual memory.
+
+A :class:`MemArray` pairs real numpy data (so results stay numerically
+correct) with a span of virtual pages in a :class:`~repro.vm.pager.Pager`
+(so every access pays its simulated paging cost).  The Plain-R engine builds
+all of R's eager vector semantics on top of these: each operation allocates a
+result array and streams through the operands page by page, exactly the
+access pattern whose cost explodes once arrays stop fitting in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pager import Pager
+
+_FLOAT_BYTES = 8
+
+
+class MemArray:
+    """A float64 vector or matrix backed by simulated memory pages."""
+
+    def __init__(self, pager: Pager, data: np.ndarray,
+                 name: str = "") -> None:
+        self.pager = pager
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.name = name
+        n_bytes = max(self.data.size, 1) * _FLOAT_BYTES
+        self.n_pages = pager.pages_for_bytes(n_bytes)
+        self.first_page = pager.allocate(self.n_pages)
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def elements_per_page(self) -> int:
+        return self.pager.page_size // _FLOAT_BYTES
+
+    def page_of_element(self, flat_index: int) -> int:
+        """Virtual page holding the element at ``flat_index``."""
+        if not 0 <= flat_index < max(self.size, 1):
+            raise IndexError(
+                f"element {flat_index} outside array of {self.size}")
+        return self.first_page + flat_index // self.elements_per_page
+
+    # ------------------------------------------------------------------
+    def touch_all(self, *, write: bool = False) -> None:
+        """Stream through the whole array in address order."""
+        self._check_alive()
+        self.pager.touch_range(self.first_page, self.n_pages, write=write)
+
+    def touch_pages_of(self, flat_indices: np.ndarray, *,
+                       write: bool = False) -> None:
+        """Touch only the pages containing the given elements.
+
+        Deduplicates indices per page: fetching 100 random elements touches
+        at most 100 pages, the way selective evaluation would.
+        """
+        self._check_alive()
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= max(self.size, 1):
+            raise IndexError("element index out of range")
+        pages = np.unique(self.first_page + idx // self.elements_per_page)
+        for pid in pages:
+            self.pager.touch(int(pid), write=write)
+
+    def free(self) -> None:
+        """Release the simulated pages (GC of this R object)."""
+        if not self._freed:
+            self.pager.free(self.first_page, self.n_pages)
+            self._freed = True
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise RuntimeError(
+                f"use after free of MemArray {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MemArray(name={self.name!r}, shape={self.shape}, "
+                f"pages={self.n_pages})")
+
+
+class MemHeap:
+    """Allocator/GC facade the Plain-R engine uses for its objects.
+
+    Models R's memory manager under the generous assumption the paper makes:
+    *"even with a smart garbage collector that immediately reclaims memory as
+    soon as an intermediate result is no longer needed"* — temporaries are
+    freed the moment their consumer has streamed over them, which is the
+    best case for plain R.  Thrashing shows up anyway, exactly as §3 argues.
+    """
+
+    def __init__(self, pager: Pager) -> None:
+        self.pager = pager
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self._counter = 0
+
+    def alloc(self, data: np.ndarray, name: str = "") -> MemArray:
+        self._counter += 1
+        arr = MemArray(self.pager, data, name or f"tmp_{self._counter}")
+        self.live_bytes += arr.n_pages * self.pager.page_size
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        return arr
+
+    def release(self, arr: MemArray) -> None:
+        if not arr._freed:
+            self.live_bytes -= arr.n_pages * self.pager.page_size
+            arr.free()

@@ -1,0 +1,145 @@
+"""Virtual-memory simulator: the substrate under the "Plain R" engine.
+
+The paper ran R under an 84 MB physical-memory cap (enforced with
+``shmat``-based memory locking on Solaris) and measured swap traffic with
+DTrace.  Here the operating system's paging behaviour is simulated directly:
+
+- virtual pages are faulted in on first touch (zero-fill, no read I/O),
+- when resident pages exceed the physical capacity the least-recently-used
+  page is evicted, paying a swap **write** if it is dirty,
+- re-touching a page that was swapped out pays a swap **read**.
+
+All swap traffic goes through a :class:`~repro.storage.BlockDevice`, so the
+Plain-R numbers in Figure 1(a) come from the same counters as every other
+engine's I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage import BlockDevice, DEFAULT_BLOCK_SIZE, IOStats
+
+
+@dataclass
+class PageState:
+    """Bookkeeping for one virtual page."""
+
+    swapped: bool = False   # a copy exists in swap space
+    dirty: bool = False     # resident copy differs from swap copy
+    swap_block: int = -1    # block id in the swap device, once assigned
+
+
+class Pager:
+    """Capped physical memory with LRU replacement and counted swap I/O."""
+
+    def __init__(self, memory_bytes: int,
+                 page_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if memory_bytes < page_size:
+            raise ValueError(
+                f"memory of {memory_bytes} bytes is smaller than one page")
+        self.page_size = page_size
+        self.capacity_pages = memory_bytes // page_size
+        self.swap = BlockDevice(block_size=page_size, name="swap")
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self._pages: dict[int, PageState] = {}
+        self._next_page = 0
+        self.faults = 0
+        self.peak_resident = 0
+
+    # ------------------------------------------------------------------
+    # Address-space management
+    # ------------------------------------------------------------------
+    def allocate(self, n_pages: int) -> int:
+        """Reserve ``n_pages`` of virtual address space; return first id.
+
+        Like ``mmap``, allocation is lazy: pages become resident on first
+        touch, not here.
+        """
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        first = self._next_page
+        self._next_page += n_pages
+        return first
+
+    def free(self, first_page: int, n_pages: int) -> None:
+        """Release pages (GC of an R object): drops residency and swap copy."""
+        for pid in range(first_page, first_page + n_pages):
+            self._resident.pop(pid, None)
+            state = self._pages.pop(pid, None)
+            if state is not None and state.swap_block >= 0:
+                self.swap.free(state.swap_block)
+
+    # ------------------------------------------------------------------
+    # Touching pages
+    # ------------------------------------------------------------------
+    def touch(self, page_id: int, *, write: bool = False) -> None:
+        """Access one page, faulting and evicting as required."""
+        if not 0 <= page_id < self._next_page:
+            raise IndexError(f"page {page_id} was never allocated")
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+        else:
+            self.faults += 1
+            self._make_room()
+            state = self._pages.get(page_id)
+            if state is None:
+                state = PageState()
+                self._pages[page_id] = state
+            if state.swapped:
+                # Swap-in: read the stored copy back.
+                self.swap.read_block(state.swap_block)
+                state.dirty = False
+            self._resident[page_id] = None
+            if len(self._resident) > self.peak_resident:
+                self.peak_resident = len(self._resident)
+        if write:
+            self._pages.setdefault(page_id, PageState()).dirty = True
+
+    def touch_range(self, first_page: int, n_pages: int, *,
+                    write: bool = False) -> None:
+        """Touch ``n_pages`` consecutive pages in ascending order."""
+        for pid in range(first_page, first_page + n_pages):
+            self.touch(pid, write=write)
+
+    def _make_room(self) -> None:
+        while len(self._resident) >= self.capacity_pages:
+            victim, _ = self._resident.popitem(last=False)
+            state = self._pages[victim]
+            if state.dirty or not state.swapped:
+                if state.swap_block < 0:
+                    state.swap_block = self.swap.allocate(1)
+                # Swap-out: write the page (content is irrelevant to the
+                # simulation; a zero page stands in for the real bytes).
+                self.swap.write_block(
+                    state.swap_block,
+                    np.zeros(self.page_size, dtype=np.uint8))
+                state.swapped = True
+                state.dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    @property
+    def stats(self) -> IOStats:
+        """Swap I/O counters (the Plain-R 'disk I/O' of Figure 1(a))."""
+        return self.swap.stats
+
+    def reset_stats(self) -> None:
+        self.swap.reset_stats()
+        self.faults = 0
+        self.peak_resident = len(self._resident)
+
+    def pages_for_bytes(self, n_bytes: int) -> int:
+        return max(1, -(-n_bytes // self.page_size))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Pager(capacity={self.capacity_pages} pages, "
+                f"resident={self.resident_pages}, faults={self.faults})")

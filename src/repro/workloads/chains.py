@@ -1,0 +1,58 @@
+"""Matrix-chain workload configurations (§5 / Figure 3).
+
+Provides the Figure-3 matrix shapes at paper scale (for the analytic cost
+models) and scaled-down instances with real data (for the measured
+out-of-core runs in benchmarks and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import fig3_dims
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """One A·B·C instance: dimensions plus generation seed."""
+
+    n: int
+    skew: float
+    seed: int = 0
+
+    @property
+    def dims(self) -> list[int]:
+        return fig3_dims(self.n, self.skew)
+
+    @property
+    def shapes(self) -> list[tuple[int, int]]:
+        d = self.dims
+        return [(d[0], d[1]), (d[1], d[2]), (d[2], d[3])]
+
+
+#: The paper's Figure-3 parameter grid (analytic scale).
+PAPER_FIG3A = [ChainConfig(n, 2.0) for n in (100_000, 120_000)]
+PAPER_FIG3B = [ChainConfig(100_000, float(s)) for s in (2, 4, 6, 8)]
+
+#: Laptop-scale instances that keep the same aspect ratios.
+MEASURED_SCALE = [ChainConfig(512, float(s), seed=11)
+                  for s in (2, 4, 8)]
+
+
+def generate_chain(config: ChainConfig) -> list[np.ndarray]:
+    """Materialize the three matrices of a (laptop-scale) config."""
+    total = sum(r * c for r, c in config.shapes)
+    if total > 64_000_000:
+        raise ValueError(
+            f"config {config} is paper-scale ({total:,} scalars); use "
+            "the analytic cost models instead of generating data")
+    rng = np.random.default_rng(config.seed)
+    return [rng.standard_normal(shape) for shape in config.shapes]
+
+
+def load_chain(store, config: ChainConfig, layout: str = "square"):
+    """Generate and store a chain's matrices on a tile store."""
+    return [store.matrix_from_numpy(m, layout=layout)
+            for m in generate_chain(config)]

@@ -1,0 +1,127 @@
+"""Tests for the expression DAG: construction, shapes, utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ArrayInput, Map, MatMul, Range, Reduce, Scalar,
+                        Subscript, SubscriptAssign, Transpose, count_nodes,
+                        render, to_dot, walk)
+
+
+def vec(n, name="v"):
+    return ArrayInput(np.zeros(n), name=name)
+
+
+def mat(r, c, name="m"):
+    return ArrayInput(np.zeros((r, c)), name=name)
+
+
+class TestShapes:
+    def test_scalar(self):
+        assert Scalar(3.0).shape == ()
+        assert Scalar(3.0).size == 1
+
+    def test_range_shape(self):
+        assert Range(1, 10).shape == (10,)
+        assert Range(5, 5).shape == (1,)
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ValueError):
+            Range(10, 1)
+
+    def test_map_broadcast_scalar(self):
+        node = Map("+", vec(100), Scalar(1.0))
+        assert node.shape == (100,)
+
+    def test_map_nonconformable(self):
+        with pytest.raises(ValueError):
+            Map("+", vec(10), vec(20))
+
+    def test_map_unknown_op(self):
+        with pytest.raises(ValueError):
+            Map("avg", vec(10))
+
+    def test_map_arity_checked(self):
+        with pytest.raises(ValueError):
+            Map("sqrt", vec(10), vec(10))
+
+    def test_subscript_shape_is_index_shape(self):
+        node = Subscript(vec(1000), Range(1, 10))
+        assert node.shape == (10,)
+
+    def test_subscript_requires_vector(self):
+        with pytest.raises(ValueError):
+            Subscript(mat(3, 3), Range(1, 2))
+
+    def test_subscript_assign_shape(self):
+        base = vec(50)
+        mask = Map(">", base, Scalar(0.0))
+        node = SubscriptAssign(base, mask, Scalar(1.0),
+                               logical_mask=True)
+        assert node.shape == (50,)
+
+    def test_logical_mask_must_align(self):
+        with pytest.raises(ValueError):
+            SubscriptAssign(vec(50), vec(10), Scalar(1.0),
+                            logical_mask=True)
+
+    def test_matmul_shape(self):
+        node = MatMul(mat(4, 7), mat(7, 3))
+        assert node.shape == (4, 3)
+
+    def test_matmul_nonconformable(self):
+        with pytest.raises(ValueError):
+            MatMul(mat(4, 7), mat(6, 3))
+
+    def test_transpose_shape(self):
+        assert Transpose(mat(4, 7)).shape == (7, 4)
+
+    def test_reduce_is_scalar(self):
+        assert Reduce("sum", vec(100)).shape == ()
+
+    def test_reduce_unknown_op(self):
+        with pytest.raises(ValueError):
+            Reduce("median", vec(10))
+
+
+class TestDAGUtilities:
+    def test_walk_visits_shared_nodes_once(self):
+        x = vec(10)
+        sq = Map("pow", x, Scalar(2.0))
+        expr = Map("+", sq, sq)  # shared subtree
+        nodes = list(walk(expr))
+        assert len(nodes) == 4  # x, 2.0, pow, +
+
+    def test_count_nodes(self):
+        x = vec(10)
+        assert count_nodes(Map("+", x, x)) == 2
+
+    def test_render_marks_shared(self):
+        x = vec(10)
+        sq = Map("pow", x, Scalar(2.0))
+        text = render(Map("+", sq, sq))
+        assert "(shared)" in text
+
+    def test_to_dot_is_valid_graphviz(self):
+        node = Map("+", vec(5), Scalar(1.0))
+        dot = to_dot(node)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_with_children_rebuilds(self):
+        a, b = vec(5), vec(5)
+        node = Map("+", a, b)
+        c = vec(5)
+        rebuilt = node.with_children((a, c))
+        assert rebuilt.children == (a, c)
+        assert rebuilt.op == "+"
+
+    def test_array_input_from_tiled_vector(self, store):
+        tv = store.vector_from_numpy(np.ones(100))
+        node = ArrayInput(tv)
+        assert node.shape == (100,)
+
+    def test_array_input_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ArrayInput("not an array")

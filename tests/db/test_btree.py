@@ -1,0 +1,189 @@
+"""Tests for the B+tree index, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import BPlusTree, KeyCodec
+from repro.storage import BlockDevice, BufferPool, PageFile
+
+
+def make_tree(pool_blocks: int = 64) -> BPlusTree:
+    device = BlockDevice(block_size=8192)
+    pool = BufferPool(device, pool_blocks)
+    return BPlusTree(PageFile(device, "idx"), pool)
+
+
+class TestBulkLoad:
+    def test_point_lookups(self):
+        tree = make_tree()
+        keys = np.arange(0, 100_000, 3, dtype=np.int64)
+        tree.bulk_load(keys, keys * 10)
+        assert tree.search(3) == 30
+        assert tree.search(99_999) == 999_990
+        assert tree.search(4) is None
+
+    def test_empty_tree(self):
+        tree = make_tree()
+        tree.bulk_load(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert tree.search(1) is None
+        assert list(tree.items()) == []
+
+    def test_single_entry(self):
+        tree = make_tree()
+        tree.bulk_load(np.asarray([42]), np.asarray([7]))
+        assert tree.search(42) == 7
+        assert tree.height == 1
+
+    def test_height_grows_logarithmically(self):
+        small = make_tree()
+        small.bulk_load(np.arange(100), np.arange(100))
+        big = make_tree(256)
+        big.bulk_load(np.arange(200_000), np.arange(200_000))
+        assert small.height == 1
+        assert 2 <= big.height <= 3
+
+    def test_unsorted_keys_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load(np.asarray([3, 1, 2]), np.asarray([0, 0, 0]))
+
+    def test_duplicate_keys_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load(np.asarray([1, 1]), np.asarray([0, 0]))
+
+
+class TestRangeScan:
+    def test_full_scan_in_order(self):
+        tree = make_tree()
+        keys = np.arange(0, 5000, 7, dtype=np.int64)
+        tree.bulk_load(keys, keys + 1)
+        out_keys = np.concatenate([k for k, _ in tree.range_scan()])
+        assert np.array_equal(out_keys, keys)
+
+    def test_bounded_range(self):
+        tree = make_tree()
+        keys = np.arange(1000, dtype=np.int64)
+        tree.bulk_load(keys, keys)
+        got = np.concatenate(
+            [k for k, _ in tree.range_scan(100, 200)])
+        assert np.array_equal(got, np.arange(100, 201))
+
+    def test_range_outside_keyspace(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(10), np.arange(10))
+        assert list(tree.range_scan(100, 200)) == []
+
+    def test_open_ended_ranges(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(100), np.arange(100))
+        low = np.concatenate([k for k, _ in tree.range_scan(None, 5)])
+        high = np.concatenate([k for k, _ in tree.range_scan(95, None)])
+        assert np.array_equal(low, np.arange(6))
+        assert np.array_equal(high, np.arange(95, 100))
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        assert tree.search(5) == 50
+
+    def test_insert_updates_existing(self):
+        tree = make_tree()
+        tree.bulk_load(np.asarray([1, 2, 3]), np.asarray([10, 20, 30]))
+        tree.insert(2, 99)
+        assert tree.search(2) == 99
+        assert tree.entry_count == 3
+
+    def test_inserts_cause_splits(self):
+        tree = make_tree(128)
+        for k in range(2000):
+            tree.insert(k, k * 2)
+        assert tree.height >= 2
+        for k in (0, 999, 1999):
+            assert tree.search(k) == k * 2
+
+    def test_reverse_order_inserts(self):
+        tree = make_tree(128)
+        for k in range(1500, 0, -1):
+            tree.insert(k, k)
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+
+
+class TestBatchProbes:
+    def test_search_batch(self):
+        tree = make_tree()
+        keys = np.arange(0, 10_000, 2, dtype=np.int64)
+        tree.bulk_load(keys, keys // 2)
+        probes = np.asarray([0, 1, 5000, 9998, 12345])
+        found, values = tree.search_batch(probes)
+        assert found.tolist() == [True, False, True, True, False]
+        assert values[0] == 0
+        assert values[2] == 2500
+
+    def test_probe_io_bounded_by_height(self):
+        """100 probes cost at most 100 x height page reads when cold."""
+        device = BlockDevice(block_size=8192)
+        pool = BufferPool(device, 512)
+        tree = BPlusTree(PageFile(device, "idx"), pool)
+        keys = np.arange(1_000_000, dtype=np.int64)
+        tree.bulk_load(keys, keys)
+        pool.clear()
+        device.reset_stats()
+        probes = np.linspace(0, 999_999, 100).astype(np.int64)
+        tree.search_batch(probes)
+        assert device.stats.reads <= 100 * tree.height
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300,
+                unique=True))
+@settings(max_examples=40, deadline=None)
+def test_bulk_load_retrieves_everything(keys):
+    tree = make_tree(256)
+    arr = np.asarray(sorted(keys), dtype=np.int64)
+    tree.bulk_load(arr, arr * 3)
+    for k in keys:
+        assert tree.search(k) == k * 3
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+@given(st.lists(st.integers(0, 5000), min_size=1, max_size=150,
+                unique=True))
+@settings(max_examples=30, deadline=None)
+def test_insert_matches_bulk_load(keys):
+    """Inserting one by one yields the same map as bulk loading."""
+    tree = make_tree(256)
+    for k in keys:
+        tree.insert(k, k + 7)
+    assert sorted((k, v) for k, v in tree.items()) == \
+        sorted((k, k + 7) for k in keys)
+
+
+class TestKeyCodec:
+    def test_pack_unpack_roundtrip(self):
+        codec = KeyCodec((100, 200))
+        i = np.asarray([1, 99, 50])
+        j = np.asarray([0, 199, 100])
+        packed = codec.pack(i, j)
+        ui, uj = codec.unpack(packed)
+        assert np.array_equal(ui, i)
+        assert np.array_equal(uj, j)
+
+    def test_pack_preserves_lex_order(self):
+        codec = KeyCodec((1000, 1000))
+        a = codec.pack(np.asarray([1]), np.asarray([999]))[0]
+        b = codec.pack(np.asarray([2]), np.asarray([0]))[0]
+        assert a < b
+
+    def test_arity_checked(self):
+        codec = KeyCodec((10, 10))
+        with pytest.raises(ValueError):
+            codec.pack(np.asarray([1]))
+
+    def test_oversized_keyspace_rejected(self):
+        with pytest.raises(ValueError):
+            KeyCodec((2 ** 32, 2 ** 32))

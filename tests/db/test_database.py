@@ -1,0 +1,171 @@
+"""Tests for the Database facade: DDL, views, materialization, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.db import (Arith, Col, Const, Database, Join, Project, Scan,
+                      Schema, Sort)
+
+VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+
+
+@pytest.fixture
+def db():
+    return Database(memory_bytes=2 * 1024 * 1024)
+
+
+def load(db, name, values):
+    n = len(values)
+    return db.load_table(name, VEC, {
+        "I": np.arange(1, n + 1, dtype=np.int64),
+        "V": np.asarray(values, dtype=np.float64)})
+
+
+class TestDDL:
+    def test_duplicate_names_rejected(self, db):
+        load(db, "T", np.ones(10))
+        with pytest.raises(ValueError):
+            db.create_table("T", VEC)
+
+    def test_view_name_collision_rejected(self, db):
+        load(db, "T", np.ones(10))
+        with pytest.raises(ValueError):
+            db.create_view("T", Scan("T"))
+
+    def test_drop_table(self, db):
+        load(db, "T", np.ones(10))
+        db.drop("T")
+        with pytest.raises(KeyError):
+            db.table("T")
+
+    def test_drop_unknown(self, db):
+        with pytest.raises(KeyError):
+            db.drop("nope")
+
+    def test_index_built_on_load(self, db):
+        load(db, "T", np.ones(100))
+        index = db.catalog.index_on("T")
+        assert index is not None
+        assert index.tree.entry_count == 100
+
+    def test_load_without_index(self, db):
+        db.load_table("T", VEC, {
+            "I": np.arange(1, 11), "V": np.ones(10)}, build_index=False)
+        assert db.catalog.index_on("T") is None
+
+
+class TestViews:
+    def test_view_queryable(self, db, rng):
+        values = rng.standard_normal(1000)
+        load(db, "T", values)
+        db.create_view("W", Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("V", Arith("*", Col("T.V"), Const(3.0)))]))
+        out = db.query(Scan("W"))
+        order = np.argsort(out["W.I"])
+        assert np.allclose(out["W.V"][order], values * 3)
+
+    def test_view_sql_rendering(self, db):
+        load(db, "T", np.ones(5))
+        db.create_view("W", Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("V", Arith("+", Col("T.V"), Const(1.0)))]))
+        sql = db.view_sql("W")
+        assert sql.startswith("CREATE VIEW W AS")
+        assert "(T.V + 1)" in sql
+
+    def test_views_compose(self, db, rng):
+        values = rng.standard_normal(500)
+        load(db, "T", values)
+        db.create_view("W1", Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("V", Arith("+", Col("T.V"), Const(1.0)))]))
+        db.create_view("W2", Project(Scan("W1"), [
+            ("I", Col("W1.I")),
+            ("V", Arith("*", Col("W1.V"), Const(2.0)))]))
+        out = db.query(Scan("W2"))
+        order = np.argsort(out["W2.I"])
+        assert np.allclose(out["W2.V"][order], (values + 1) * 2)
+
+    def test_schema_of_view(self, db):
+        load(db, "T", np.ones(5))
+        db.create_view("W", Project(Scan("T"), [
+            ("I", Col("T.I")), ("V", Col("T.V"))]))
+        schema = db.catalog.schema_of("W")
+        assert schema.names == ["I", "V"]
+
+
+class TestMaterialize:
+    def test_ctas_roundtrip(self, db, rng):
+        values = rng.standard_normal(2000)
+        load(db, "T", values)
+        plan = Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("V", Arith("-", Col("T.V"), Const(5.0)))])
+        table = db.materialize(plan, "OUT")
+        out = np.concatenate([b["V"] for b in table.scan()])
+        assert np.allclose(np.sort(out), np.sort(values - 5))
+
+    def test_materialize_with_index_sorted_input(self, db, rng):
+        values = rng.standard_normal(2000)
+        load(db, "T", values)
+        table = db.materialize(Scan("T"), "OUT", build_index=True,
+                               primary_key=("I",))
+        assert table.clustered_on == ("I",)
+        index = db.catalog.index_on("OUT")
+        assert index.tree.entry_count == 2000
+
+    def test_materialize_with_index_unsorted_input(self, db, rng):
+        """Out-of-key-order output gets an index but no clustering."""
+        values = rng.standard_normal(2000)
+        load(db, "T", values)
+        # Sorting by V produces I out of order.
+        plan = Sort(Project(Scan("T"), [("I", Col("T.I")),
+                                        ("V", Col("T.V"))]), ["V"])
+        table = db.materialize(plan, "OUT", build_index=True,
+                               primary_key=("I",))
+        assert table.clustered_on == ()
+        index = db.catalog.index_on("OUT")
+        found, rows = index.tree.search_batch(np.asarray([1, 2000]))
+        assert found.all()
+
+    def test_duplicate_key_index_rejected(self, db):
+        db.load_table("T", Schema.of(("I", "INT"), ("V", "DOUBLE")), {
+            "I": np.asarray([1, 1]), "V": np.asarray([1.0, 2.0])},
+            build_index=False)
+        with pytest.raises(ValueError):
+            db.materialize(Scan("T"), "OUT", build_index=True,
+                           primary_key=("I",))
+
+    def test_materialization_io_counted(self, db, rng):
+        values = rng.standard_normal(50_000)
+        load(db, "T", values)
+        db.flush()
+        db.pool.clear()
+        db.reset_stats()
+        db.materialize(Scan("T"), "OUT")
+        db.flush()
+        pages = db.table("T").num_pages
+        assert db.io_stats.reads >= pages
+        assert db.io_stats.writes >= pages
+
+
+class TestAccounting:
+    def test_reset_stats(self, db, rng):
+        load(db, "T", rng.standard_normal(10_000))
+        db.reset_stats()
+        assert db.io_stats.total == 0
+
+    def test_query_below_pool_size_is_free_when_cached(self, db, rng):
+        values = rng.standard_normal(1000)
+        load(db, "T", values)
+        db.query(Scan("T"))          # warm the pool
+        db.reset_stats()
+        db.query(Scan("T"))          # fully cached
+        assert db.io_stats.total == 0
+
+    def test_temp_tables_dropped(self, db):
+        temp = db.create_temp_table(VEC)
+        temp.load({"I": np.arange(1, 11), "V": np.ones(10)})
+        db.drop_temp_table(temp)
+        assert temp.row_count == 0

@@ -1,0 +1,212 @@
+"""Tests for the vectorized executor: scans, sort, aggregation, limits."""
+
+import numpy as np
+import pytest
+
+from repro.db import (Arith, Cmp, Col, Const, Database, Filter, GroupAgg,
+                      Limit, Project, Scan, Schema, Sort, Values)
+from repro.db.executor import ExternalSortOp, lex_leq, lexsort_batch
+
+VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+
+
+@pytest.fixture
+def db():
+    return Database(memory_bytes=2 * 1024 * 1024,
+                    work_mem_bytes=256 * 1024)
+
+
+def load(db, name, values):
+    n = len(values)
+    return db.load_table(name, VEC, {
+        "I": np.arange(1, n + 1, dtype=np.int64),
+        "V": np.asarray(values, dtype=np.float64)})
+
+
+class TestScanFilterProject:
+    def test_seq_scan(self, db, rng):
+        values = rng.standard_normal(5000)
+        load(db, "T", values)
+        out = db.query(Scan("T"))
+        assert np.allclose(out["T.V"], values)
+
+    def test_filter(self, db):
+        load(db, "T", np.arange(100, dtype=float))
+        out = db.query(Filter(Scan("T"),
+                              Cmp(">=", Col("T.V"), Const(95.0))))
+        assert sorted(out["T.V"].tolist()) == [95, 96, 97, 98, 99]
+
+    def test_project_expression(self, db):
+        load(db, "T", np.asarray([1.0, 2.0, 3.0]))
+        plan = Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("V", Arith("*", Col("T.V"), Const(10.0)))])
+        out = db.query(plan)
+        assert np.allclose(out["V"], [10, 20, 30])
+
+    def test_project_scalar_broadcast(self, db):
+        load(db, "T", np.ones(10))
+        plan = Project(Scan("T"), [("C", Const(7.0))])
+        out = db.query(plan)
+        assert np.allclose(out["C"], np.full(10, 7.0))
+
+    def test_values_relation(self, db):
+        plan = Values({"I": np.asarray([1, 2]),
+                       "V": np.asarray([5.0, 6.0])},
+                      VEC, name="S")
+        out = db.query(plan)
+        assert np.allclose(out["S.V"], [5.0, 6.0])
+
+    def test_limit_stops_early(self, db):
+        load(db, "T", np.arange(100_000, dtype=float))
+        db.pool.clear()
+        db.reset_stats()
+        out = db.query(Limit(Scan("T"), 10))
+        assert out["T.V"].shape[0] == 10
+        # Only the first scan batch should have been read.
+        assert db.io_stats.reads <= 20
+
+    def test_limit_zero(self, db):
+        load(db, "T", np.ones(10))
+        out = db.query(Limit(Scan("T"), 0))
+        assert out["T.V"].shape[0] == 0
+
+
+class TestSortHelpers:
+    def test_lexsort_batch(self):
+        batch = {"a": np.asarray([2, 1, 2, 1]),
+                 "b": np.asarray([1, 2, 0, 1])}
+        order = lexsort_batch(batch, ["a", "b"])
+        assert batch["a"][order].tolist() == [1, 1, 2, 2]
+        assert batch["b"][order].tolist() == [1, 2, 0, 1]
+
+    def test_lex_leq(self):
+        cols = [np.asarray([1, 1, 2, 3]), np.asarray([5, 9, 0, 0])]
+        mask = lex_leq(cols, (1, 9))
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_lex_leq_equal_bound(self):
+        cols = [np.asarray([4])]
+        assert lex_leq(cols, (4,)).tolist() == [True]
+
+
+class TestExternalSort:
+    def test_in_memory_sort(self, db, rng):
+        values = rng.standard_normal(1000)
+        load(db, "T", values)
+        out = db.query(Sort(Scan("T"), ["T.V"]))
+        assert np.allclose(out["T.V"], np.sort(values))
+
+    def test_spilling_sort(self, rng):
+        """Input much larger than work_mem must spill and still sort."""
+        db = Database(memory_bytes=4 * 1024 * 1024,
+                      work_mem_bytes=64 * 1024)
+        values = rng.standard_normal(200_000)
+        load(db, "T", values)
+        phys = db.physical_plan(Sort(Scan("T"), ["T.V"]))
+        batches = list(phys.execute(db.ctx))
+        out = np.concatenate([b["T.V"] for b in batches])
+        assert np.allclose(out, np.sort(values))
+        sort_op = phys
+        assert isinstance(sort_op, ExternalSortOp)
+        assert sort_op.spilled_runs > 1
+
+    def test_spill_io_counted(self, rng):
+        db = Database(memory_bytes=4 * 1024 * 1024,
+                      work_mem_bytes=64 * 1024)
+        values = rng.standard_normal(200_000)
+        load(db, "T", values)
+        db.pool.clear()
+        db.reset_stats()
+        db.query(Sort(Scan("T"), ["T.V"]))
+        # Must at least write and re-read every spilled run block.
+        table_pages = db.table("T").num_pages
+        assert db.io_stats.writes >= table_pages // 2
+
+    def test_multikey_sort(self, db, rng):
+        n = 5000
+        db.load_table("T2", Schema.of(("A", "INT"), ("B", "INT")), {
+            "A": rng.integers(0, 10, n),
+            "B": rng.integers(0, 1000, n)})
+        out = db.query(Sort(Scan("T2"), ["T2.A", "T2.B"]))
+        a, b = out["T2.A"], out["T2.B"]
+        packed = a * 10_000 + b
+        assert np.all(np.diff(packed) >= 0)
+
+    def test_sort_skipped_when_already_sorted(self, db):
+        load(db, "T", np.ones(100))
+        phys = db.physical_plan(Sort(Scan("T"), ["T.I"]))
+        # Table is clustered on I: plan must not add a sort operator.
+        assert not isinstance(phys, ExternalSortOp)
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, db, rng):
+        values = rng.standard_normal(10_000)
+        load(db, "T", values)
+        plan = GroupAgg(Scan("T"), [], [
+            ("s", "SUM", Col("T.V")),
+            ("c", "COUNT", Col("T.V")),
+            ("m", "AVG", Col("T.V")),
+            ("lo", "MIN", Col("T.V")),
+            ("hi", "MAX", Col("T.V"))])
+        out = db.query(plan)
+        assert out["s"][0] == pytest.approx(values.sum())
+        assert out["c"][0] == 10_000
+        assert out["m"][0] == pytest.approx(values.mean())
+        assert out["lo"][0] == pytest.approx(values.min())
+        assert out["hi"][0] == pytest.approx(values.max())
+
+    def test_grouped_sum(self, db, rng):
+        n = 20_000
+        groups = rng.integers(0, 57, n)
+        values = rng.standard_normal(n)
+        db.load_table("G", Schema.of(("K", "INT"), ("V", "DOUBLE")), {
+            "K": groups, "V": values})
+        plan = GroupAgg(Scan("G"), ["G.K"],
+                        [("total", "SUM", Col("G.V"))])
+        out = db.query(plan)
+        assert out["K"].shape[0] == 57
+        for k in (0, 23, 56):
+            got = out["total"][out["K"] == k][0]
+            assert got == pytest.approx(values[groups == k].sum())
+
+    def test_group_spanning_batches(self, db):
+        """One giant group across many pages must aggregate once."""
+        n = 30_000
+        db.load_table("G", Schema.of(("K", "INT"), ("V", "DOUBLE")), {
+            "K": np.zeros(n, dtype=np.int64),
+            "V": np.ones(n)})
+        plan = GroupAgg(Scan("G"), ["G.K"],
+                        [("total", "SUM", Col("G.V"))])
+        out = db.query(plan)
+        assert out["K"].shape[0] == 1
+        assert out["total"][0] == pytest.approx(n)
+
+    def test_count_and_avg_per_group(self, db, rng):
+        n = 5000
+        groups = np.sort(rng.integers(0, 8, n))
+        values = rng.standard_normal(n)
+        db.load_table("G", Schema.of(("K", "INT"), ("V", "DOUBLE")), {
+            "K": groups, "V": values})
+        plan = GroupAgg(Scan("G"), ["G.K"], [
+            ("c", "COUNT", Col("G.V")),
+            ("m", "AVG", Col("G.V"))])
+        out = db.query(plan)
+        for i, k in enumerate(out["K"]):
+            mask = groups == k
+            assert out["c"][i] == mask.sum()
+            assert out["m"][i] == pytest.approx(values[mask].mean())
+
+    def test_unknown_aggregate_rejected(self, db):
+        load(db, "T", np.ones(5))
+        with pytest.raises(ValueError):
+            GroupAgg(Scan("T"), [], [("x", "MEDIAN", Col("T.V"))])
+
+
+class TestExplain:
+    def test_explain_is_readable(self, db):
+        load(db, "T", np.ones(10))
+        text = db.explain(Filter(Scan("T"),
+                                 Cmp(">", Col("T.V"), Const(0))))
+        assert "SeqScan" in text

@@ -1,0 +1,199 @@
+"""Tests for merge, hash (grace), and index-nested-loop joins."""
+
+import numpy as np
+import pytest
+
+from repro.db import (Arith, Col, Database, Join, Project, Scan, Schema)
+from repro.db.executor import SeqScan
+from repro.db.joins import (HashJoin, IndexNestedLoopJoin, MergeJoin,
+                            expand_ranges)
+from repro.db.executor import run_to_batch
+
+VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+
+
+@pytest.fixture
+def db():
+    return Database(memory_bytes=2 * 1024 * 1024,
+                    work_mem_bytes=128 * 1024)
+
+
+def load(db, name, values, keys=None):
+    n = len(values)
+    keys = keys if keys is not None else np.arange(1, n + 1)
+    return db.load_table(name, VEC, {
+        "I": np.asarray(keys, dtype=np.int64),
+        "V": np.asarray(values, dtype=np.float64)})
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        out = expand_ranges(np.asarray([0, 10]), np.asarray([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_empty(self):
+        assert expand_ranges(np.asarray([5]), np.asarray([0])).size == 0
+
+
+class TestMergeJoin:
+    def test_aligned_vectors(self, db, rng):
+        x = rng.standard_normal(30_000)
+        y = rng.standard_normal(30_000)
+        load(db, "X", x)
+        load(db, "Y", y)
+        left = SeqScan(db.table("X"), "X")
+        right = SeqScan(db.table("Y"), "Y")
+        op = MergeJoin(left, right, "X.I", "Y.I")
+        out = run_to_batch(op, db.ctx)
+        order = np.argsort(out["X.I"])
+        assert np.allclose(out["X.V"][order], x)
+        assert np.allclose(out["Y.V"][order], y)
+
+    def test_partial_overlap(self, db):
+        load(db, "A", np.arange(100, dtype=float),
+             keys=np.arange(1, 101))
+        load(db, "B", np.arange(50, dtype=float),
+             keys=np.arange(51, 101))
+        op = MergeJoin(SeqScan(db.table("A"), "A"),
+                       SeqScan(db.table("B"), "B"), "A.I", "B.I")
+        out = run_to_batch(op, db.ctx)
+        assert out["A.I"].shape[0] == 50
+        assert set(out["A.I"].tolist()) == set(range(51, 101))
+
+    def test_empty_side(self, db):
+        load(db, "A", np.arange(10, dtype=float))
+        load(db, "B", np.empty(0))
+        op = MergeJoin(SeqScan(db.table("A"), "A"),
+                       SeqScan(db.table("B"), "B"), "A.I", "B.I")
+        out = run_to_batch(op, db.ctx)
+        assert out["A.I"].shape[0] == 0
+
+    def test_merge_join_is_pipelined(self, db, rng):
+        """Merge join spills nothing: I/O equals the two input scans."""
+        x = rng.standard_normal(50_000)
+        load(db, "X", x)
+        load(db, "Y", x)
+        db.flush()
+        db.pool.clear()
+        db.reset_stats()
+        op = MergeJoin(SeqScan(db.table("X"), "X"),
+                       SeqScan(db.table("Y"), "Y"), "X.I", "Y.I")
+        for _ in op.execute(db.ctx):
+            pass
+        pages = db.table("X").num_pages + db.table("Y").num_pages
+        assert db.io_stats.reads == pages
+        assert db.io_stats.writes == 0
+
+
+class TestHashJoin:
+    def test_in_memory(self, db, rng):
+        x = rng.standard_normal(5000)
+        sample = rng.choice(np.arange(1, 5001), 100, replace=False)
+        load(db, "X", x)
+        load(db, "S", sample.astype(float))
+        probe = SeqScan(db.table("X"), "X")
+        build = SeqScan(db.table("S"), "S")
+        op = HashJoin(probe, build, "X.I", "S.V")
+        out = run_to_batch(op, db.ctx)
+        assert out["X.I"].shape[0] == 100
+        assert np.allclose(np.sort(out["X.V"]),
+                           np.sort(x[np.sort(sample) - 1]))
+
+    def test_duplicate_keys_both_sides(self, db):
+        db.load_table("L", Schema.of(("K", "INT"), ("V", "DOUBLE")), {
+            "K": np.asarray([1, 1, 2]), "V": np.asarray([1., 2., 3.])})
+        db.load_table("R", Schema.of(("K", "INT"), ("W", "DOUBLE")), {
+            "K": np.asarray([1, 1, 3]), "W": np.asarray([10., 20., 30.])})
+        op = HashJoin(SeqScan(db.table("L"), "L"),
+                      SeqScan(db.table("R"), "R"), "L.K", "R.K")
+        out = run_to_batch(op, db.ctx)
+        # keys 1x1 -> 2*2 = 4 rows
+        assert out["L.K"].shape[0] == 4
+
+    def test_grace_partitioning(self, rng):
+        """Build side exceeding work_mem spills partitions and still joins."""
+        db = Database(memory_bytes=4 * 1024 * 1024,
+                      work_mem_bytes=32 * 1024)
+        n = 100_000
+        x = rng.standard_normal(n)
+        load(db, "X", x)
+        load(db, "Y", x * 2)
+        op = HashJoin(SeqScan(db.table("X"), "X"),
+                      SeqScan(db.table("Y"), "Y"), "X.I", "Y.I")
+        db.pool.clear()
+        db.reset_stats()
+        total = 0
+        checked = False
+        for batch in op.execute(db.ctx):
+            total += batch["X.I"].shape[0]
+            if not checked:
+                assert np.allclose(batch["Y.V"], batch["X.V"] * 2)
+                checked = True
+        assert total == n
+        assert op.partitions_used > 0
+        assert db.io_stats.writes > 0  # partitions hit the device
+
+    def test_no_matches(self, db):
+        load(db, "A", np.ones(10), keys=np.arange(1, 11))
+        load(db, "B", np.ones(10), keys=np.arange(100, 110))
+        op = HashJoin(SeqScan(db.table("A"), "A"),
+                      SeqScan(db.table("B"), "B"), "A.I", "B.I")
+        out = run_to_batch(op, db.ctx)
+        assert out["A.I"].shape[0] == 0
+
+
+class TestIndexNestedLoopJoin:
+    def test_probe_values(self, db, rng):
+        x = rng.standard_normal(50_000)
+        load(db, "X", x)
+        sample = np.sort(rng.choice(np.arange(1, 50_001), 100,
+                                    replace=False))
+        load(db, "S", sample.astype(float))
+        outer = SeqScan(db.table("S"), "S")
+        index = db.catalog.index_on("X")
+        op = IndexNestedLoopJoin(outer, db.table("X"), index, "X", "S.V")
+        out = run_to_batch(op, db.ctx)
+        assert np.allclose(out["X.V"], x[sample - 1])
+
+    def test_io_is_tiny_versus_scan(self, db, rng):
+        """The selective-evaluation property: probes << full scan."""
+        x = rng.standard_normal(200_000)
+        load(db, "X", x)
+        sample = np.sort(rng.choice(np.arange(1, 200_001), 100,
+                                    replace=False))
+        load(db, "S", sample.astype(float))
+        db.flush()
+        db.pool.clear()
+        db.reset_stats()
+        outer = SeqScan(db.table("S"), "S")
+        index = db.catalog.index_on("X")
+        op = IndexNestedLoopJoin(outer, db.table("X"), index, "X", "S.V")
+        for _ in op.execute(db.ctx):
+            pass
+        probe_io = db.io_stats.total
+        scan_pages = db.table("X").num_pages
+        assert probe_io < scan_pages / 2
+
+    def test_missing_probe_keys_dropped(self, db):
+        load(db, "X", np.arange(10, dtype=float))
+        load(db, "S", np.asarray([5.0, 99.0]))
+        outer = SeqScan(db.table("S"), "S")
+        index = db.catalog.index_on("X")
+        op = IndexNestedLoopJoin(outer, db.table("X"), index, "X", "S.V")
+        out = run_to_batch(op, db.ctx)
+        assert out["X.I"].tolist() == [5]
+
+
+class TestLogicalJoinPlans:
+    def test_join_plan_correctness(self, db, rng):
+        x = rng.standard_normal(2000)
+        y = rng.standard_normal(2000)
+        load(db, "X", x)
+        load(db, "Y", y)
+        plan = Project(
+            Join(Scan("X"), Scan("Y"), ["X.I"], ["Y.I"]),
+            [("I", Col("X.I")),
+             ("V", Arith("+", Col("X.V"), Col("Y.V")))])
+        out = db.query(plan)
+        order = np.argsort(out["I"])
+        assert np.allclose(out["V"][order], x + y)

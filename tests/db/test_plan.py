@@ -1,0 +1,132 @@
+"""Tests for logical plan nodes: schemas, cardinality, ordering, SQL."""
+
+import numpy as np
+import pytest
+
+from repro.db import (Arith, Cmp, Col, Const, Database, Filter, GroupAgg,
+                      Join, Limit, Project, Rename, Scan, Schema, Sort,
+                      Values, walk)
+
+VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+
+
+@pytest.fixture
+def db():
+    db = Database(memory_bytes=1 << 20)
+    db.load_table("T", VEC, {
+        "I": np.arange(1, 1001, dtype=np.int64),
+        "V": np.ones(1000)})
+    return db
+
+
+class TestSchemas:
+    def test_scan_qualifies_columns(self, db):
+        schema = Scan("T").output_schema(db.catalog)
+        assert schema.names == ["T.I", "T.V"]
+
+    def test_scan_alias(self, db):
+        schema = Scan("T", "E1").output_schema(db.catalog)
+        assert schema.names == ["E1.I", "E1.V"]
+
+    def test_project_types_inferred(self, db):
+        plan = Project(Scan("T"), [
+            ("I", Col("T.I")),
+            ("half", Arith("/", Col("T.I"), Const(2)))])
+        schema = plan.output_schema(db.catalog)
+        assert schema.column("I").type == "INT"
+        assert schema.column("half").type == "DOUBLE"  # division
+
+    def test_int_arith_stays_int(self, db):
+        plan = Project(Scan("T"), [
+            ("J", Arith("+", Col("T.I"), Const(1)))])
+        assert plan.output_schema(db.catalog).column("J").type == "INT"
+
+    def test_join_concatenates_schemas(self, db):
+        plan = Join(Scan("T", "A"), Scan("T", "B"), ["A.I"], ["B.I"])
+        assert plan.output_schema(db.catalog).names == \
+            ["A.I", "A.V", "B.I", "B.V"]
+
+    def test_groupagg_schema(self, db):
+        plan = GroupAgg(Scan("T"), ["T.I"], [
+            ("s", "SUM", Col("T.V")), ("c", "COUNT", Col("T.V"))])
+        schema = plan.output_schema(db.catalog)
+        assert schema.names == ["I", "s", "c"]
+        assert schema.column("c").type == "INT"
+
+    def test_rename_schema(self, db):
+        plan = Rename(Scan("T"), {"T.I": "D.I", "T.V": "D.V"})
+        assert plan.output_schema(db.catalog).names == ["D.I", "D.V"]
+
+    def test_duplicate_outputs_rejected(self, db):
+        with pytest.raises(ValueError):
+            Project(Scan("T"), [("I", Col("T.I")), ("I", Col("T.V"))])
+
+
+class TestCardinality:
+    def test_scan_exact(self, db):
+        assert Scan("T").est_rows(db.catalog) == 1000
+
+    def test_filter_reduces(self, db):
+        plan = Filter(Scan("T"), Cmp(">", Col("T.V"), Const(0)))
+        assert plan.est_rows(db.catalog) < 1000
+
+    def test_join_key_key_heuristic(self, db):
+        plan = Join(Scan("T", "A"), Scan("T", "B"), ["A.I"], ["B.I"])
+        assert plan.est_rows(db.catalog) == 1000
+
+    def test_limit_caps(self, db):
+        assert Limit(Scan("T"), 10).est_rows(db.catalog) == 10
+
+    def test_values_exact(self, db):
+        v = Values({"I": np.arange(3), "V": np.zeros(3)}, VEC)
+        assert v.est_rows(db.catalog) == 3
+
+
+class TestOrdering:
+    def test_scan_inherits_clustering(self, db):
+        assert Scan("T").ordering(db.catalog) == ("T.I",)
+
+    def test_filter_preserves(self, db):
+        plan = Filter(Scan("T"), Cmp(">", Col("T.V"), Const(0)))
+        assert plan.ordering(db.catalog) == ("T.I",)
+
+    def test_project_maps_through_cols(self, db):
+        plan = Project(Scan("T"), [("I", Col("T.I")),
+                                   ("V", Col("T.V"))])
+        assert plan.ordering(db.catalog) == ("I",)
+
+    def test_project_breaks_on_expression(self, db):
+        plan = Project(Scan("T"), [
+            ("J", Arith("+", Col("T.I"), Const(1)))])
+        assert plan.ordering(db.catalog) == ()
+
+    def test_sort_declares_keys(self, db):
+        assert Sort(Scan("T"), ["T.V"]).ordering(db.catalog) == ("T.V",)
+
+
+class TestSQLRendering:
+    def test_full_query_renders(self, db):
+        plan = Project(
+            Filter(Join(Scan("T", "A"), Scan("T", "B"),
+                        ["A.I"], ["B.I"]),
+                   Cmp(">", Col("A.V"), Const(0))),
+            [("I", Col("A.I")),
+             ("V", Arith("+", Col("A.V"), Col("B.V")))])
+        sql = plan.to_sql(db.catalog)
+        assert "JOIN" in sql and "WHERE" in sql and "SELECT" in sql
+        assert "(A.V + B.V) AS V" in sql
+
+    def test_groupby_renders(self, db):
+        plan = GroupAgg(Scan("T"), ["T.I"],
+                        [("s", "SUM", Col("T.V"))])
+        sql = plan.to_sql(db.catalog)
+        assert "GROUP BY T.I" in sql
+        assert "SUM(T.V) AS s" in sql
+
+    def test_walk_visits_all(self, db):
+        plan = Filter(Join(Scan("T", "A"), Scan("T", "B"),
+                           ["A.I"], ["B.I"]),
+                      Cmp(">", Col("A.V"), Const(0)))
+        kinds = [type(n).__name__ for n in walk(plan)]
+        assert kinds.count("Scan") == 2
+        assert "Join" in kinds and "Filter" in kinds

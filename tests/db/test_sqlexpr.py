@@ -1,0 +1,148 @@
+"""Tests for scalar SQL expressions: evaluation, SQL text, renaming."""
+
+import numpy as np
+import pytest
+
+from repro.db import (And, Arith, CaseWhen, Cmp, Col, Const, Func, InSet,
+                      Not, Or, conjoin, split_conjuncts)
+
+
+@pytest.fixture
+def batch():
+    return {
+        "E1.I": np.arange(1, 6, dtype=np.int64),
+        "E1.V": np.asarray([1.0, 4.0, 9.0, 16.0, 25.0]),
+        "E2.V": np.asarray([1.0, 2.0, 3.0, 4.0, 5.0]),
+    }
+
+
+class TestEvaluation:
+    def test_column_resolution_exact(self, batch):
+        assert np.array_equal(Col("E1.V").eval(batch), batch["E1.V"])
+
+    def test_column_resolution_bare_unique(self, batch):
+        assert np.array_equal(Col("I").eval(batch), batch["E1.I"])
+
+    def test_column_resolution_ambiguous(self, batch):
+        with pytest.raises(KeyError):
+            Col("V").eval(batch)
+
+    def test_column_missing(self, batch):
+        with pytest.raises(KeyError):
+            Col("E3.W").eval(batch)
+
+    def test_arith(self, batch):
+        expr = Arith("+", Col("E1.V"), Col("E2.V"))
+        assert np.allclose(expr.eval(batch), [2, 6, 12, 20, 30])
+
+    def test_division_produces_floats(self, batch):
+        expr = Arith("/", Col("E1.V"), Const(2))
+        assert np.allclose(expr.eval(batch), [0.5, 2, 4.5, 8, 12.5])
+
+    def test_sqrt_pow(self, batch):
+        expr = Func("SQRT", Col("E1.V"))
+        assert np.allclose(expr.eval(batch), [1, 2, 3, 4, 5])
+        expr2 = Func("POW", Col("E2.V"), Const(2.0))
+        assert np.allclose(expr2.eval(batch), batch["E1.V"])
+
+    def test_function_arity_checked(self):
+        with pytest.raises(ValueError):
+            Func("SQRT", Const(1.0), Const(2.0))
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            Func("SIN", Const(0.0))
+
+    def test_comparison(self, batch):
+        expr = Cmp(">", Col("E1.V"), Const(5.0))
+        assert expr.eval(batch).tolist() == [False, False, True, True,
+                                             True]
+
+    def test_and_or_not(self, batch):
+        gt = Cmp(">", Col("E1.V"), Const(3.0))
+        lt = Cmp("<", Col("E1.V"), Const(20.0))
+        both = And(gt, lt)
+        assert both.eval(batch).tolist() == [False, True, True, True,
+                                             False]
+        either = Or(Cmp("<", Col("E1.V"), Const(2.0)),
+                    Cmp(">", Col("E1.V"), Const(10.0)))
+        assert either.eval(batch).tolist() == [True, False, False, True,
+                                               True]
+        inv = Not(gt)
+        assert inv.eval(batch).tolist() == [True, False, False, False,
+                                            False]
+
+    def test_case_when(self, batch):
+        expr = CaseWhen(Cmp(">", Col("E1.V"), Const(10.0)),
+                        Const(10.0), Col("E1.V"))
+        assert np.allclose(expr.eval(batch), [1, 4, 9, 10, 10])
+
+    def test_in_set(self, batch):
+        expr = InSet(Col("E1.I"), np.asarray([2, 5]))
+        assert expr.eval(batch).tolist() == [False, True, False, False,
+                                             True]
+
+    def test_operator_sugar(self, batch):
+        expr = (Col("E1.V") + Col("E2.V")) * Const(2.0)
+        assert np.allclose(expr.eval(batch), [4, 12, 24, 40, 60])
+
+
+class TestSQLText:
+    def test_arith_sql(self):
+        expr = Arith("+", Col("E1.V"), Const(1.5))
+        assert expr.to_sql() == "(E1.V + 1.5)"
+
+    def test_int_valued_floats_rendered_as_ints(self):
+        assert Const(2.0).to_sql() == "2"
+
+    def test_nested_sql(self):
+        expr = Func("SQRT",
+                    Arith("+",
+                          Func("POW", Arith("-", Col("X.V"), Const(3.0)),
+                               Const(2.0)),
+                          Func("POW", Arith("-", Col("Y.V"), Const(4.0)),
+                               Const(2.0))))
+        sql = expr.to_sql()
+        assert sql == ("SQRT((POW((X.V - 3), 2) + POW((Y.V - 4), 2)))")
+
+    def test_case_when_sql(self):
+        expr = CaseWhen(Cmp(">", Col("B.V"), Const(100)), Const(100),
+                        Col("B.V"))
+        assert expr.to_sql() == \
+            "CASE WHEN B.V > 100 THEN 100 ELSE B.V END"
+
+    def test_inset_sql_truncates(self):
+        expr = InSet(Col("I"), np.arange(20))
+        assert "..." in expr.to_sql()
+
+
+class TestRenameAndConjuncts:
+    def test_rename_columns(self, batch):
+        expr = Arith("+", Col("A.V"), Col("B.V"))
+        renamed = expr.rename_columns({"A.V": "E1.V", "B.V": "E2.V"})
+        assert np.allclose(renamed.eval(batch), [2, 6, 12, 20, 30])
+
+    def test_rename_is_pure(self):
+        expr = Col("A.V")
+        expr.rename_columns({"A.V": "B.V"})
+        assert expr.name == "A.V"
+
+    def test_split_conjuncts_flattens(self):
+        a = Cmp("=", Col("x"), Const(1))
+        b = Cmp("=", Col("y"), Const(2))
+        c = Cmp("=", Col("z"), Const(3))
+        parts = split_conjuncts(And(a, And(b, c)))
+        assert len(parts) == 3
+
+    def test_conjoin_inverse(self):
+        a = Cmp("=", Col("x"), Const(1))
+        b = Cmp("=", Col("y"), Const(2))
+        combined = conjoin([a, b])
+        assert len(split_conjuncts(combined)) == 2
+        assert conjoin([]) is None
+        assert conjoin([a]) is a
+
+    def test_columns_collection(self):
+        expr = And(Cmp("=", Col("X.I"), Col("Y.I")),
+                   Cmp(">", Func("ABS", Col("X.V")), Const(0)))
+        assert expr.columns() == {"X.I", "Y.I", "X.V"}

@@ -1,0 +1,162 @@
+"""Tests for heap tables: loading, scanning, random access, updates."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database, Schema
+
+VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))
+
+
+@pytest.fixture
+def db():
+    return Database(memory_bytes=2 * 1024 * 1024)
+
+
+def load_vector(db, name, values, build_index=False):
+    n = len(values)
+    return db.load_table(name, VEC, {
+        "I": np.arange(1, n + 1, dtype=np.int64),
+        "V": np.asarray(values, dtype=np.float64),
+    }, build_index=build_index)
+
+
+class TestLoadScan:
+    def test_roundtrip(self, db, rng):
+        values = rng.standard_normal(10_000)
+        table = load_vector(db, "T", values)
+        out = np.concatenate([b["V"] for b in table.scan()])
+        assert np.allclose(out, values)
+
+    def test_row_count(self, db):
+        table = load_vector(db, "T", np.arange(1234, dtype=float))
+        assert table.row_count == 1234
+
+    def test_rows_per_page(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        # 2 columns x 8 bytes = 16 bytes/row, 8192-byte pages.
+        assert table.rows_per_page == 512
+
+    def test_page_count_matches_rows(self, db):
+        table = load_vector(db, "T", np.ones(1025))
+        assert table.num_pages == 3  # 512 + 512 + 1
+
+    def test_clustered_flag_set_by_load(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        assert table.clustered_on == ("I",)
+
+    def test_int_column_dtype_preserved(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        batch = next(table.scan())
+        assert batch["I"].dtype == np.int64
+        assert batch["V"].dtype == np.float64
+
+    def test_missing_column_rejected(self, db):
+        table = db.create_table("T", VEC)
+        with pytest.raises(KeyError):
+            table.append_batch({"I": np.asarray([1])})
+
+    def test_ragged_batch_rejected(self, db):
+        table = db.create_table("T", VEC)
+        with pytest.raises(ValueError):
+            table.append_batch({"I": np.asarray([1, 2]),
+                                "V": np.asarray([1.0])})
+
+    def test_incremental_append_across_page_boundaries(self, db):
+        table = db.create_table("T", VEC)
+        total = 0
+        for k in range(1, 40):  # irregular batch sizes
+            table.append_batch({
+                "I": np.arange(total + 1, total + k + 1),
+                "V": np.full(k, float(k)),
+            })
+            total += k
+        table.finish_append()
+        assert table.row_count == total
+        out = np.concatenate([b["V"] for b in table.scan()])
+        assert out.shape[0] == total
+
+    def test_empty_batch_ignored(self, db):
+        table = db.create_table("T", VEC)
+        table.append_batch({"I": np.empty(0, np.int64),
+                            "V": np.empty(0)})
+        table.finish_append()
+        assert table.row_count == 0
+
+
+class TestFetchRows:
+    def test_fetch_specific_rows(self, db, rng):
+        values = rng.standard_normal(5000)
+        table = load_vector(db, "T", values)
+        ids = np.asarray([0, 4999, 1234, 512])
+        out = table.fetch_rows(ids)
+        assert np.allclose(out["V"], values[ids])
+
+    def test_fetch_preserves_request_order(self, db):
+        table = load_vector(db, "T", np.arange(2000, dtype=float))
+        ids = np.asarray([1500, 3, 700])
+        out = table.fetch_rows(ids)
+        assert np.allclose(out["V"], [1500.0, 3.0, 700.0])
+
+    def test_fetch_touches_one_page_per_distinct_page(self, db, rng):
+        values = rng.standard_normal(5000)
+        table = load_vector(db, "T", values)
+        db.pool.clear()
+        db.reset_stats()
+        table.fetch_rows(np.asarray([0, 1, 2, 3]))  # same page
+        assert db.io_stats.reads == 1
+
+    def test_fetch_out_of_range(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        with pytest.raises(IndexError):
+            table.fetch_rows(np.asarray([10]))
+
+
+class TestUpdateRows:
+    def test_update_values(self, db, rng):
+        values = rng.standard_normal(3000)
+        table = load_vector(db, "T", values.copy())
+        ids = np.asarray([5, 600, 2999])
+        table.update_rows(ids, {"V": np.asarray([1.0, 2.0, 3.0])})
+        out = np.concatenate([b["V"] for b in table.scan()])
+        expect = values.copy()
+        expect[ids] = [1.0, 2.0, 3.0]
+        assert np.allclose(out, expect)
+
+    def test_update_unknown_column(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        with pytest.raises(KeyError):
+            table.update_rows(np.asarray([0]), {"W": np.asarray([1.0])})
+
+    def test_update_costs_one_page_rmw(self, db):
+        table = load_vector(db, "T", np.ones(5000))
+        db.flush()
+        db.pool.clear()
+        db.reset_stats()
+        table.update_rows(np.asarray([0, 1]), {"V": np.asarray([2.0, 3.0])})
+        db.flush()
+        assert db.io_stats.reads == 1
+        assert db.io_stats.writes == 1
+
+    def test_update_empty(self, db):
+        table = load_vector(db, "T", np.ones(10))
+        table.update_rows(np.empty(0, np.int64), {"V": np.empty(0)})
+
+
+class TestScanIO:
+    def test_cold_scan_costs_table_pages(self, db, rng):
+        values = rng.standard_normal(20_000)
+        table = load_vector(db, "T", values)
+        db.flush()
+        db.pool.clear()
+        db.reset_stats()
+        for _ in table.scan():
+            pass
+        assert db.io_stats.reads == table.num_pages
+
+    def test_drop_frees_pages(self, db):
+        table = load_vector(db, "T", np.ones(5000))
+        db.flush()
+        before = db.device.resident_blocks
+        db.drop("T")
+        assert db.device.resident_blocks < before

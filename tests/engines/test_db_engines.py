@@ -1,0 +1,235 @@
+"""Tests for the three DB-backed engines: semantics and deferral policy."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (DBVec, MatNamedEngine, RiotDBEngine,
+                           StrawmanEngine)
+from repro.rlang import Interpreter
+
+ENGINES = [StrawmanEngine, MatNamedEngine, RiotDBEngine]
+
+
+def make(cls, memory_mb: int = 8):
+    return cls(memory_bytes=memory_mb * 1024 * 1024)
+
+
+@pytest.mark.parametrize("cls", ENGINES)
+class TestSemantics:
+    def test_elementwise_pipeline(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(5000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("z <- sqrt((x - 1)^2) * 2 + 1; print(z)")
+        vals = engine.vector_values(interp.env["z"])
+        assert np.allclose(vals, np.sqrt((x - 1) ** 2) * 2 + 1)
+
+    def test_vector_vector_ops(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(3000)
+        y = rng.standard_normal(3000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.env["y"] = engine.make_vector(y)
+        interp.run("z <- x * y - x / 2")
+        assert np.allclose(engine.vector_values(interp.env["z"]),
+                           x * y - x / 2)
+
+    def test_subscript_by_sample(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(10_000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("s <- sample(length(x), 50); z <- x[s]")
+        s = engine.vector_values(interp.env["s"]).astype(int)
+        z = engine.vector_values(interp.env["z"])
+        assert np.allclose(z, x[s - 1])
+
+    def test_scalar_subscript(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(100)
+        interp.env["x"] = engine.make_vector(x)
+        got = interp.run("x[42]")
+        assert got.value == pytest.approx(x[41])
+
+    def test_mask_assignment_case_when(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        a = rng.uniform(0, 20, 2000)
+        interp.env["a"] = engine.make_vector(a)
+        interp.run("b <- a^2; b[b > 100] <- 100")
+        got = engine.vector_values(interp.env["b"])
+        assert np.allclose(got, np.minimum(a ** 2, 100))
+
+    def test_positional_scatter_assignment(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(1000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("y <- x + 0; y[c(5, 10)] <- 0")
+        got = engine.vector_values(interp.env["y"])
+        expect = x.copy()
+        expect[[4, 9]] = 0
+        assert np.allclose(got, expect)
+        # value semantics: x unchanged
+        assert np.allclose(engine.vector_values(interp.env["x"]), x)
+
+    def test_reductions(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(5000)
+        interp.env["x"] = engine.make_vector(x)
+        assert interp.run("sum(x)").value == pytest.approx(x.sum())
+        assert interp.run("mean(x)").value == pytest.approx(x.mean())
+        assert interp.run("max(x)").value == pytest.approx(x.max())
+
+    def test_logical_mask_select(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(2000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("pos <- x[x > 0]")
+        got = engine.vector_values(interp.env["pos"])
+        assert np.allclose(got, x[x > 0])
+
+    def test_which(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(500)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("w <- which(x > 1)")
+        got = engine.vector_values(interp.env["w"])
+        assert np.allclose(got, np.flatnonzero(x > 1) + 1)
+
+    def test_matmul(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        a = rng.standard_normal((12, 8))
+        b = rng.standard_normal((8, 5))
+        interp.env["A"] = engine.make_matrix(a)
+        interp.env["B"] = engine.make_matrix(b)
+        interp.run("C <- A %*% B")
+        assert np.allclose(engine.matrix_values(interp.env["C"]), a @ b)
+
+    def test_matmul_chain(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 7))
+        c = rng.standard_normal((7, 3))
+        interp.env["A"] = engine.make_matrix(a)
+        interp.env["B"] = engine.make_matrix(b)
+        interp.env["C"] = engine.make_matrix(c)
+        interp.run("T <- A %*% B %*% C")
+        assert np.allclose(engine.matrix_values(interp.env["T"]),
+                           a @ b @ c)
+
+    def test_transpose(self, cls, rng):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        a = rng.standard_normal((5, 9))
+        interp.env["A"] = engine.make_matrix(a)
+        interp.run("B <- t(A)")
+        assert np.allclose(engine.matrix_values(interp.env["B"]), a.T)
+
+    def test_reshape_column_major(self, cls):
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        interp.run("m <- matrix(1:6, 2, 3)")
+        got = engine.matrix_values(interp.env["m"])
+        assert np.allclose(got, [[1, 3, 5], [2, 4, 6]])
+
+    def test_length_is_metadata(self, cls, rng):
+        """length() must not touch the database at all."""
+        engine = make(cls)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(5000))
+        engine.reset_stats()
+        engine.db.pool.stats.__init__()
+        assert interp.run("length(x)").value == 5000
+        assert engine.io_stats().total == 0
+        assert engine.db.pool.stats.accesses == 0
+
+
+class TestDeferralPolicies:
+    def test_strawman_materializes_every_op(self, rng):
+        engine = make(StrawmanEngine)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(1000))
+        tables_before = len(engine.db.catalog.tables)
+        interp.run("d <- (x - 1)^2 + 5")
+        # Three ops -> three new tables (some may be GC'd already, so
+        # check views were never created).
+        assert not engine.db.catalog.views
+
+    def test_riotdb_defers_everything(self, rng):
+        engine = make(RiotDBEngine)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(1000))
+        tables_before = set(engine.db.catalog.tables)
+        interp.run("d <- (x - 1)^2 + 5")
+        assert isinstance(interp.env["d"], DBVec)
+        assert interp.env["d"].kind == "view"
+        assert set(engine.db.catalog.tables) == tables_before
+
+    def test_matnamed_materializes_named_only(self, rng):
+        engine = make(MatNamedEngine)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(1000))
+        interp.run("d <- (x - 1)^2 + 5")
+        assert interp.env["d"].kind == "table"
+
+    def test_riotdb_selective_io_advantage(self, rng):
+        """Full RIOT-DB reads far less than MatNamed for d[s] (§4.2).
+
+        n is chosen so the table is big enough that 100 index probes win
+        over a rescan under the optimizer's cost model — the regime of
+        the paper's Figure 1 sizes.
+        """
+        n = 600_000
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        program = """
+        d <- sqrt((x-1)^2+(y-2)^2)
+        s <- sample(length(x), 100)
+        z <- d[s]
+        print(z)
+        """
+        ios = {}
+        outs = {}
+        for cls in (MatNamedEngine, RiotDBEngine):
+            engine = make(cls, memory_mb=2)
+            interp = Interpreter(engine, seed=5)
+            interp.env["x"] = engine.make_vector(x)
+            interp.env["y"] = engine.make_vector(y)
+            engine.reset_stats()
+            interp.run(program)
+            ios[cls.__name__] = engine.io_stats().total
+            outs[cls.__name__] = interp.output[0]
+        assert outs["MatNamedEngine"] == outs["RiotDBEngine"]
+        assert ios["RiotDBEngine"] * 5 < ios["MatNamedEngine"]
+
+    def test_view_dropped_when_unreferenced(self, rng):
+        engine = make(RiotDBEngine)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(100))
+        interp.run("d <- x + 1")
+        views_with_d = len(engine.db.catalog.views)
+        interp.run("d <- 0")  # rebind: the old view becomes garbage
+        import gc
+        gc.collect()
+        assert len(engine.db.catalog.views) < views_with_d
+
+    def test_dependent_views_kept_alive(self, rng):
+        """z references d's view; rebinding d must not break z (§4.1 fn 2)."""
+        engine = make(RiotDBEngine)
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(500)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("d <- x * 2; z <- d + 1; d <- 0")
+        import gc
+        gc.collect()
+        got = engine.vector_values(interp.env["z"])
+        assert np.allclose(got, x * 2 + 1)

@@ -1,0 +1,64 @@
+"""Tests for engine metrics and the Figure-1 orderings at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.engines import ALL_ENGINES, make_engine
+from repro.workloads import run_example1
+
+CAP = 4 * 1024 * 1024  # 4 MB cap; scale n so ratios match Figure 1
+
+
+class TestRunResult:
+    def test_fields_populated(self):
+        engine = make_engine("riotdb", memory_bytes=CAP)
+        result = run_example1(engine, 50_000)
+        assert result.engine == "RIOT-DB"
+        assert result.output
+        assert result.wall_seconds > 0
+        assert result.io_mb >= 0
+        assert "z" in result.env
+
+    def test_make_engine_unknown(self):
+        with pytest.raises(ValueError):
+            make_engine("mysql")
+
+    def test_reset_stats_isolates_runs(self):
+        engine = make_engine("strawman", memory_bytes=CAP)
+        run_example1(engine, 50_000)
+        engine.reset_stats()
+        assert engine.io_stats().total == 0
+
+
+class TestFigure1ShapeSmallScale:
+    """The Figure-1 orderings, at a size every CI run can afford."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for name in ("plain", "strawman", "matnamed", "riotdb",
+                     "riotng"):
+            engine = ALL_ENGINES[name](memory_bytes=CAP)
+            out[name] = run_example1(engine, 2 ** 19)
+        return out
+
+    def test_identical_outputs(self, results):
+        outputs = {r.output[0] for r in results.values()}
+        assert len(outputs) == 1
+
+    def test_strawman_has_worst_io(self, results):
+        io = {k: v.io_mb for k, v in results.items()}
+        assert io["strawman"] == max(io.values())
+        assert io["strawman"] > io["plain"]
+
+    def test_deferral_hierarchy(self, results):
+        io = {k: v.io_mb for k, v in results.items()}
+        assert io["strawman"] > io["matnamed"] > io["riotdb"]
+
+    def test_riotdb_beats_plain_by_a_lot(self, results):
+        assert results["riotdb"].io_mb * 4 < results["plain"].io_mb
+        assert (results["riotdb"].sim_seconds * 4
+                < results["plain"].sim_seconds)
+
+    def test_nextgen_at_least_matches_riotdb(self, results):
+        assert results["riotng"].io_mb <= results["riotdb"].io_mb * 1.2

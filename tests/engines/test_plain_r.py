@@ -1,0 +1,101 @@
+"""Tests for the Plain-R engine: paging behaviour under a memory cap."""
+
+import numpy as np
+import pytest
+
+from repro.engines import PlainREngine
+from repro.rlang import Interpreter
+
+
+def make(memory_mb: float = 64) -> PlainREngine:
+    return PlainREngine(memory_bytes=int(memory_mb * 1024 * 1024))
+
+
+class TestCorrectness:
+    def test_matches_reference_semantics(self, rng):
+        engine = make()
+        interp = Interpreter(engine, seed=5)
+        x = rng.standard_normal(10_000)
+        interp.env["x"] = engine.make_vector(x)
+        interp.run("z <- sqrt((x - 1)^2) + 2")
+        assert np.allclose(interp.env["z"].data,
+                           np.sqrt((x - 1) ** 2) + 2)
+
+    def test_value_semantics_preserved(self):
+        engine = make()
+        interp = Interpreter(engine, seed=5)
+        interp.run("x <- c(1, 2, 3); y <- x; y[1] <- 9")
+        assert interp.env["x"].data[0] == 1
+
+
+class TestPaging:
+    def test_no_io_when_everything_fits(self, rng):
+        engine = make(memory_mb=64)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(10_000))
+        engine.reset_stats()
+        interp.run("d <- (x - 1)^2 + (x - 2)^2")
+        assert engine.io_stats().total == 0
+
+    def test_thrashing_when_working_set_exceeds_cap(self, rng):
+        """Example 1's line (1) keeps ~5 vectors live; cap fits ~2."""
+        n = 200_000                      # 1.6 MB per vector
+        engine = make(memory_mb=3.2)     # ~2 vectors
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(n))
+        interp.env["y"] = engine.make_vector(rng.standard_normal(n))
+        engine.reset_stats()
+        interp.run(
+            "d <- sqrt((x-1)^2+(y-1)^2) + sqrt((x-9)^2+(y-9)^2)")
+        io = engine.io_stats()
+        vector_pages = n * 8 // 8192
+        # Swap traffic must exceed several full-vector sweeps.
+        assert io.total > 3 * vector_pages
+
+    def test_io_grows_superlinearly_past_cap(self, rng):
+        """Doubling n under a fixed cap much more than doubles swap I/O
+        once the working set crosses the cap (Figure 1's Plain-R curve)."""
+        cap_mb = 3.2
+        totals = {}
+        for n in (100_000, 400_000):
+            engine = make(memory_mb=cap_mb)
+            interp = Interpreter(engine, seed=5)
+            interp.env["x"] = engine.make_vector(
+                rng.standard_normal(n))
+            interp.env["y"] = engine.make_vector(
+                rng.standard_normal(n))
+            engine.reset_stats()
+            interp.run(
+                "d <- sqrt((x-1)^2+(y-1)^2) + sqrt((x-9)^2+(y-9)^2)")
+            totals[n] = engine.io_stats().total
+        assert totals[400_000] > 8 * max(totals[100_000], 1)
+
+    def test_gc_frees_intermediates(self, rng):
+        """Peak live memory stays bounded by a few vectors, not twelve."""
+        n = 50_000
+        engine = make(memory_mb=64)
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(n))
+        interp.env["y"] = engine.make_vector(rng.standard_normal(n))
+        base = engine.heap.live_bytes
+        interp.run(
+            "d <- sqrt((x-1)^2+(y-1)^2) + sqrt((x-9)^2+(y-9)^2)")
+        vector_bytes = n * 8
+        # d plus inputs stay live; peak must be well under 12 vectors.
+        assert engine.heap.peak_live_bytes - base <= 7 * vector_bytes
+        live_after = engine.heap.live_bytes - base
+        assert live_after <= 1.1 * vector_bytes  # just d
+
+    def test_sim_time_reflects_io(self, rng):
+        fast = make(memory_mb=64)
+        slow = make(memory_mb=3.2)
+        n = 200_000
+        for engine in (fast, slow):
+            interp = Interpreter(engine, seed=5)
+            interp.env["x"] = engine.make_vector(
+                rng.standard_normal(n))
+            interp.env["y"] = engine.make_vector(
+                rng.standard_normal(n))
+            engine.reset_stats()
+            interp.run("d <- (x-1)^2 + (y-1)^2")
+        assert slow.sim_seconds() > fast.sim_seconds()

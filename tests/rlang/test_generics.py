@@ -1,0 +1,116 @@
+"""Tests for the S4-style generic dispatch mechanism."""
+
+import pytest
+
+from repro.rlang import DispatchError, Generics
+
+
+class Animal:
+    pass
+
+
+class Dog(Animal):
+    pass
+
+
+class Cat(Animal):
+    pass
+
+
+class TestDispatch:
+    def test_exact_match(self):
+        g = Generics()
+        g.set_method("speak", (Dog,), lambda d: "woof")
+        assert g.dispatch("speak", Dog()) == "woof"
+
+    def test_no_method_raises(self):
+        g = Generics()
+        with pytest.raises(DispatchError):
+            g.dispatch("speak", Cat())
+
+    def test_wildcard_fallback(self):
+        g = Generics()
+        g.set_method("speak", (object,), lambda a: "???")
+        assert g.dispatch("speak", Cat()) == "???"
+
+    def test_exact_beats_wildcard(self):
+        g = Generics()
+        g.set_method("speak", (object,), lambda a: "???")
+        g.set_method("speak", (Dog,), lambda d: "woof")
+        assert g.dispatch("speak", Dog()) == "woof"
+        assert g.dispatch("speak", Cat()) == "???"
+
+    def test_superclass_match(self):
+        g = Generics()
+        g.set_method("speak", (Animal,), lambda a: "animal")
+        assert g.dispatch("speak", Dog()) == "animal"
+
+    def test_subclass_beats_superclass(self):
+        g = Generics()
+        g.set_method("speak", (Animal,), lambda a: "animal")
+        g.set_method("speak", (Dog,), lambda a: "woof")
+        assert g.dispatch("speak", Dog()) == "woof"
+        assert g.dispatch("speak", Cat()) == "animal"
+
+    def test_binary_signatures(self):
+        g = Generics()
+        g.set_method("+", (Dog, Dog), lambda a, b: "dogs")
+        g.set_method("+", (Dog, object), lambda a, b: "dog+any")
+        assert g.dispatch("+", Dog(), Dog()) == "dogs"
+        assert g.dispatch("+", Dog(), Cat()) == "dog+any"
+
+    def test_most_exact_binary_wins(self):
+        g = Generics()
+        g.set_method("+", (object, Cat), lambda a, b: "any+cat")
+        g.set_method("+", (Dog, object), lambda a, b: "dog+any")
+        g.set_method("+", (Dog, Cat), lambda a, b: "dog+cat")
+        assert g.dispatch("+", Dog(), Cat()) == "dog+cat"
+
+    def test_lookup_returns_none_when_missing(self):
+        g = Generics()
+        assert g.lookup("speak", (Dog,)) is None
+
+    def test_has_method(self):
+        g = Generics()
+        g.set_method("speak", (Dog,), lambda d: "woof")
+        assert g.has_method("speak", (Dog,))
+        assert not g.has_method("speak", (Cat,))
+
+    def test_kwargs_forwarded(self):
+        g = Generics()
+        g.set_method("greet", (Dog,),
+                     lambda d, loud=False: "WOOF" if loud else "woof")
+        assert g.dispatch("greet", Dog(), loud=True) == "WOOF"
+
+    def test_bulk_registration(self):
+        g = Generics()
+        g.set_methods({
+            ("speak", (Dog,)): lambda d: "woof",
+            ("speak", (Cat,)): lambda c: "meow",
+        })
+        assert g.dispatch("speak", Cat()) == "meow"
+
+
+class TestPaperScenario:
+    """The paper's §4 dbvector registration pattern, end to end."""
+
+    def test_transparent_override(self):
+        class vector:  # built-in type
+            def __init__(self, values):
+                self.values = values
+
+        class dbvector:  # RIOT-DB type
+            def __init__(self, table):
+                self.table = table
+
+        g = Generics()
+        g.set_method("+", (vector, vector),
+                     lambda a, b: "in-memory add")
+        g.set_method("+", (dbvector, dbvector),
+                     lambda a, b: "SQL view add")
+        # "Users do not need to know whether an object they are dealing
+        # with has a RIOT-DB type or a built-in type."
+        assert g.dispatch("+", vector([1]), vector([2])) == \
+            "in-memory add"
+        assert g.dispatch("+", dbvector("E1"), dbvector("E2")) == \
+            "SQL view add"

@@ -1,0 +1,246 @@
+"""Tests for the interpreter with the reference (numpy) engine."""
+
+import numpy as np
+import pytest
+
+from repro.rlang import Interpreter, NumpyEngine, RError, RScalar
+
+
+@pytest.fixture
+def interp():
+    return Interpreter(NumpyEngine(), seed=7)
+
+
+def run(interp, src):
+    return interp.run(src)
+
+
+class TestScalars:
+    def test_arithmetic(self, interp):
+        assert run(interp, "1 + 2 * 3").value == 7
+
+    def test_power(self, interp):
+        assert run(interp, "2 ^ 10").value == 1024
+
+    def test_integer_division_stays_float(self, interp):
+        assert run(interp, "7 / 2").value == 3.5
+
+    def test_modulo(self, interp):
+        assert run(interp, "7 %% 3").value == 1
+
+    def test_comparison(self, interp):
+        assert run(interp, "3 > 2").value is True
+
+    def test_logical_ops(self, interp):
+        assert run(interp, "TRUE & FALSE").value is False
+        assert run(interp, "TRUE | FALSE").value is True
+        assert run(interp, "!TRUE").value is False
+
+    def test_unary_minus(self, interp):
+        assert run(interp, "-5").value == -5
+
+
+class TestVectors:
+    def test_c_and_length(self, interp):
+        run(interp, "v <- c(1, 2, 3)")
+        assert run(interp, "length(v)").value == 3
+
+    def test_vectorized_arithmetic(self, interp):
+        run(interp, "v <- c(1, 2, 3) * 2 + 1")
+        assert np.allclose(interp.env["v"].data, [3, 5, 7])
+
+    def test_vector_vector_ops(self, interp):
+        run(interp, "v <- c(1, 2) + c(10, 20)")
+        assert np.allclose(interp.env["v"].data, [11, 22])
+
+    def test_nonconformable_rejected(self, interp):
+        with pytest.raises(RError):
+            run(interp, "c(1, 2) + c(1, 2, 3)")
+
+    def test_range(self, interp):
+        run(interp, "v <- 1:5")
+        assert np.allclose(interp.env["v"].data, [1, 2, 3, 4, 5])
+
+    def test_sqrt(self, interp):
+        run(interp, "v <- sqrt(c(4, 9))")
+        assert np.allclose(interp.env["v"].data, [2, 3])
+
+    def test_reductions(self, interp):
+        run(interp, "v <- 1:10")
+        assert run(interp, "sum(v)").value == 55
+        assert run(interp, "mean(v)").value == 5.5
+        assert run(interp, "min(v)").value == 1
+        assert run(interp, "max(v)").value == 10
+
+    def test_indexing(self, interp):
+        run(interp, "v <- c(10, 20, 30)")
+        assert run(interp, "v[2]").value == 20
+
+    def test_vector_index(self, interp):
+        run(interp, "v <- c(10, 20, 30, 40); w <- v[c(1, 3)]")
+        assert np.allclose(interp.env["w"].data, [10, 30])
+
+    def test_logical_mask_index(self, interp):
+        run(interp, "v <- c(1, 5, 2, 8); w <- v[v > 3]")
+        assert np.allclose(interp.env["w"].data, [5, 8])
+
+    def test_which(self, interp):
+        run(interp, "w <- which(c(1, 5, 2, 8) > 3)")
+        assert np.allclose(interp.env["w"].data, [2, 4])
+
+    def test_out_of_bounds(self, interp):
+        with pytest.raises(RError):
+            run(interp, "c(1, 2)[5]")
+
+    def test_value_semantics_on_assign(self, interp):
+        run(interp, "x <- c(1, 2); y <- x; y[1] <- 99")
+        assert interp.env["x"].data[0] == 1
+        assert interp.env["y"].data[0] == 99
+
+    def test_mask_assignment(self, interp):
+        run(interp, "b <- c(50, 200, 30); b[b > 100] <- 100")
+        assert np.allclose(interp.env["b"].data, [50, 100, 30])
+
+    def test_sample_without_replacement(self, interp):
+        run(interp, "s <- sample(100, 50)")
+        s = interp.env["s"].data
+        assert len(np.unique(s)) == 50
+        assert s.min() >= 1 and s.max() <= 100
+
+    def test_sample_too_large(self, interp):
+        with pytest.raises(RError):
+            run(interp, "sample(5, 10)")
+
+    def test_rnorm_runif(self, interp):
+        run(interp, "a <- rnorm(1000); b <- runif(1000, 5, 6)")
+        assert abs(float(interp.env["a"].data.mean())) < 0.2
+        b = interp.env["b"].data
+        assert b.min() >= 5 and b.max() <= 6
+
+
+class TestMatrices:
+    def test_matrix_fill_is_column_major(self, interp):
+        run(interp, "m <- matrix(1:6, 2, 3)")
+        assert np.allclose(interp.env["m"].data,
+                           [[1, 3, 5], [2, 4, 6]])
+
+    def test_matrix_scalar_fill(self, interp):
+        run(interp, "m <- matrix(7, 2, 2)")
+        assert np.allclose(interp.env["m"].data, np.full((2, 2), 7.0))
+
+    def test_dim_nrow_ncol(self, interp):
+        run(interp, "m <- matrix(0, 3, 4)")
+        assert run(interp, "nrow(m)").value == 3
+        assert run(interp, "ncol(m)").value == 4
+
+    def test_matmul(self, interp, rng):
+        run(interp, """
+        A <- matrix(rnorm(12), 3, 4)
+        B <- matrix(rnorm(8), 4, 2)
+        C <- A %*% B
+        """)
+        A = interp.env["A"].data
+        B = interp.env["B"].data
+        assert np.allclose(interp.env["C"].data, A @ B)
+
+    def test_nonconformable_matmul(self, interp):
+        with pytest.raises(RError):
+            run(interp, "matrix(0,2,3) %*% matrix(0,2,3)")
+
+    def test_transpose(self, interp):
+        run(interp, "m <- t(matrix(1:6, 2, 3))")
+        assert interp.env["m"].data.shape == (3, 2)
+
+    def test_element_read_write(self, interp):
+        run(interp, "m <- matrix(0, 2, 2); m[1, 2] <- 5")
+        assert interp.env["m"].data[0, 1] == 5
+        assert run(interp, "m[1, 2]").value == 5
+
+    def test_row_column_extraction(self, interp):
+        run(interp, "m <- matrix(1:6, 2, 3); r <- m[1, ]; c <- m[, 2]")
+        assert np.allclose(interp.env["r"].data, [1, 3, 5])
+        assert np.allclose(interp.env["c"].data, [3, 4])
+
+    def test_crossprod(self, interp):
+        run(interp, "A <- matrix(rnorm(12), 4, 3); C <- crossprod(A)")
+        A = interp.env["A"].data
+        assert np.allclose(interp.env["C"].data, A.T @ A)
+
+
+class TestControlFlow:
+    def test_if_else(self, interp):
+        assert run(interp, "if (1 > 0) 10 else 20").value == 10
+        assert run(interp, "if (1 < 0) 10 else 20").value == 20
+
+    def test_for_accumulation(self, interp):
+        run(interp, "s <- 0\nfor (i in 1:10) s <- s + i")
+        assert interp.env["s"].value == 55
+
+    def test_while_with_break(self, interp):
+        run(interp, """
+        i <- 0
+        while (TRUE) {
+          i <- i + 1
+          if (i >= 5) break
+        }
+        """)
+        assert interp.env["i"].value == 5
+
+    def test_next_skips(self, interp):
+        run(interp, """
+        s <- 0
+        for (i in 1:10) {
+          if (i %% 2 == 0) next
+          s <- s + i
+        }
+        """)
+        assert interp.env["s"].value == 25
+
+    def test_undefined_variable(self, interp):
+        with pytest.raises(RError, match="not found"):
+            run(interp, "zzz + 1")
+
+    def test_unknown_function(self, interp):
+        with pytest.raises(RError, match="could not find function"):
+            run(interp, "nosuchfn(1)")
+
+
+class TestOutput:
+    def test_print_vector_format(self, interp):
+        run(interp, "print(c(1, 2.5, 3))")
+        assert interp.output == ["[1] 1 2.5 3"]
+
+    def test_print_truncates_long_vectors(self, interp):
+        run(interp, "print(1:100)")
+        assert interp.output[0].endswith("...")
+
+    def test_print_scalar(self, interp):
+        run(interp, "print(42)")
+        assert interp.output == ["42"]
+
+    def test_cat(self, interp):
+        run(interp, 'cat("result:", 5)')
+        assert interp.output == ["result: 5"]
+
+    def test_stopifnot_passes_and_fails(self, interp):
+        run(interp, "stopifnot(1 > 0)")
+        with pytest.raises(RError):
+            run(interp, "stopifnot(1 < 0)")
+
+
+class TestAssignmentHook:
+    def test_hook_sees_assignments(self):
+        engine = NumpyEngine()
+        seen = []
+        engine.on_assign = lambda name, value, old: \
+            seen.append((name, old is not None)) or value
+        interp = Interpreter(engine)
+        interp.run("x <- 1; x <- 2; y <- 3")
+        assert seen == [("x", False), ("x", True), ("y", False)]
+
+    def test_hook_can_replace_value(self):
+        engine = NumpyEngine()
+        engine.on_assign = lambda name, value, old: RScalar(99)
+        interp = Interpreter(engine)
+        interp.run("x <- 1")
+        assert interp.env["x"].value == 99

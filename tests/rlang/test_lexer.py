@@ -1,0 +1,78 @@
+"""Tests for the R-subset tokenizer."""
+
+import pytest
+
+from repro.rlang import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_numbers(self):
+        toks = tokenize("1 2.5 1e3 2.5e-2 .5")
+        nums = [t.text for t in toks if t.kind == "NUM"]
+        assert nums == ["1", "2.5", "1e3", "2.5e-2", ".5"]
+
+    def test_r_identifiers_with_dots(self):
+        toks = tokenize("my.var x_1 .hidden")
+        names = [t.text for t in toks if t.kind == "NAME"]
+        assert names == ["my.var", "x_1", ".hidden"]
+
+    def test_keywords_recognized(self):
+        toks = tokenize("if else for while in TRUE FALSE NULL")
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"a\nb" ' + r"'c\'d'")
+        strs = [t.text for t in toks if t.kind == "STR"]
+        assert strs == ["a\nb", "c'd"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_comments_stripped(self):
+        toks = tokenize("x <- 1 # comment with <- and %*%\ny")
+        assert "comment" not in " ".join(t.text for t in toks)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+
+class TestOperators:
+    def test_multichar_operators_greedy(self):
+        assert texts("a <- b") == ["a", "<-", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a < -b") == ["a", "<", "-", "b"]
+
+    def test_matmul_operator(self):
+        assert "%*%" in texts("A %*% B")
+
+    def test_modulo_operator(self):
+        assert "%%" in texts("a %% b")
+
+    def test_all_comparison_ops(self):
+        ops = texts("a == b != c < d > e <= f >= g")
+        for op in ("==", "!=", "<", ">", "<=", ">="):
+            assert op in ops
+
+
+class TestStructure:
+    def test_newlines_tokenized(self):
+        assert kinds("a\nb").count("NEWLINE") == 1
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\nc")
+        names = [t for t in toks if t.kind == "NAME"]
+        assert [t.line for t in names] == [1, 2, 3]
+
+    def test_ends_with_eof(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("x")[-1].kind == "EOF"

@@ -1,0 +1,196 @@
+"""Tests for the R-subset parser: precedence, statements, subscripts."""
+
+import pytest
+
+from repro.rlang import ParseError, parse
+from repro.rlang import parser as parser_mod
+from repro.rlang.rast import (Assign, BinOp, Block, Call, For, If, Index,
+                              IndexAssign, Missing, Name, Num, Program,
+                              UnaryOp, While)
+
+
+def stmt(src):
+    program = parse(src)
+    assert len(program.statements) == 1
+    return program.statements[0]
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        node = stmt("a + b * c")
+        assert isinstance(node, BinOp) and node.op == "+"
+        assert isinstance(node.right, BinOp) and node.right.op == "*"
+
+    def test_power_right_associative(self):
+        node = stmt("2 ^ 3 ^ 2")
+        assert node.op == "^"
+        assert isinstance(node.right, BinOp) and node.right.op == "^"
+
+    def test_range_binds_tighter_than_add(self):
+        # R: 1:10 - 5 is (1:10) - 5 ... wait, no: ':' binds TIGHTER than
+        # binary minus, so 1:n-1 is (1:n)-1.  Verify our parser agrees.
+        node = stmt("1:10 - 5")
+        assert node.op == "-"
+        assert isinstance(node.left, BinOp) and node.left.op == ":"
+
+    def test_unary_minus_and_power(self):
+        # In R, -2^2 is -(2^2) = -4.
+        node = stmt("-2^2")
+        assert isinstance(node, UnaryOp) and node.op == "-"
+        assert isinstance(node.operand, BinOp) and node.operand.op == "^"
+
+    def test_matmul_tighter_than_mul(self):
+        node = stmt("a * b %*% c")
+        assert node.op == "*"
+        assert isinstance(node.right, BinOp) and node.right.op == "%*%"
+
+    def test_comparison_below_arithmetic(self):
+        node = stmt("a + b > c * d")
+        assert node.op == ">"
+
+    def test_and_below_comparison(self):
+        node = stmt("a > b & c < d")
+        assert node.op == "&"
+
+    def test_or_below_and(self):
+        node = stmt("a & b | c")
+        assert node.op == "|"
+
+    def test_parentheses_override(self):
+        node = stmt("(a + b) * c")
+        assert node.op == "*"
+        assert isinstance(node.left, BinOp) and node.left.op == "+"
+
+
+class TestAssignment:
+    def test_arrow_assign(self):
+        node = stmt("x <- 1 + 2")
+        assert isinstance(node, Assign) and node.target == "x"
+
+    def test_equals_assign(self):
+        node = stmt("x = 5")
+        assert isinstance(node, Assign)
+
+    def test_chained_assign(self):
+        node = stmt("x <- y <- 1")
+        assert isinstance(node, Assign)
+        assert isinstance(node.value, Assign)
+
+    def test_index_assign(self):
+        node = stmt("b[b > 100] <- 100")
+        assert isinstance(node, IndexAssign)
+        assert node.target == "b"
+        assert isinstance(node.indices[0], BinOp)
+
+    def test_matrix_index_assign(self):
+        node = stmt("T[i, j] <- 0")
+        assert isinstance(node, IndexAssign)
+        assert len(node.indices) == 2
+
+    def test_invalid_target(self):
+        with pytest.raises(ParseError):
+            parse("f(x) <- 1")
+
+
+class TestSubscripts:
+    def test_simple_index(self):
+        node = stmt("d[s]")
+        assert isinstance(node, Index)
+
+    def test_matrix_index_with_missing(self):
+        node = stmt("m[i, ]")
+        assert isinstance(node.indices[1], Missing)
+        node2 = stmt("m[, j]")
+        assert isinstance(node2.indices[0], Missing)
+
+    def test_chained_index(self):
+        node = stmt("x[a][b]")
+        assert isinstance(node, Index)
+        assert isinstance(node.obj, Index)
+
+    def test_index_of_call(self):
+        node = stmt("head(x)[1]")
+        assert isinstance(node, Index)
+        assert isinstance(node.obj, Call)
+
+
+class TestCalls:
+    def test_positional_args(self):
+        node = stmt("sample(length(x), 100)")
+        assert isinstance(node, Call) and node.func == "sample"
+        assert len(node.args) == 2
+        assert isinstance(node.args[0], Call)
+
+    def test_named_args(self):
+        node = stmt("rnorm(10, sd=2)")
+        assert list(node.kwargs) == ["sd"]
+
+    def test_named_arg_not_confused_with_comparison(self):
+        node = stmt("f(x == 1)")
+        assert not node.kwargs
+        assert isinstance(node.args[0], BinOp)
+
+    def test_empty_args(self):
+        node = stmt("f()")
+        assert node.args == []
+
+    def test_only_named_functions_callable(self):
+        with pytest.raises(ParseError):
+            parse("f(x)(y)")
+
+
+class TestStatements:
+    def test_semicolon_separated(self):
+        program = parse("a <- 1; b <- 2; c <- 3")
+        assert len(program.statements) == 3
+
+    def test_paper_example1_parses(self):
+        program = parse("""
+        d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+        s <- sample(length(x),100) # draw 100 samples from 1:n
+        z <- d[s] # extract elements of d whose indices are in s
+        print(z)
+        """)
+        assert len(program.statements) == 4
+
+    def test_paper_section5_fragment_parses(self):
+        program = parse("b <- a^2; b[b>100] <- 100; print(b[1:10])")
+        assert len(program.statements) == 3
+        assert isinstance(program.statements[1], IndexAssign)
+
+    def test_paper_matmul_pseudocode_parses(self):
+        program = parse("""
+        for (j in 1:n3)
+          for (i in 1:n1) {
+            T[i,j] <- 0
+            for (k in 1:n2)
+              T[i,j] <- T[i,j] + A[i,k]*B[k,j]
+          }
+        """)
+        assert isinstance(program.statements[0], For)
+
+    def test_if_else(self):
+        node = stmt("if (x > 0) y <- 1 else y <- 2")
+        assert isinstance(node, If)
+        assert node.otherwise is not None
+
+    def test_if_without_else(self):
+        node = stmt("if (x > 0) y <- 1")
+        assert isinstance(node, If) and node.otherwise is None
+
+    def test_while_loop(self):
+        node = stmt("while (x < 10) x <- x + 1")
+        assert isinstance(node, While)
+
+    def test_block_value(self):
+        node = stmt("{ a <- 1\n b <- 2 }")
+        assert isinstance(node, Block)
+        assert len(node.statements) == 2
+
+    def test_multiline_expression_in_parens(self):
+        program = parse("x <- (1 +\n 2)")
+        assert len(program.statements) == 1
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse("x <- 1\ny <- )")

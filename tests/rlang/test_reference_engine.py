@@ -1,0 +1,120 @@
+"""Property tests: the reference engine must match numpy semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rlang import Interpreter, NumpyEngine
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+def fresh():
+    return Interpreter(NumpyEngine(), seed=3)
+
+
+@given(st.lists(finite, min_size=1, max_size=50),
+       st.lists(finite, min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_elementwise_add_matches_numpy(xs, ys):
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.env["y"] = interp.engine.make_vector(np.asarray(ys))
+    interp.run("z <- x + y")
+    assert np.allclose(interp.env["z"].data,
+                       np.asarray(xs) + np.asarray(ys))
+
+
+@given(st.lists(finite, min_size=1, max_size=50), finite)
+@settings(max_examples=50, deadline=None)
+def test_scalar_broadcast_matches_numpy(xs, c):
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.env["c"] = __import__(
+        "repro.rlang.values", fromlist=["RScalar"]).RScalar(c)
+    interp.run("z <- x * c - c")
+    assert np.allclose(interp.env["z"].data,
+                       np.asarray(xs) * c - c, rtol=1e-9, atol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_sqrt_matches_numpy(xs):
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.run("z <- sqrt(x)")
+    assert np.allclose(interp.env["z"].data, np.sqrt(xs))
+
+
+@given(st.lists(finite, min_size=1, max_size=60),
+       st.data())
+@settings(max_examples=50, deadline=None)
+def test_subscript_matches_numpy(xs, data):
+    idx = data.draw(st.lists(
+        st.integers(1, len(xs)), min_size=1, max_size=20))
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.env["s"] = interp.engine.make_vector(
+        np.asarray(idx, dtype=np.float64))
+    interp.run("z <- x[s]")
+    assert np.allclose(interp.env["z"].data,
+                       np.asarray(xs)[np.asarray(idx) - 1])
+
+
+@given(st.lists(finite, min_size=1, max_size=60), finite, finite)
+@settings(max_examples=50, deadline=None)
+def test_mask_assign_matches_numpy(xs, threshold, replacement)\
+        :
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.env["t"] = __import__(
+        "repro.rlang.values", fromlist=["RScalar"]).RScalar(threshold)
+    interp.env["r"] = __import__(
+        "repro.rlang.values", fromlist=["RScalar"]).RScalar(replacement)
+    interp.run("x[x > t] <- r")
+    expect = np.asarray(xs).copy()
+    expect[expect > threshold] = replacement
+    assert np.allclose(interp.env["x"].data, expect)
+
+
+@given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_matmul_matches_numpy(m, k, n):
+    rng = np.random.default_rng(m * 100 + k * 10 + n)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    interp = fresh()
+    interp.env["A"] = interp.engine.make_matrix(a)
+    interp.env["B"] = interp.engine.make_matrix(b)
+    interp.run("C <- A %*% B")
+    assert np.allclose(interp.env["C"].data, a @ b)
+
+
+@given(st.lists(finite, min_size=2, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_reductions_match_numpy(xs):
+    arr = np.asarray(xs)
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(arr)
+    assert interp.run("sum(x)").value == pytest.approx(
+        arr.sum(), rel=1e-9, abs=1e-6)
+    assert interp.run("min(x)").value == pytest.approx(arr.min())
+    assert interp.run("max(x)").value == pytest.approx(arr.max())
+
+
+@given(st.lists(finite, min_size=1, max_size=40), finite)
+@settings(max_examples=40, deadline=None)
+def test_comparison_roundtrip(xs, threshold):
+    """which(x > t) agrees with numpy's flatnonzero."""
+    interp = fresh()
+    interp.env["x"] = interp.engine.make_vector(np.asarray(xs))
+    interp.env["t"] = __import__(
+        "repro.rlang.values", fromlist=["RScalar"]).RScalar(threshold)
+    interp.run("w <- which(x > t)")
+    expect = np.flatnonzero(np.asarray(xs) > threshold) + 1
+    assert np.allclose(interp.env["w"].data, expect)

@@ -1,0 +1,168 @@
+"""Unit tests for the buffer pool and replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BlockDevice, BufferPool, make_policy
+
+
+def _fill_device(dev: BlockDevice, n: int) -> list[int]:
+    first = dev.allocate(n)
+    for i in range(n):
+        dev.write_floats(first + i, np.full(dev.block_size // 8, float(i)))
+    return list(range(first, first + n))
+
+
+class TestBasics:
+    def test_hit_costs_no_io(self, device):
+        blocks = _fill_device(device, 2)
+        pool = BufferPool(device, 4)
+        pool.get(blocks[0])
+        before = device.stats.total
+        pool.get(blocks[0])
+        assert device.stats.total == before
+        assert pool.stats.hits == 1
+
+    def test_miss_reads_device(self, device):
+        blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 4)
+        before = device.stats.reads
+        pool.get(blocks[0])
+        assert device.stats.reads == before + 1
+
+    def test_capacity_never_exceeded(self, device):
+        blocks = _fill_device(device, 32)
+        pool = BufferPool(device, 8)
+        for bid in blocks:
+            pool.get(bid)
+            assert pool.resident <= 8
+
+    def test_invalid_capacity(self, device):
+        with pytest.raises(ValueError):
+            BufferPool(device, 0)
+
+    def test_put_skips_read(self, device):
+        dev_blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 4)
+        before = device.stats.reads
+        pool.put(dev_blocks[0], np.zeros(device.block_size, np.uint8))
+        assert device.stats.reads == before
+
+
+class TestDirtyWriteback:
+    def test_dirty_page_written_on_eviction(self, device):
+        blocks = _fill_device(device, 3)
+        pool = BufferPool(device, 2)
+        pool.get(blocks[0], for_write=True)
+        writes_before = device.stats.writes
+        pool.get(blocks[1])
+        pool.get(blocks[2])  # evicts block 0, which is dirty
+        assert device.stats.writes == writes_before + 1
+
+    def test_clean_page_eviction_is_free(self, device):
+        blocks = _fill_device(device, 3)
+        pool = BufferPool(device, 2)
+        pool.get(blocks[0])
+        writes_before = device.stats.writes
+        pool.get(blocks[1])
+        pool.get(blocks[2])
+        assert device.stats.writes == writes_before
+
+    def test_flush_persists_changes(self, device):
+        blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 2)
+        frame = pool.get(blocks[0], for_write=True)
+        frame[:8] = 255
+        pool.flush_all()
+        pool.invalidate(blocks[0])
+        assert pool.get(blocks[0])[0] == 255
+
+    def test_mark_dirty_requires_residency(self, device):
+        blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 2)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(blocks[0])
+
+
+class TestPinning:
+    def test_pinned_frame_survives_pressure(self, device):
+        blocks = _fill_device(device, 10)
+        pool = BufferPool(device, 2)
+        pool.get(blocks[0])
+        pool.pin(blocks[0])
+        for bid in blocks[1:]:
+            pool.get(bid)
+        # block 0 must still be resident (hit, no device read)
+        reads_before = device.stats.reads
+        pool.get(blocks[0])
+        assert device.stats.reads == reads_before
+        pool.unpin(blocks[0])
+
+    def test_all_pinned_raises(self, device):
+        blocks = _fill_device(device, 3)
+        pool = BufferPool(device, 2)
+        pool.get(blocks[0])
+        pool.pin(blocks[0])
+        pool.get(blocks[1])
+        pool.pin(blocks[1])
+        with pytest.raises(RuntimeError):
+            pool.get(blocks[2])
+
+    def test_pin_nonresident_raises(self, device):
+        blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 2)
+        with pytest.raises(KeyError):
+            pool.pin(blocks[0])
+
+
+class TestPolicies:
+    def test_lru_evicts_least_recent(self, device):
+        blocks = _fill_device(device, 3)
+        pool = BufferPool(device, 2, policy="lru")
+        pool.get(blocks[0])
+        pool.get(blocks[1])
+        pool.get(blocks[0])       # 1 is now least recent
+        pool.get(blocks[2])       # evicts 1
+        reads_before = device.stats.reads
+        pool.get(blocks[0])       # hit
+        assert device.stats.reads == reads_before
+        pool.get(blocks[1])       # miss
+        assert device.stats.reads == reads_before + 1
+
+    def test_clock_gives_second_chance(self, device):
+        blocks = _fill_device(device, 4)
+        pool = BufferPool(device, 2, policy="clock")
+        for bid in blocks:
+            pool.get(bid)
+        assert pool.resident == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("mru")
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_scan_workload_correctness(self, device, policy):
+        """Any policy must return correct data under heavy churn."""
+        blocks = _fill_device(device, 64)
+        pool = BufferPool(device, 4, policy=policy)
+        for rep in range(2):
+            for i, bid in enumerate(blocks):
+                frame = pool.get(bid)
+                assert frame.view(np.float64)[0] == float(i)
+
+    def test_clear_flushes_and_empties(self, device):
+        blocks = _fill_device(device, 2)
+        pool = BufferPool(device, 4)
+        frame = pool.get(blocks[0], for_write=True)
+        frame[:8] = 7
+        pool.clear()
+        assert pool.resident == 0
+        assert device.read_block(blocks[0])[0] == 7
+
+    def test_hit_rate(self, device):
+        blocks = _fill_device(device, 1)
+        pool = BufferPool(device, 2)
+        pool.get(blocks[0])
+        pool.get(blocks[0])
+        pool.get(blocks[0])
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,64 @@
+"""Tests for the Example-1 workload harness."""
+
+import numpy as np
+import pytest
+
+from repro.engines import make_engine
+from repro.workloads import (ENDPOINTS, SOURCE, expected_z,
+                             generate_points, run_example1)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        x1, y1 = generate_points(1000, seed=3)
+        x2, y2 = generate_points(1000, seed=3)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        x1, _ = generate_points(1000, seed=3)
+        x2, _ = generate_points(1000, seed=4)
+        assert not np.array_equal(x1, x2)
+
+    def test_points_in_domain(self):
+        x, y = generate_points(5000)
+        assert x.min() >= 0 and x.max() <= 100
+        assert y.min() >= 0 and y.max() <= 100
+
+    def test_expected_z_matches_formula(self):
+        x, y = generate_points(100)
+        idx = np.asarray([0, 50, 99])
+        z = expected_z(x, y, idx)
+        d0 = (np.hypot(x[0] - ENDPOINTS["xs"], y[0] - ENDPOINTS["ys"])
+              + np.hypot(x[0] - ENDPOINTS["xe"], y[0] - ENDPOINTS["ye"]))
+        assert z[0] == pytest.approx(d0)
+
+
+class TestHarness:
+    def test_run_produces_output_and_metrics(self):
+        engine = make_engine("riotng", memory_bytes=4 * 1024 * 1024)
+        result = run_example1(engine, 50_000)
+        assert result.output and result.output[0].startswith("[1]")
+        assert result.sim_seconds >= 0
+        assert result.wall_seconds > 0
+
+    def test_values_are_correct(self):
+        """Harness output must equal the direct numpy computation."""
+        engine = make_engine("riotng", memory_bytes=4 * 1024 * 1024)
+        result = run_example1(engine, 20_000, seed=7,
+                              program_seed=123)
+        z_engine = engine.session.values(result.env["z"].node)
+        x, y = generate_points(20_000, seed=7)
+        s = engine.session.values(result.env["s"].node).astype(int)
+        assert np.allclose(z_engine, expected_z(x, y, s - 1))
+
+    def test_io_excludes_data_loading(self):
+        """Stats reset after loading: tiny n means near-zero I/O."""
+        engine = make_engine("riotng", memory_bytes=64 * 1024 * 1024)
+        result = run_example1(engine, 10_000)
+        assert result.io_mb < 1.0
+
+    def test_source_matches_paper(self):
+        assert "sqrt((x-xs)^2+(y-ys)^2)" in SOURCE
+        assert "sample(length(x), 100)" in SOURCE
+        assert "z <- d[s]" in SOURCE
