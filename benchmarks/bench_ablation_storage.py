@@ -19,7 +19,6 @@ store:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.storage import ArrayStore
 

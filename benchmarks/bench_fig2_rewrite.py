@@ -14,9 +14,8 @@ I/O of evaluating the 10-element result, printing both DAGs.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.core import RiotSession, render
+from repro.core import RiotSession
 
 N = 2_000_000
 MEMORY = 32 * 8192  # deliberately tiny pool: misses are visible

@@ -12,7 +12,6 @@ orders of magnitude of the figure's log-scale axis.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.costs import GB_IN_SCALARS, fig3_strategy_costs, fig3a_rows
 

@@ -8,7 +8,6 @@ RIOT-DB is omitted exactly as in the paper.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.chain import optimal_order
 from repro.core.costs import fig3_dims, fig3b_rows

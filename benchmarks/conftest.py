@@ -2,7 +2,7 @@
 
 Every benchmark prints the rows/series of the paper figure it regenerates
 (run ``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
-*shape* claims of the paper — who wins, by roughly what factor — rather than
+*shape* claims of the paper — who wins, by roughly what factor — not
 absolute numbers, since the substrate is a simulator rather than the
 authors' 2008 Solaris testbed.
 """

@@ -1,5 +1,15 @@
-"""Legacy setup shim so ``pip install -e .`` works offline (no wheel pkg)."""
+"""Package metadata (legacy setup.py so ``pip install -e .`` works
+offline, without fetching a PEP 517 build backend)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="riot-repro",
+    version="0.1.0",
+    description=("Reproduction of RIOT: I/O-Efficient Numerical "
+                 "Computing without SQL (CIDR 2009)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+)

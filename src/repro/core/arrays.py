@@ -115,7 +115,7 @@ class _Deferred:
                               _scalarize(then_value),
                               _scalarize(else_value)))
 
-    # -- reductions ------------------------------------------------------------
+    # -- reductions --------------------------------------------------------
     def sum(self) -> float:
         return float(self.session.force(Reduce("sum", self.node)))
 
@@ -128,7 +128,7 @@ class _Deferred:
     def max(self) -> float:
         return float(self.session.force(Reduce("max", self.node)))
 
-    # -- evaluation ------------------------------------------------------------
+    # -- evaluation --------------------------------------------------------
     def force(self):
         """Materialize this handle's DAG into the tile store."""
         return self.session.force(self.node)

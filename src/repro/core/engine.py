@@ -19,7 +19,7 @@ import numpy as np
 from repro.engines.base import Engine
 from repro.rlang.generics import Generics
 from repro.rlang.reference import format_vector
-from repro.rlang.values import MISSING, MissingIndex, RError, RScalar
+from repro.rlang.values import MissingIndex, RError, RScalar
 from repro.storage import IOStats, SimClock
 
 from .expr import (ArrayInput, COMPARISON_OPS, Map, MatMul, Node, Range,

@@ -27,7 +27,10 @@ from repro.storage import ArrayStore, TiledMatrix, TiledVector
 
 from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
                    Scalar, Subscript, SubscriptAssign, TERNARY_OPS,
-                   Transpose, UNARY_OPS, walk)
+                   Transpose, UNARY_OPS)
+
+#: Chunks of lookahead announced to the buffer pool during streaming.
+STREAM_PREFETCH_CHUNKS = 16
 
 
 class Evaluator:
@@ -120,6 +123,66 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Fused elementwise streaming
     # ------------------------------------------------------------------
+    def _stream_sources(self, node: Node,
+                        memo: dict[int, object]) -> list[TiledVector]:
+        """Tiled vectors ``_eval_chunk`` will read one chunk of per pass.
+
+        Mirrors ``_eval_chunk``'s dispatch exactly — in particular a
+        memoized (barrier) result shadows its subtree — so the returned
+        footprint is precise: every listed vector is read chunk-aligned,
+        and nothing else is.  Only vectors on this evaluator's store with
+        the store's standard chunk grid qualify as prefetch targets.
+        """
+        sources: list[TiledVector] = []
+        seen: set[int] = set()
+
+        def visit(n: Node) -> None:
+            if id(n) in seen or isinstance(n, (Scalar, Range)):
+                return
+            seen.add(id(n))
+            data = memo.get(id(n))
+            if data is None and isinstance(n, ArrayInput):
+                data = n.data
+            if isinstance(data, TiledVector):
+                if (data.store is self.store
+                        and data.chunk == self.store.scalars_per_block):
+                    sources.append(data)
+                return
+            if data is not None:
+                return
+            if isinstance(n, Map) or (isinstance(n, SubscriptAssign)
+                                      and n.logical_mask):
+                for c in n.children:
+                    visit(c)
+
+        visit(node)
+        return sources
+
+    def _stream_window(self, n_sources: int) -> int:
+        """Prefetch lookahead (in chunks) that the pool can actually hold.
+
+        Each streamed chunk touches ``n_sources`` input blocks plus one
+        output block; the window is sized so a full window of prefetched
+        inputs plus the outputs written while consuming it fit in the
+        pool together.  An oversized window would evict its own
+        prefetched frames before they are read — re-reading them later
+        and silently inflating the block totals the cost models rely on.
+        """
+        per_chunk = n_sources + 1
+        fits = max(1, (self.store.pool.capacity - 2) // per_chunk)
+        return min(STREAM_PREFETCH_CHUNKS, fits)
+
+    def _prefetch_stream_window(self, sources: list[TiledVector],
+                                lo_ci: int, hi_ci: int) -> None:
+        """Announce chunks [lo_ci, hi_ci) of every streamed input."""
+        keys: list[int] = []
+        for vec in sources:
+            hi = min(hi_ci, vec.num_chunks)
+            if lo_ci < hi:
+                keys.extend(vec.blocks_for_chunks(range(lo_ci, hi)))
+        if keys:
+            self.store.pool.prefetch(keys)
+
     def _stream_vector(self, node: Node,
                        memo: dict[int, object]) -> TiledVector:
         # Materialize barrier subtrees first (gathers, matmuls, ...).
@@ -131,7 +194,11 @@ class Evaluator:
             self._force(barrier, memo)
         n = node.shape[0]
         out = self.store.create_vector(n)
+        sources = self._stream_sources(node, memo)
+        window = self._stream_window(len(sources))
         for ci in range(out.num_chunks):
+            if ci % window == 0:
+                self._prefetch_stream_window(sources, ci, ci + window)
             lo, hi = out.chunk_bounds(ci)
             chunk = self._eval_chunk(node, lo, hi, ci, memo)
             if np.ndim(chunk) == 0:
@@ -249,8 +316,12 @@ class Evaluator:
                 self._force(barrier, memo)
             n = child.shape[0]
             tmp = self.store.create_vector(n)  # chunk grid template
+            sources = self._stream_sources(child, memo)
+            window = self._stream_window(len(sources))
             acc_sum, acc_min, acc_max, count = 0.0, np.inf, -np.inf, 0
             for ci in range(tmp.num_chunks):
+                if ci % window == 0:
+                    self._prefetch_stream_window(sources, ci, ci + window)
                 lo, hi = tmp.chunk_bounds(ci)
                 chunk = np.asarray(
                     self._eval_chunk(child, lo, hi, ci, memo))

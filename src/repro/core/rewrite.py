@@ -20,11 +20,10 @@ The optimizer applies transformation rules until fixpoint:
 
 from __future__ import annotations
 
-import numpy as np
 
 from . import chain as chain_mod
 from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
-                   Scalar, Subscript, SubscriptAssign, Transpose, UNARY_OPS,
+                   Scalar, Subscript, SubscriptAssign, UNARY_OPS,
                    walk)
 
 

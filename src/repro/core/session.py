@@ -15,7 +15,7 @@ from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
 
 from .arrays import RiotMatrix, RiotVector
 from .evaluator import Evaluator
-from .expr import ArrayInput, Node, Range, walk
+from .expr import ArrayInput, Node, Range
 from .rewrite import Rewriter
 
 

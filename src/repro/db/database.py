@@ -20,7 +20,7 @@ from .btree import BPlusTree, KeyCodec
 from .catalog import Catalog, TableIndex
 from .executor import ExecContext, MaterializeOp, PhysOp, run_to_batch
 from .optimizer import Optimizer
-from .plan import PlanNode, Scan
+from .plan import PlanNode
 from .schema import Batch, Schema
 from .table import HeapTable
 

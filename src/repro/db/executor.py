@@ -57,7 +57,7 @@ class PhysOp:
         """Readable physical plan tree (the EXPLAIN output)."""
         pad = "  " * indent
         lines = [pad + self._describe()]
-        for child in getattr(self, "children", ()):  # type: ignore[attr-defined]
+        for child in getattr(self, "children", ()):
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
 

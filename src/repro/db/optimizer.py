@@ -20,12 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from . import sqlexpr as sx
 from .catalog import Catalog
-from .executor import (ExecContext, ExternalSortOp, FilterOp, IndexRangeScan,
-                       LimitOp, MaterializeOp, PhysOp, ProjectOp, ScalarAggOp,
+from .executor import (ExternalSortOp, FilterOp, IndexRangeScan,
+                       LimitOp, PhysOp, ProjectOp, ScalarAggOp,
                        SeqScan, SortAggOp, ValuesOp)
 from .joins import HashJoin, IndexNestedLoopJoin, MergeJoin
 from .plan import (Filter, GroupAgg, Join, Limit, PlanNode, Project, Rename,

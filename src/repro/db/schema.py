@@ -79,7 +79,7 @@ class Schema:
     @staticmethod
     def of(*cols: tuple[str, str], primary_key: tuple[str, ...] = ()
            ) -> "Schema":
-        """Convenience constructor: ``Schema.of(("I","INT"), ("V","DOUBLE"))``."""
+        """Convenience: ``Schema.of(("I","INT"), ("V","DOUBLE"))``."""
         return Schema(tuple(Column(n, t) for n, t in cols),
                       primary_key=tuple(primary_key))
 
@@ -133,7 +133,7 @@ def empty_batch(schema: Schema) -> Batch:
 
 
 def slice_batch(batch: Batch, mask_or_index: np.ndarray) -> Batch:
-    """Row-select every column of a batch with a boolean mask or index array."""
+    """Row-select every column of a batch with a mask or index array."""
     return {name: arr[mask_or_index] for name, arr in batch.items()}
 
 

@@ -30,7 +30,7 @@ from repro.db import (Col, Const, Database, Filter, Func, GroupAgg, Join,
                       Limit, Project, Scan, Schema, Sort)
 from repro.db import sqlexpr as sx
 from repro.rlang.generics import Generics
-from repro.rlang.values import MISSING, MissingIndex, RError, RScalar
+from repro.rlang.values import MissingIndex, RError, RScalar
 from repro.storage import IOStats, SimClock
 
 from .base import Engine
@@ -551,7 +551,7 @@ class DBEngineBase(Engine):
         table.update_rows(positions - 1, {"V": new_vals})
         return forced
 
-    # -- linear algebra --------------------------------------------------------
+    # -- linear algebra ----------------------------------------------------
     def _matmul(self, a: DBMat, b: DBMat) -> DBMat:
         if a.shape[1] != b.shape[0]:
             raise RError(
@@ -587,7 +587,7 @@ class DBEngineBase(Engine):
         ])
         return self._new_matrix(plan, (n1, n2), (v,))
 
-    # -- inspection -------------------------------------------------------------
+    # -- inspection --------------------------------------------------------
     def _print_vector(self, x: DBVec) -> str:
         from repro.rlang.reference import format_vector
         values = self.vector_values(x)

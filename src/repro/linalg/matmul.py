@@ -45,6 +45,7 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     p = int(math.sqrt(memory_scalars / 3.0))
     p = max(tile_side, (p // tile_side) * tile_side)
     out = store.create_matrix((m, n), layout="square", name=name)
+    hinting = a.store is store and b.store is store
     for i0 in range(0, m, p):
         i1 = min(i0 + p, m)
         for j0 in range(0, n, p):
@@ -52,6 +53,13 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
             acc = np.zeros((i1 - i0, j1 - j0))
             for k0 in range(0, l, p):
                 k1 = min(k0 + p, l)
+                if hinting:
+                    # Announce the step's full footprint — both operand
+                    # submatrices at once — so the scheduler turns the
+                    # tile misses into a handful of coalesced reads.
+                    store.pool.prefetch(
+                        a.submatrix_blocks(i0, i1, k0, k1)
+                        + b.submatrix_blocks(k0, k1, j0, j1))
                 a_sub = a.read_submatrix(i0, i1, k0, k1)
                 b_sub = b.read_submatrix(k0, k1, j0, j1)
                 acc += a_sub @ b_sub

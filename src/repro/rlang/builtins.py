@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .values import MISSING, NULL, RError, RNull, RScalar, RString
+from .values import NULL, RError, RNull, RScalar, RString
 
 
 def _scalar_int(value, what: str) -> int:

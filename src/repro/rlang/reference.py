@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .generics import Generics
-from .values import MISSING, MissingIndex, RError, RScalar
+from .values import MissingIndex, RError, RScalar
 
 
 class NumpyVector:

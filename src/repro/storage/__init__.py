@@ -9,8 +9,9 @@ I/O comparisons (Figure 1(a), Figure 3) exact here.
 """
 
 from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE, IOStats,
-                           SCALARS_PER_BLOCK, SimClock)
+                           SCALARS_PER_BLOCK, SimClock, coalesce_runs)
 from .buffer_pool import BufferPool, ClockPolicy, LRUPolicy, make_policy
+from .io_scheduler import IOScheduler
 from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
                             ZOrder, linearization_names, make_linearization)
 from .pagefile import PageFile
@@ -25,6 +26,7 @@ __all__ = [
     "ColMajor",
     "DEFAULT_BLOCK_SIZE",
     "Hilbert",
+    "IOScheduler",
     "IOStats",
     "Linearization",
     "LRUPolicy",
@@ -35,6 +37,7 @@ __all__ = [
     "TiledMatrix",
     "TiledVector",
     "ZOrder",
+    "coalesce_runs",
     "linearization_names",
     "make_linearization",
     "make_policy",

@@ -16,7 +16,7 @@ exact and reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,12 +30,34 @@ SCALARS_PER_BLOCK = DEFAULT_BLOCK_SIZE // 8
 
 @dataclass
 class IOStats:
-    """Counters for block-level I/O, split by direction and locality."""
+    """Counters for block-level I/O, split by direction and locality.
+
+    ``seq_*``/``rand_*`` count *blocks transferred* — the unit every cost
+    model in :mod:`repro.core.costs` is stated in.  The scheduler-era
+    counters below track *how* those blocks moved:
+
+    - ``read_calls``/``write_calls``: device operations issued.  A
+      coalesced run of adjacent blocks moves many blocks in one call, so
+      ``read_calls <= reads`` always holds.
+    - ``coalesced_ios``: blocks that rode along in a preceding adjacent
+      block's call instead of costing their own (``reads + writes -
+      read_calls - write_calls``).
+    - ``prefetched``: blocks transferred ahead of demand (readahead or an
+      explicit ``BufferPool.prefetch`` hint).  They still count in
+      ``reads`` — prefetching changes call shape, never block totals.
+    - ``readahead_hits``: buffer-pool hits served from a frame that a
+      prefetch brought in.
+    """
 
     seq_reads: int = 0
     rand_reads: int = 0
     seq_writes: int = 0
     rand_writes: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+    coalesced_ios: int = 0
+    prefetched: int = 0
+    readahead_hits: int = 0
 
     @property
     def reads(self) -> int:
@@ -49,6 +71,11 @@ class IOStats:
     def total(self) -> int:
         return self.reads + self.writes
 
+    @property
+    def calls(self) -> int:
+        """Device operations issued (coalesced runs count once)."""
+        return self.read_calls + self.write_calls
+
     def bytes_total(self, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
         return self.total * block_size
 
@@ -56,30 +83,45 @@ class IOStats:
         return self.bytes_total(block_size) / (1024.0 * 1024.0)
 
     def snapshot(self) -> "IOStats":
-        return IOStats(self.seq_reads, self.rand_reads,
-                       self.seq_writes, self.rand_writes)
+        return IOStats(**{f: getattr(self, f) for f in _IOSTAT_FIELDS})
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Return the I/O performed since ``earlier`` (a prior snapshot)."""
-        return IOStats(
-            self.seq_reads - earlier.seq_reads,
-            self.rand_reads - earlier.rand_reads,
-            self.seq_writes - earlier.seq_writes,
-            self.rand_writes - earlier.rand_writes,
-        )
+        return IOStats(**{f: getattr(self, f) - getattr(earlier, f)
+                          for f in _IOSTAT_FIELDS})
 
     def merged(self, other: "IOStats") -> "IOStats":
-        return IOStats(
-            self.seq_reads + other.seq_reads,
-            self.rand_reads + other.rand_reads,
-            self.seq_writes + other.seq_writes,
-            self.rand_writes + other.rand_writes,
-        )
+        return IOStats(**{f: getattr(self, f) + getattr(other, f)
+                          for f in _IOSTAT_FIELDS})
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (f"IOStats(reads={self.reads} [seq={self.seq_reads}, "
                 f"rand={self.rand_reads}], writes={self.writes} "
-                f"[seq={self.seq_writes}, rand={self.rand_writes}])")
+                f"[seq={self.seq_writes}, rand={self.rand_writes}], "
+                f"calls={self.calls} [coalesced={self.coalesced_ios}], "
+                f"prefetched={self.prefetched}, "
+                f"readahead_hits={self.readahead_hits})")
+
+
+_IOSTAT_FIELDS = ("seq_reads", "rand_reads", "seq_writes", "rand_writes",
+                  "read_calls", "write_calls", "coalesced_ios",
+                  "prefetched", "readahead_hits")
+
+
+def coalesce_runs(block_ids: list[int]) -> list[tuple[int, int]]:
+    """Group block ids into maximal runs of consecutive ids.
+
+    Returns ``(first_id, run_length)`` pairs in input order.  Runs only
+    form across adjacent ids in the given sequence — callers wanting
+    maximal coalescing should sort first.
+    """
+    runs: list[tuple[int, int]] = []
+    for bid in block_ids:
+        if runs and bid == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((bid, 1))
+    return runs
 
 
 class BlockDevice:
@@ -153,28 +195,84 @@ class BlockDevice:
             self.stats.seq_reads += 1
         else:
             self.stats.rand_reads += 1
+        self.stats.read_calls += 1
+        return self._fetch(block_id)
+
+    def read_blocks(self, block_ids: list[int]) -> list[np.ndarray]:
+        """Read many blocks, coalescing adjacent ids into single I/Os.
+
+        Each maximal run of consecutive ids costs one device call moving
+        ``run_length`` blocks: the first block of a run is classified
+        against the previous access, the rest are sequential by
+        construction.  Block *totals* are identical to calling
+        :meth:`read_block` once per id — only the call count shrinks.
+        """
+        out: list[np.ndarray] = []
+        for first, length in coalesce_runs(list(block_ids)):
+            self._check_id(first)
+            self._check_id(first + length - 1)
+            if self._classify(first):
+                self.stats.seq_reads += 1
+            else:
+                self.stats.rand_reads += 1
+            self.stats.seq_reads += length - 1
+            self.stats.read_calls += 1
+            self.stats.coalesced_ios += length - 1
+            self._last_accessed = first + length - 1
+            out.extend(self._fetch(first + k) for k in range(length))
+        return out
+
+    def write_block(self, block_id: int, data: np.ndarray) -> None:
+        """Write one block, charging one write I/O."""
+        self._check_id(block_id)
+        buf = self._coerce(data)
+        if self._classify(block_id):
+            self.stats.seq_writes += 1
+        else:
+            self.stats.rand_writes += 1
+        self.stats.write_calls += 1
+        self._blocks[block_id] = buf.copy()
+
+    def write_blocks(self, items: list[tuple[int, np.ndarray]]) -> None:
+        """Write many blocks, coalescing adjacent ids into single I/Os.
+
+        ``items`` is a list of ``(block_id, data)`` pairs; accounting
+        mirrors :meth:`read_blocks`.
+        """
+        items = list(items)
+        bufs = {bid: self._coerce(data) for bid, data in items}
+        for first, length in coalesce_runs([bid for bid, _ in items]):
+            self._check_id(first)
+            self._check_id(first + length - 1)
+            if self._classify(first):
+                self.stats.seq_writes += 1
+            else:
+                self.stats.rand_writes += 1
+            self.stats.seq_writes += length - 1
+            self.stats.write_calls += 1
+            self.stats.coalesced_ios += length - 1
+            self._last_accessed = first + length - 1
+            for k in range(length):
+                self._blocks[first + k] = bufs[first + k].copy()
+
+    def _fetch(self, block_id: int) -> np.ndarray:
         block = self._blocks.get(block_id)
         if block is None:
             return np.zeros(self.block_size, dtype=np.uint8)
         return block.copy()
 
-    def write_block(self, block_id: int, data: np.ndarray) -> None:
-        """Write one block, charging one write I/O."""
-        self._check_id(block_id)
+    def _coerce(self, data: np.ndarray) -> np.ndarray:
+        """Validate and zero-pad write payloads to one full block."""
         buf = np.asarray(data, dtype=np.uint8)
         if buf.size > self.block_size:
             raise ValueError(
                 f"data of {buf.size} bytes exceeds block size "
                 f"{self.block_size}")
-        if self._classify(block_id):
-            self.stats.seq_writes += 1
-        else:
-            self.stats.rand_writes += 1
         if buf.size < self.block_size:
             padded = np.zeros(self.block_size, dtype=np.uint8)
             padded[:buf.size] = buf
             buf = padded
-        self._blocks[block_id] = buf.copy()
+        return buf
 
     # Convenience typed accessors -------------------------------------
     def read_floats(self, block_id: int) -> np.ndarray:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .block_device import BlockDevice
+from .io_scheduler import IOScheduler
 
 
 class ReplacementPolicy:
@@ -128,6 +129,9 @@ class PoolStats:
     misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    prefetched: int = 0       # frames installed ahead of demand
+    readahead_hits: int = 0   # hits served from a prefetched frame
+    prefetch_wasted: int = 0  # prefetched frames evicted before any use
 
     @property
     def accesses(self) -> int:
@@ -142,7 +146,9 @@ class BufferPool:
     """A bounded cache of device blocks with write-back semantics."""
 
     def __init__(self, device: BlockDevice, capacity_blocks: int,
-                 policy: str | ReplacementPolicy = "lru") -> None:
+                 policy: str | ReplacementPolicy = "lru",
+                 scheduler: IOScheduler | None = None,
+                 readahead_window: int = 0) -> None:
         if capacity_blocks <= 0:
             raise ValueError(
                 f"capacity must be positive, got {capacity_blocks}")
@@ -150,10 +156,13 @@ class BufferPool:
         self.capacity = capacity_blocks
         self.policy = (policy if isinstance(policy, ReplacementPolicy)
                        else make_policy(policy))
+        self.scheduler = scheduler or IOScheduler(
+            device, readahead_window=readahead_window)
         self.stats = PoolStats()
         self._frames: dict[int, np.ndarray] = {}
         self._dirty: set[int] = set()
         self._pinned: dict[int, int] = {}
+        self._prefetched: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -171,15 +180,139 @@ class BufferPool:
         if frame is not None:
             self.stats.hits += 1
             self.policy.on_access(block_id)
+            self._note_prefetch_hit(block_id)
+            ahead = self.scheduler.on_demand(block_id, miss=False)
+            if ahead:
+                # Pin the demanded frame so speculation can never evict
+                # the very block the caller is about to use.
+                self.pin(block_id)
+                try:
+                    self._speculate(ahead)
+                finally:
+                    self.unpin(block_id)
         else:
             self.stats.misses += 1
+            ahead = self.scheduler.on_demand(block_id, miss=True)
+            extras = self._clip_speculation(ahead)
             self._ensure_room()
-            frame = self.device.read_block(block_id)
+            fetched = self.scheduler.fetch([block_id] + extras,
+                                           n_speculative=len(extras))
+            frame = fetched.pop(block_id)
             self._frames[block_id] = frame
             self.policy.on_insert(block_id)
+            if fetched:
+                self.pin(block_id)
+                try:
+                    self._install_prefetched(fetched)
+                finally:
+                    self.unpin(block_id)
         if for_write:
             self._dirty.add(block_id)
         return frame
+
+    def get_many(self, block_ids: list[int]) -> list[np.ndarray]:
+        """Return frames for several blocks, coalescing the misses.
+
+        Semantically equivalent to ``[pool.get(b) for b in block_ids]``
+        minus speculation: hit/miss accounting is per block, but all
+        missing blocks are faulted in with one scheduler fetch so adjacent
+        ids share device calls.  Returned arrays alias frames where the
+        block stayed resident; callers treat them as read-only.
+        """
+        missing: list[int] = []
+        for bid in block_ids:
+            if bid not in self._frames and bid not in missing:
+                missing.append(bid)
+        fetched = self.scheduler.fetch(missing) if missing else {}
+        out: list[np.ndarray] = []
+        for bid in block_ids:
+            frame = self._frames.get(bid)
+            if frame is not None:
+                self.stats.hits += 1
+                self.policy.on_access(bid)
+                self._note_prefetch_hit(bid)
+                out.append(frame)
+                continue
+            self.stats.misses += 1
+            frame = fetched.get(bid)
+            if frame is None:
+                # The block was resident when the misses were collected
+                # but got evicted while installing them — fault it in.
+                frame = self.scheduler.fetch([bid])[bid]
+            self._ensure_room()
+            self._frames[bid] = frame
+            self.policy.on_insert(bid)
+            out.append(frame)
+        return out
+
+    def prefetch(self, block_ids: list[int]) -> int:
+        """Hint: the given blocks are about to be read.
+
+        Non-resident keys are fetched in coalesced device calls and
+        installed as clean frames, so the announced reads become hits.
+        Returns the number of blocks actually fetched.  The hint is
+        clipped so prefetch never competes with pinned frames or with
+        earlier prefetched-but-unread frames, and always leaves one
+        frame of room for the next demand fault — an oversized footprint
+        is truncated, not an error.  A disabled scheduler turns this
+        into a no-op.
+        """
+        if not self.scheduler.enabled:
+            return 0
+        want: list[int] = []
+        for bid in block_ids:
+            if bid not in self._frames and bid not in want:
+                want.append(bid)
+        want = self._clip_speculation(want)
+        if not want:
+            return 0
+        fetched = self.scheduler.fetch(want, n_speculative=len(want))
+        self._install_prefetched(fetched)
+        return len(fetched)
+
+    # ------------------------------------------------------------------
+    # Prefetch internals
+    # ------------------------------------------------------------------
+    def _clip_speculation(self, candidates: list[int]) -> list[int]:
+        """Bound a speculative batch to what the pool can usefully hold.
+
+        Pinned frames are untouchable and one frame stays reserved for
+        the next demand fault.  Frames already prefetched but not yet
+        used are excluded from the budget too: evicting them for new
+        speculation would waste their reads and re-read them later,
+        inflating the block totals the accounting contract protects
+        (e.g. nested hints — matmul announcing a submatrix whose tiles
+        then announce themselves — in an undersized pool).
+        """
+        room = (self.capacity - len(self._pinned)
+                - len(self._prefetched) - 1)
+        if room <= 0:
+            return []
+        return [bid for bid in candidates
+                if bid not in self._frames][:room]
+
+    def _speculate(self, candidates: list[int]) -> None:
+        """Fetch readahead candidates raised on a demand hit."""
+        want = self._clip_speculation(candidates)
+        if want:
+            fetched = self.scheduler.fetch(want, n_speculative=len(want))
+            self._install_prefetched(fetched)
+
+    def _install_prefetched(self, fetched: dict[int, np.ndarray]) -> None:
+        for bid, frame in fetched.items():
+            if bid in self._frames:
+                continue
+            self._ensure_room()
+            self._frames[bid] = frame
+            self.policy.on_insert(bid)
+            self._prefetched.add(bid)
+            self.stats.prefetched += 1
+
+    def _note_prefetch_hit(self, block_id: int) -> None:
+        if block_id in self._prefetched:
+            self._prefetched.discard(block_id)
+            self.stats.readahead_hits += 1
+            self.device.stats.readahead_hits += 1
 
     def put(self, block_id: int, data: np.ndarray) -> None:
         """Install new contents for a block without reading it first.
@@ -198,6 +331,8 @@ class BufferPool:
             self._frames[block_id][:] = buf
             self.policy.on_access(block_id)
             self.stats.hits += 1
+            # A full overwrite is not a use of the prefetched contents.
+            self._prefetched.discard(block_id)
         else:
             self.stats.misses += 1
             self._ensure_room()
@@ -226,14 +361,22 @@ class BufferPool:
 
     # ------------------------------------------------------------------
     def flush(self, block_id: int | None = None) -> None:
-        """Write back dirty frames (one block, or everything)."""
-        targets = ([block_id] if block_id is not None
-                   else sorted(self._dirty))
-        for bid in targets:
-            if bid in self._dirty:
-                self.device.write_block(bid, self._frames[bid])
+        """Write back dirty frames (one block, or everything).
+
+        A full flush hands the sorted dirty set to the scheduler so
+        adjacent dirty blocks coalesce into multi-block device writes.
+        """
+        if block_id is not None:
+            if block_id in self._dirty:
+                self.device.write_block(block_id, self._frames[block_id])
                 self.stats.dirty_writebacks += 1
-                self._dirty.discard(bid)
+                self._dirty.discard(block_id)
+            return
+        items = [(bid, self._frames[bid]) for bid in sorted(self._dirty)]
+        if items:
+            self.scheduler.write_back(items)
+            self.stats.dirty_writebacks += len(items)
+            self._dirty.clear()
 
     def flush_all(self) -> None:
         self.flush(None)
@@ -243,6 +386,7 @@ class BufferPool:
         self._frames.pop(block_id, None)
         self._dirty.discard(block_id)
         self._pinned.pop(block_id, None)
+        self._prefetched.discard(block_id)
         self.policy.on_remove(block_id)
 
     def clear(self) -> None:
@@ -250,6 +394,7 @@ class BufferPool:
         self.flush_all()
         for bid in list(self._frames):
             self.invalidate(bid)
+        self.scheduler.reset()
 
     # ------------------------------------------------------------------
     def _ensure_room(self) -> None:
@@ -259,6 +404,9 @@ class BufferPool:
                 self.device.write_block(victim, self._frames[victim])
                 self.stats.dirty_writebacks += 1
                 self._dirty.discard(victim)
+            if victim in self._prefetched:
+                self._prefetched.discard(victim)
+                self.stats.prefetch_wasted += 1
             del self._frames[victim]
             self.policy.on_remove(victim)
             self.stats.evictions += 1

@@ -1,0 +1,150 @@
+"""Prefetching I/O scheduler between :class:`BlockDevice` and the pool.
+
+The paper's thesis is that I/O pattern — not CPU — decides out-of-core
+performance.  The buffer pool alone can only react: every miss becomes one
+synchronous single-block device call.  This module adds the three classic
+mechanisms a storage stack uses to exploit *predictable* access patterns:
+
+1. **Sequential readahead.**  The scheduler watches demand accesses; once
+   ``min_run`` consecutive block ids have been demanded, it speculatively
+   schedules the next ``readahead_window`` blocks.  When demand reaches the
+   readahead mark, the next window is scheduled, keeping a scan one window
+   ahead of the consumer (the async-ahead scheme of OS readahead).
+2. **Coalesced multi-block I/O.**  Every batch of block ids — speculative
+   or hinted — is sorted and split into maximal runs of adjacent ids; each
+   run moves in a single device call via
+   :meth:`~repro.storage.block_device.BlockDevice.read_blocks` /
+   ``write_blocks``.
+3. **Hint-driven prefetch.**  Operators that know their footprint
+   (the streaming evaluator, ``square_tile_matmul``, tile scans) announce
+   upcoming block keys through :meth:`BufferPool.prefetch` before reading
+   them, so their misses become warm hits and their reads coalesce.
+
+Accounting contract: prefetched blocks still count as device *reads* in
+``IOStats`` — the scheduler's job is to change the number and size of
+device *calls* (``read_calls``/``write_calls``/``coalesced_ios``), not the
+block totals the cost models of :mod:`repro.core.costs` are validated
+against.  In streaming regimes (one-pass scans, fused maps, out-of-core
+matmul with footprints sized to memory) totals are exactly unchanged, and
+``benchmarks/bench_prefetch.py`` asserts it.  Two bounded exceptions:
+speculative readahead can overshoot the end of a scan by at most one
+window (why ``readahead_window`` defaults to 0), and when a mid-sized
+pool partially caches a *reused* working set, prefetch installs perturb
+eviction order, which can shift a few hits to misses; any prefetched
+frame evicted unread is counted in ``PoolStats.prefetch_wasted`` so the
+drift is observable, never silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .block_device import BlockDevice
+
+#: Default number of blocks scheduled ahead of a detected sequential run.
+DEFAULT_READAHEAD_WINDOW = 8
+
+#: Consecutive demanded blocks required before readahead kicks in.
+DEFAULT_MIN_RUN = 2
+
+
+class IOScheduler:
+    """Schedules device I/O for a buffer pool: batching plus readahead.
+
+    The scheduler is deliberately stateless about *residency* — the pool
+    owns frames, pins, and eviction.  The pool asks the scheduler two
+    questions (``on_demand``: "given this access, what should I read
+    ahead?" and ``fetch``/``write_back``: "move these blocks efficiently")
+    and keeps the answers honest by filtering out already-resident keys.
+    """
+
+    def __init__(self, device: BlockDevice,
+                 readahead_window: int = 0,
+                 min_run: int = DEFAULT_MIN_RUN,
+                 enabled: bool = True) -> None:
+        if readahead_window < 0:
+            raise ValueError(
+                f"readahead_window must be >= 0, got {readahead_window}")
+        if min_run < 1:
+            raise ValueError(f"min_run must be >= 1, got {min_run}")
+        self.device = device
+        self.readahead_window = readahead_window
+        self.min_run = min_run
+        self.enabled = enabled
+        self._last_demand: int | None = None
+        self._run_len = 0
+        self._ra_mark: int | None = None
+
+    # ------------------------------------------------------------------
+    # Sequential-run detection
+    # ------------------------------------------------------------------
+    def on_demand(self, block_id: int, *, miss: bool) -> list[int]:
+        """Record a demand access; return block ids worth reading ahead.
+
+        Candidates may include already-resident blocks — the pool filters
+        those before fetching.  An empty list means "no speculation".
+        """
+        if self._last_demand is not None \
+                and block_id == self._last_demand + 1:
+            self._run_len += 1
+        else:
+            self._run_len = 1
+        self._last_demand = block_id
+        if not self.enabled or self.readahead_window <= 0:
+            return []
+        # Trigger on a miss that extends a run, or on demand reaching the
+        # mark left by the previous readahead (pipelined streaming).
+        if miss:
+            if self._run_len < self.min_run:
+                return []
+        elif block_id != self._ra_mark:
+            return []
+        lo = block_id + 1
+        hi = min(lo + self.readahead_window, self.device.allocated_blocks)
+        if hi <= lo:
+            return []
+        self._ra_mark = hi - 1
+        return list(range(lo, hi))
+
+    def reset(self) -> None:
+        """Forget the current run (e.g. after the pool is cleared)."""
+        self._last_demand = None
+        self._run_len = 0
+        self._ra_mark = None
+
+    # ------------------------------------------------------------------
+    # Batched transfers
+    # ------------------------------------------------------------------
+    def fetch(self, block_ids: list[int],
+              n_speculative: int = 0) -> dict[int, np.ndarray]:
+        """Read blocks, coalescing adjacent ids into single device calls.
+
+        ``n_speculative`` of the ids are charged to the ``prefetched``
+        counter (they move ahead of demand); all ids count as ordinary
+        block reads either way.
+        """
+        ids = sorted(set(block_ids))
+        if not ids:
+            return {}
+        if self.enabled:
+            arrays = self.device.read_blocks(ids)
+        else:
+            arrays = [self.device.read_block(b) for b in ids]
+        if n_speculative:
+            self.device.stats.prefetched += n_speculative
+        return dict(zip(ids, arrays))
+
+    def write_back(self, items: list[tuple[int, np.ndarray]]) -> None:
+        """Write blocks, coalescing adjacent ids into single device calls."""
+        if not items:
+            return
+        items = sorted(items, key=lambda kv: kv[0])
+        if self.enabled:
+            self.device.write_blocks(items)
+        else:
+            for bid, data in items:
+                self.device.write_block(bid, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"IOScheduler(window={self.readahead_window}, "
+                f"min_run={self.min_run}, enabled={self.enabled})")

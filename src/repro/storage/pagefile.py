@@ -75,6 +75,10 @@ class PageFile:
         self._check(page_no)
         return self._page_to_block[page_no]
 
+    def blocks_of(self, page_nos) -> list[int]:
+        """Device blocks backing the given pages, in the given order."""
+        return [self.block_of(p) for p in page_nos]
+
     def drop(self) -> None:
         """Release every block owned by this file back to the device."""
         for block in self._page_to_block:

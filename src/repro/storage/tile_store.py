@@ -28,18 +28,21 @@ import numpy as np
 
 from .block_device import BlockDevice, DEFAULT_BLOCK_SIZE
 from .buffer_pool import BufferPool
-from .linearization import Linearization, RowMajor, make_linearization
+from .linearization import Linearization, make_linearization
 from .pagefile import PageFile
 
 _FLOAT = np.float64
 _FLOAT_BYTES = 8
+
+#: Chunks hinted ahead of a sequential scan (see ``TiledVector.scan``).
+SCAN_PREFETCH_CHUNKS = 16
 
 
 def tile_shape_for_layout(layout: str, shape: tuple[int, int],
                           scalars_per_block: int) -> tuple[int, int]:
     """Translate a named layout into a tile shape for a matrix.
 
-    ``row``    long skinny horizontal tiles (1 x B) — row-major element order.
+    ``row``    long skinny horizontal tiles (1 x B), row-major order.
     ``col``    long skinny vertical tiles (B x 1) — R's default column order.
     ``square`` square tiles of area <= B (the Appendix-A layout).
     """
@@ -113,9 +116,28 @@ class TiledVector:
         buf[: vals.size * _FLOAT_BYTES] = vals.view(np.uint8)
         self.store.pool.put(self.file.block_of(ci), buf)
 
+    def blocks_for_chunks(self, chunk_ids) -> list[int]:
+        """Device block keys backing the given chunks (prefetch hints)."""
+        return [self.file.block_of(ci) for ci in chunk_ids]
+
     def scan(self) -> Iterator[tuple[int, np.ndarray]]:
-        """Yield ``(start_index, values)`` for every chunk, in order."""
+        """Yield ``(start_index, values)`` for every chunk, in order.
+
+        The scan announces its own footprint: every
+        ``SCAN_PREFETCH_CHUNKS`` chunks it hints the next window to the
+        buffer pool, so a cold scan issues a few large coalesced reads
+        instead of one device call per chunk.
+        """
+        # Halve the lookahead against pool capacity so a consumer that
+        # interleaves writes (copy loops) cannot evict prefetched chunks
+        # before they are read, which would inflate block totals.
+        window = min(SCAN_PREFETCH_CHUNKS,
+                     max(1, (self.store.pool.capacity - 2) // 2))
         for ci in range(self.num_chunks):
+            if ci % window == 0:
+                hi = min(ci + window, self.num_chunks)
+                self.store.pool.prefetch(
+                    self.blocks_for_chunks(range(ci, hi)))
             lo, _ = self.chunk_bounds(ci)
             yield lo, self.read_chunk(ci)
 
@@ -133,6 +155,10 @@ class TiledVector:
         out = np.empty(idx.size, dtype=_FLOAT)
         chunks = idx // self.chunk
         order = np.argsort(chunks, kind="stable")
+        # Announce the exact chunk footprint: a dense sorted gather then
+        # coalesces its chunk reads into a few device calls.
+        self.store.pool.prefetch(
+            self.blocks_for_chunks(np.unique(chunks).tolist()))
         pos = 0
         while pos < idx.size:
             ci = int(chunks[order[pos]])
@@ -246,6 +272,20 @@ class TiledMatrix:
         first = pos * self.pages_per_tile
         return range(first, first + self.pages_per_tile)
 
+    def tile_blocks(self, ti: int, tj: int) -> list[int]:
+        """Device block keys backing tile (ti, tj) — the prefetch unit."""
+        return self.file.blocks_of(self._tile_pages(ti, tj))
+
+    def submatrix_blocks(self, r0: int, r1: int, c0: int, c1: int
+                         ) -> list[int]:
+        """Device block keys for every tile covering the rectangle."""
+        th, tw = self.tile_shape
+        blocks: list[int] = []
+        for ti in range(r0 // th, -(-r1 // th) if r1 else 0):
+            for tj in range(c0 // tw, -(-c1 // tw) if c1 else 0):
+                blocks.extend(self.tile_blocks(ti, tj))
+        return blocks
+
     def read_tile(self, ti: int, tj: int) -> np.ndarray:
         """Read tile (ti, tj) as a 2-D float64 array (clipped at edges)."""
         r0, r1, c0, c1 = self.tile_bounds(ti, tj)
@@ -255,8 +295,8 @@ class TiledMatrix:
                         * (self.store.device.block_size // _FLOAT_BYTES),
                         dtype=_FLOAT)
         per_page = self.store.device.block_size // _FLOAT_BYTES
-        for k, page in enumerate(self._tile_pages(ti, tj)):
-            frame = self.store.pool.get(self.file.block_of(page))
+        frames = self.store.pool.get_many(self.tile_blocks(ti, tj))
+        for k, frame in enumerate(frames):
             flat[k * per_page: (k + 1) * per_page] = frame.view(_FLOAT)
         full = flat[:scalars].reshape(th, tw)
         return full[: r1 - r0, : c1 - c0].copy()
@@ -290,6 +330,9 @@ class TiledMatrix:
         if not (0 <= r0 <= r1 <= self.shape[0]
                 and 0 <= c0 <= c1 <= self.shape[1]):
             raise IndexError(f"rectangle ({r0}:{r1}, {c0}:{c1}) out of range")
+        # The rectangle's tile footprint is exact and about to be read in
+        # full — announce it so the misses coalesce into large I/Os.
+        self.store.pool.prefetch(self.submatrix_blocks(r0, r1, c0, c1))
         out = np.empty((r1 - r0, c1 - c0), dtype=_FLOAT)
         th, tw = self.tile_shape
         for ti in range(r0 // th, -(-r1 // th) if r1 else 0):
@@ -366,10 +409,14 @@ class ArrayStore:
 
     def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 policy: str = "lru", name: str = "riot-store") -> None:
+                 policy: str = "lru", name: str = "riot-store",
+                 scheduler: bool = True,
+                 readahead_window: int = 0) -> None:
         capacity = max(4, memory_bytes // block_size)
         self.device = BlockDevice(block_size=block_size, name=name)
-        self.pool = BufferPool(self.device, capacity, policy=policy)
+        self.pool = BufferPool(self.device, capacity, policy=policy,
+                               readahead_window=readahead_window)
+        self.pool.scheduler.enabled = scheduler
         self._counter = 0
 
     @property

@@ -1,6 +1,5 @@
 """Tests for matrix-chain DP, incl. hypothesis optimality vs brute force."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.costs import (FIG3_BLOCK, GB_IN_SCALARS, bnlj_matmul_io,
+from repro.core.costs import (GB_IN_SCALARS, bnlj_matmul_io,
                               chain_io, chain_io_lower_bound, fig3_dims,
                               fig3_strategy_costs, fig3a_rows, fig3b_rows,
                               matmul_io_lower_bound,

@@ -1,7 +1,6 @@
 """Tests for the DAG rewriter — the Figure-2 optimization and friends."""
 
 import numpy as np
-import pytest
 
 from repro.core import (ArrayInput, Map, MatMul, Range, Rewriter, Scalar,
                         Subscript, SubscriptAssign, count_nodes, optimize,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.db import (Arith, Col, Const, Database, Join, Project, Scan,
+from repro.db import (Arith, Col, Const, Database, Project, Scan,
                       Schema, Sort)
 
 VEC = Schema.of(("I", "INT"), ("V", "DOUBLE"), primary_key=("I",))

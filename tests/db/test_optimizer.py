@@ -13,7 +13,7 @@ import pytest
 from repro.db import (Arith, Cmp, Col, Const, Database, Filter, Func,
                       GroupAgg, Join, Project, Scan, Schema)
 from repro.db.executor import (ExternalSortOp, FilterOp, IndexRangeScan,
-                               ProjectOp, SeqScan, SortAggOp)
+                               SeqScan, SortAggOp)
 from repro.db.joins import HashJoin, IndexNestedLoopJoin, MergeJoin
 from repro.db.optimizer import expand_views, flatten
 from repro.db.plan import walk

@@ -1,6 +1,5 @@
 """Tests for engine metrics and the Figure-1 orderings at small scale."""
 
-import numpy as np
 import pytest
 
 from repro.engines import ALL_ENGINES, make_engine

@@ -1,7 +1,6 @@
 """Tests for the Plain-R engine: paging behaviour under a memory cap."""
 
 import numpy as np
-import pytest
 
 from repro.engines import PlainREngine
 from repro.rlang import Interpreter

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.rlang import ParseError, parse
-from repro.rlang import parser as parser_mod
 from repro.rlang.rast import (Assign, BinOp, Block, Call, For, If, Index,
-                              IndexAssign, Missing, Name, Num, Program,
-                              UnaryOp, While)
+                              IndexAssign, Missing, UnaryOp, While)
 
 
 def stmt(src):

@@ -166,3 +166,142 @@ class TestPolicies:
         pool.get(blocks[0])
         pool.get(blocks[0])
         assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestPrefetchEdgeCases:
+    def test_prefetch_resident_pages_is_free(self, device):
+        blocks = _fill_device(device, 4)
+        pool = BufferPool(device, 8)
+        for bid in blocks:
+            pool.get(bid)
+        before = device.stats.reads
+        assert pool.prefetch(blocks) == 0
+        assert device.stats.reads == before
+        assert pool.stats.prefetched == 0
+
+    def test_prefetch_mixed_fetches_only_missing(self, device):
+        blocks = _fill_device(device, 6)
+        pool = BufferPool(device, 8)
+        pool.get(blocks[0])
+        pool.get(blocks[1])
+        before = device.stats.reads
+        assert pool.prefetch(blocks) == 4
+        assert device.stats.reads == before + 4
+
+    def test_prefetch_then_get_is_a_hit(self, device):
+        blocks = _fill_device(device, 4)
+        pool = BufferPool(device, 8)
+        pool.prefetch(blocks)
+        before = device.stats.reads
+        frame = pool.get(blocks[2])
+        assert device.stats.reads == before
+        assert frame.view(np.float64)[0] == 2.0
+        assert pool.stats.readahead_hits == 1
+        assert device.stats.readahead_hits == 1
+
+    def test_prefetch_never_evicts_pinned_frames(self, device):
+        """Prefetch racing eviction: pins win, hint is clipped."""
+        blocks = _fill_device(device, 12)
+        pool = BufferPool(device, 4)
+        for bid in blocks[:3]:
+            pool.get(bid)
+            pool.pin(bid)
+        # Room for one demand fault only: the hint must clip to nothing
+        # rather than raise or touch a pinned frame.
+        assert pool.prefetch(blocks[3:]) == 0
+        reads_before = device.stats.reads
+        for bid in blocks[:3]:
+            pool.get(bid)
+        assert device.stats.reads == reads_before
+
+    def test_prefetch_with_one_pin_keeps_demand_room(self, device):
+        blocks = _fill_device(device, 10)
+        pool = BufferPool(device, 4)
+        pool.get(blocks[0])
+        pool.pin(blocks[0])
+        # capacity 4, 1 pinned, 1 frame reserved for demand -> 2 fetched.
+        assert pool.prefetch(blocks[1:]) == 2
+        assert pool.resident <= 4
+        # The pinned frame survived and a demand fault still fits.
+        pool.get(blocks[9])
+        reads_before = device.stats.reads
+        pool.get(blocks[0])
+        assert device.stats.reads == reads_before
+
+    def test_prefetch_disabled_scheduler_is_noop(self, device):
+        blocks = _fill_device(device, 4)
+        pool = BufferPool(device, 8)
+        pool.scheduler.enabled = False
+        assert pool.prefetch(blocks) == 0
+        assert device.stats.reads == 0
+
+    def test_wasted_prefetch_is_counted(self, device):
+        blocks = _fill_device(device, 8)
+        pool = BufferPool(device, 4)
+        pool.prefetch(blocks[:3])
+        # A scan of other blocks evicts the prefetched frames unused.
+        for bid in blocks[3:]:
+            pool.get(bid)
+        assert pool.stats.prefetch_wasted == 3
+
+    def test_put_cancels_prefetched_status(self, device):
+        blocks = _fill_device(device, 2)
+        pool = BufferPool(device, 4)
+        pool.prefetch(blocks)
+        pool.put(blocks[0], np.zeros(device.block_size, np.uint8))
+        pool.get(blocks[0])
+        assert pool.stats.readahead_hits == 0
+
+
+class TestClockPinnedVictims:
+    def test_victim_when_all_but_one_pinned(self, device):
+        """CLOCK must find the single unpinned frame, however many spins
+        of the hand that takes, and never evict a pinned one."""
+        blocks = _fill_device(device, 6)
+        pool = BufferPool(device, 4, policy="clock")
+        for bid in blocks[:4]:
+            pool.get(bid)
+        for bid in blocks[:3]:
+            pool.pin(bid)
+        pool.get(blocks[4])  # must evict blocks[3], the only unpinned
+        reads_before = device.stats.reads
+        for bid in blocks[:3]:
+            pool.get(bid)  # pinned frames: all hits
+        assert device.stats.reads == reads_before
+        pool.get(blocks[3])  # was evicted: a miss
+        assert device.stats.reads == reads_before + 1
+
+    def test_repeated_eviction_through_one_unpinned_slot(self, device):
+        blocks = _fill_device(device, 16)
+        pool = BufferPool(device, 4, policy="clock")
+        for bid in blocks[:4]:
+            pool.get(bid)
+        for bid in blocks[:3]:
+            pool.pin(bid)
+        for bid in blocks[4:]:
+            pool.get(bid)
+            assert pool.resident <= 4
+        for bid in blocks[:3]:
+            pool.pin(bid)   # still resident, pin again (refcount)
+            pool.unpin(bid)
+
+    def test_clock_all_pinned_raises_on_prefetchless_get(self, device):
+        blocks = _fill_device(device, 5)
+        pool = BufferPool(device, 4, policy="clock")
+        for bid in blocks[:4]:
+            pool.get(bid)
+            pool.pin(bid)
+        with pytest.raises(RuntimeError):
+            pool.get(blocks[4])
+
+
+class TestGetManyEvictionRace:
+    def test_resident_block_evicted_by_installs_is_refetched(self, device):
+        """A block resident when the misses were collected can be evicted
+        while installing them; get_many must fault it back in, not crash."""
+        blocks = _fill_device(device, 6)
+        pool = BufferPool(device, 4)
+        pool.get(blocks[0])
+        frames = pool.get_many(blocks[1:] + [blocks[0]])
+        values = [f.view(np.float64)[0] for f in frames]
+        assert values == [1.0, 2.0, 3.0, 4.0, 5.0, 0.0]

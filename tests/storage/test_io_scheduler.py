@@ -1,0 +1,291 @@
+"""Unit tests for the prefetching I/O scheduler and batched device I/O."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (ArrayStore, BlockDevice, BufferPool, IOScheduler,
+                           coalesce_runs)
+
+
+def _fill(dev: BlockDevice, n: int) -> list[int]:
+    first = dev.allocate(n)
+    for i in range(n):
+        dev.write_floats(first + i, np.full(dev.block_size // 8, float(i)))
+    return list(range(first, first + n))
+
+
+class TestCoalesceRuns:
+    def test_adjacent_ids_form_one_run(self):
+        assert coalesce_runs([3, 4, 5, 6]) == [(3, 4)]
+
+    def test_gaps_split_runs(self):
+        assert coalesce_runs([1, 2, 9, 10, 20]) == [(1, 2), (9, 2), (20, 1)]
+
+    def test_descending_ids_never_coalesce(self):
+        assert coalesce_runs([5, 4, 3]) == [(5, 1), (4, 1), (3, 1)]
+
+    def test_empty(self):
+        assert coalesce_runs([]) == []
+
+
+class TestBatchedDeviceIO:
+    def test_read_blocks_matches_per_block_reads(self, device):
+        blocks = _fill(device, 8)
+        batched = device.read_blocks(blocks)
+        single = [device.read_block(b) for b in blocks]
+        for got, want in zip(batched, single):
+            assert np.array_equal(got, want)
+
+    def test_read_blocks_charges_block_totals(self, device):
+        blocks = _fill(device, 8)
+        device.reset_stats()
+        device.read_blocks(blocks)
+        # 8 blocks moved in 1 call: totals stay truthful, calls shrink.
+        assert device.stats.reads == 8
+        assert device.stats.read_calls == 1
+        assert device.stats.coalesced_ios == 7
+
+    def test_read_blocks_with_gap_costs_two_calls(self, device):
+        blocks = _fill(device, 10)
+        device.reset_stats()
+        device.read_blocks(blocks[:3] + blocks[6:])
+        assert device.stats.reads == 7
+        assert device.stats.read_calls == 2
+
+    def test_run_interior_is_sequential(self, device):
+        blocks = _fill(device, 8)
+        device.reset_stats()
+        device.read_blocks(blocks)
+        assert device.stats.seq_reads == 7
+        assert device.stats.rand_reads == 1
+
+    def test_write_blocks_roundtrip_and_accounting(self, device):
+        blocks = _fill(device, 4)
+        device.reset_stats()
+        payload = [(b, np.full(device.block_size, i, dtype=np.uint8))
+                   for i, b in enumerate(blocks)]
+        device.write_blocks(payload)
+        assert device.stats.writes == 4
+        assert device.stats.write_calls == 1
+        for i, b in enumerate(blocks):
+            assert device.read_block(b)[0] == i
+
+    def test_read_blocks_checks_range(self, device):
+        with pytest.raises(IndexError):
+            device.read_blocks([0])
+
+    def test_single_block_ops_count_one_call(self, device):
+        blocks = _fill(device, 1)
+        device.reset_stats()
+        device.read_block(blocks[0])
+        assert device.stats.read_calls == 1
+        assert device.stats.coalesced_ios == 0
+
+
+class TestReadaheadDetection:
+    def test_no_speculation_below_min_run(self, device):
+        _fill(device, 32)
+        sched = IOScheduler(device, readahead_window=8, min_run=2)
+        assert sched.on_demand(0, miss=True) == []
+
+    def test_sequential_run_triggers_window(self, device):
+        _fill(device, 32)
+        sched = IOScheduler(device, readahead_window=8, min_run=2)
+        sched.on_demand(0, miss=True)
+        assert sched.on_demand(1, miss=True) == list(range(2, 10))
+
+    def test_random_accesses_reset_run(self, device):
+        _fill(device, 32)
+        sched = IOScheduler(device, readahead_window=8, min_run=2)
+        sched.on_demand(0, miss=True)
+        sched.on_demand(17, miss=True)
+        assert sched.on_demand(18, miss=True) == list(range(19, 27))
+
+    def test_window_clamped_to_allocation(self, device):
+        _fill(device, 4)
+        sched = IOScheduler(device, readahead_window=8, min_run=2)
+        sched.on_demand(0, miss=True)
+        assert sched.on_demand(1, miss=True) == [2, 3]
+
+    def test_hit_at_mark_extends_readahead(self, device):
+        _fill(device, 64)
+        sched = IOScheduler(device, readahead_window=8, min_run=2)
+        sched.on_demand(0, miss=True)
+        ahead = sched.on_demand(1, miss=True)
+        for bid in range(2, ahead[-1]):
+            assert sched.on_demand(bid, miss=False) == []
+        nxt = sched.on_demand(ahead[-1], miss=False)
+        assert nxt and nxt[0] == ahead[-1] + 1
+
+    def test_window_zero_never_speculates(self, device):
+        _fill(device, 32)
+        sched = IOScheduler(device, readahead_window=0)
+        sched.on_demand(0, miss=True)
+        assert sched.on_demand(1, miss=True) == []
+
+    def test_invalid_parameters(self, device):
+        with pytest.raises(ValueError):
+            IOScheduler(device, readahead_window=-1)
+        with pytest.raises(ValueError):
+            IOScheduler(device, min_run=0)
+
+
+class TestPoolReadahead:
+    def test_sequential_scan_coalesces_calls(self, device):
+        blocks = _fill(device, 32)
+        pool = BufferPool(device, 16, readahead_window=8)
+        device.reset_stats()
+        for bid in blocks:
+            pool.get(bid)
+        assert device.stats.reads == 32
+        assert device.stats.read_calls < 32 // 2
+        assert device.stats.readahead_hits > 0
+
+    def test_prefetched_blocks_counted(self, device):
+        blocks = _fill(device, 32)
+        pool = BufferPool(device, 16, readahead_window=8)
+        device.reset_stats()
+        for bid in blocks:
+            pool.get(bid)
+        assert device.stats.prefetched > 0
+        assert pool.stats.prefetched == device.stats.prefetched
+
+    def test_data_identical_with_and_without_readahead(self, device):
+        blocks = _fill(device, 32)
+        plain = BufferPool(device, 8)
+        ra = BufferPool(device, 8, readahead_window=8)
+        for bid in blocks:
+            assert np.array_equal(plain.get(bid), ra.get(bid))
+
+    def test_disabled_scheduler_reads_per_block(self, device):
+        blocks = _fill(device, 16)
+        pool = BufferPool(device, 8, readahead_window=8)
+        pool.scheduler.enabled = False
+        device.reset_stats()
+        for bid in blocks:
+            pool.get(bid)
+        assert device.stats.read_calls == 16
+        assert device.stats.prefetched == 0
+
+    def test_get_many_coalesces_misses(self, device):
+        blocks = _fill(device, 8)
+        pool = BufferPool(device, 16)
+        device.reset_stats()
+        frames = pool.get_many(blocks)
+        assert device.stats.reads == 8
+        assert device.stats.read_calls == 1
+        assert pool.stats.misses == 8
+        for i, frame in enumerate(frames):
+            assert frame.view(np.float64)[0] == float(i)
+
+    def test_get_many_counts_hits(self, device):
+        blocks = _fill(device, 4)
+        pool = BufferPool(device, 16)
+        pool.get_many(blocks)
+        device.reset_stats()
+        pool.get_many(blocks)
+        assert device.stats.reads == 0
+        assert pool.stats.hits == 4
+
+    def test_flush_all_coalesces_writebacks(self, device):
+        blocks = _fill(device, 8)
+        pool = BufferPool(device, 16)
+        for bid in blocks:
+            pool.get(bid, for_write=True)
+        device.reset_stats()
+        pool.flush_all()
+        assert device.stats.writes == 8
+        assert device.stats.write_calls == 1
+
+
+class TestStatsContract:
+    def test_snapshot_delta_cover_new_counters(self, device):
+        blocks = _fill(device, 8)
+        pool = BufferPool(device, 8, readahead_window=4)
+        snap = device.stats.snapshot()
+        for bid in blocks:
+            pool.get(bid)
+        delta = device.stats.delta(snap)
+        assert delta.reads == 8
+        assert delta.read_calls == delta.reads - delta.coalesced_ios
+        assert delta.prefetched > 0
+
+    def test_store_level_totals_invariant(self):
+        """Scheduler on/off must not change block totals on a scan."""
+        totals = {}
+        for enabled in (False, True):
+            store = ArrayStore(memory_bytes=16 * 8192, scheduler=enabled)
+            vec = store.create_vector(64 * 1024)
+            vec.from_numpy(np.arange(64 * 1024, dtype=np.float64))
+            store.pool.clear()
+            store.reset_stats()
+            vec.to_numpy()
+            totals[enabled] = store.device.stats.total
+        assert totals[True] == totals[False]
+
+    def test_streaming_totals_invariant_under_tight_pool(self):
+        """Multi-source fused streaming in a small pool: prefetch must
+        not evict its own window before use (no wasted prefetch, no
+        inflated block totals — the bug a fixed-size lookahead had)."""
+        from repro.core.evaluator import Evaluator
+        from repro.core.expr import ArrayInput, Map
+
+        results = {}
+        for enabled in (False, True):
+            store = ArrayStore(memory_bytes=32 * 8192, scheduler=enabled)
+            n = 200_000
+            x = store.vector_from_numpy(np.arange(n, dtype=np.float64))
+            y = store.vector_from_numpy(np.ones(n))
+            store.pool.clear()
+            store.reset_stats()
+            out = Evaluator(store).force(
+                Map("+", ArrayInput(x), ArrayInput(y)))
+            results[enabled] = (store.device.stats.reads,
+                                store.pool.stats.prefetch_wasted,
+                                out.to_numpy())
+        assert results[True][0] == results[False][0]
+        assert results[True][1] == 0
+        assert np.array_equal(results[True][2], results[False][2])
+
+
+class TestSchedulerEvictionRaces:
+    def test_clock_readahead_never_orphans_dirty_blocks(self, device):
+        """Speculative installs must not evict the just-demanded frame:
+        with CLOCK that used to leave a dirty id with no frame behind,
+        crashing the next flush."""
+        first = device.allocate(32)
+        for i in range(32):
+            device.write_floats(first + i,
+                                np.full(device.block_size // 8, float(i)))
+        pool = BufferPool(device, 3, policy="clock", readahead_window=3)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            pool.get(first + int(rng.integers(0, 32)), for_write=True)
+            assert not (pool._dirty - set(pool._frames))
+        pool.flush_all()
+
+    def test_matmul_hint_in_undersized_pool_keeps_totals(self):
+        """Nested hints (matmul announcing a submatrix whose tiles then
+        announce themselves) in a pool far smaller than the announced
+        footprint: prefetch budgeting must not double-read blocks."""
+        from repro.linalg import square_tile_matmul
+
+        def run(enabled):
+            rng = np.random.default_rng(1)
+            a_np = rng.standard_normal((192, 192))
+            b_np = rng.standard_normal((192, 192))
+            store = ArrayStore(memory_bytes=4 * 8192, scheduler=enabled)
+            a = store.matrix_from_numpy(a_np, layout="square")
+            b = store.matrix_from_numpy(b_np, layout="square")
+            store.pool.clear()
+            store.reset_stats()
+            out = square_tile_matmul(store, a, b, 48 * 1024)
+            store.flush()
+            return (store.device.stats.reads,
+                    store.pool.stats.prefetch_wasted, out.to_numpy())
+
+        # reads equal, nothing wasted, results bitwise identical
+        on, off = run(True), run(False)
+        assert on[0] == off[0]
+        assert on[1] == 0
+        assert np.array_equal(on[2], off[2])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.storage import BlockDevice, PageFile
+from repro.storage import PageFile
 
 
 class TestAllocation:

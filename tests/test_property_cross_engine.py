@@ -6,7 +6,6 @@ its numbers — the transparency property, fuzzed rather than hand-picked.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

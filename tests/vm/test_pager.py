@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.vm import MemArray, MemHeap, Pager
+from repro.vm import MemHeap, Pager
 
 PAGE = 8192
 
@@ -174,3 +174,36 @@ class TestMemArrays:
         c = heap.alloc(np.zeros(1024))
         assert heap.peak_live_bytes == 2 * PAGE
         assert heap.live_bytes == 2 * PAGE
+
+
+class TestBatchedSwapIn:
+    def _thrash(self, readahead: int):
+        """Fill memory twice over, then re-touch the swapped-out half."""
+        pager = Pager(memory_bytes=8 * PAGE, page_size=PAGE,
+                      readahead_pages=readahead)
+        base = pager.allocate(16)
+        pager.touch_range(base, 16, write=True)   # evicts the first half
+        pager.reset_stats()
+        pager.touch_range(base, 8)                # swap-in of 8 pages
+        return pager
+
+    def test_batched_swapin_preserves_read_totals(self):
+        plain = self._thrash(0)
+        batched = self._thrash(8)
+        assert batched.stats.reads == plain.stats.reads
+        assert batched.faults == plain.faults
+
+    def test_batched_swapin_coalesces_calls(self):
+        plain = self._thrash(0)
+        batched = self._thrash(8)
+        assert batched.stats.read_calls < plain.stats.read_calls
+        assert batched.stats.prefetched == batched.stats.reads
+
+    def test_default_pager_never_batches(self):
+        pager = self._thrash(0)
+        assert pager.stats.prefetched == 0
+        assert pager.stats.coalesced_ios == 0
+
+    def test_invalid_readahead_rejected(self):
+        with pytest.raises(ValueError):
+            Pager(memory_bytes=8 * PAGE, readahead_pages=-1)
