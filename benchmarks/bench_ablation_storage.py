@@ -19,13 +19,14 @@ store:
 from __future__ import annotations
 
 import numpy as np
+from conftest import record_io_stats
 
-from repro.storage import ArrayStore
+from repro.storage import ArrayStore, IOStats
 
 N = 256  # square matrix side
 
 
-def _column_walk_io(layout: str) -> int:
+def _column_walk_io(layout: str) -> IOStats:
     """Read the matrix column by column with a 2-frame pool."""
     store = ArrayStore(memory_bytes=2 * 8192, block_size=8192)
     mat = store.create_matrix((N, N), layout=layout)
@@ -34,14 +35,19 @@ def _column_walk_io(layout: str) -> int:
     store.reset_stats()
     for c in range(N):
         mat.read_submatrix(0, N, c, c + 1)
-    return store.device.stats.reads
+    return store.device.stats.snapshot()
 
 
 def test_ablation_tile_aspect_ratio(benchmark):
-    results = benchmark.pedantic(
+    stats = benchmark.pedantic(
         lambda: {layout: _column_walk_io(layout)
                  for layout in ("row", "col", "square")},
         rounds=1, iterations=1)
+    merged = IOStats()
+    for st in stats.values():
+        merged = merged.merged(st)
+    record_io_stats(benchmark, merged)
+    results = {layout: st.reads for layout, st in stats.items()}
     print("\nAblation: tile aspect ratio under a column-major walk")
     for layout, io in results.items():
         print(f"  {layout:8s} {io:8d} block reads")
@@ -51,8 +57,8 @@ def test_ablation_tile_aspect_ratio(benchmark):
     assert results["row"] > 50 * results["col"]
 
 
-def _sweep_seq_fraction(linearization: str, by: str) -> float:
-    """Sequential fraction of reading every tile in row or column order."""
+def _sweep_seq_fraction(linearization: str, by: str) -> IOStats:
+    """I/O of reading every tile in row or column order."""
     store = ArrayStore(memory_bytes=2 * 8192, block_size=8192)
     mat = store.create_matrix((N, N), layout="square",
                               linearization=linearization)
@@ -65,17 +71,23 @@ def _sweep_seq_fraction(linearization: str, by: str) -> float:
         coords = [(i, j) for j in range(cols) for i in range(rows)]
     for ti, tj in coords:
         mat.read_tile(ti, tj)
-    stats = store.device.stats
-    return stats.seq_reads / max(stats.reads, 1)
+    return store.device.stats.snapshot()
 
 
 def test_ablation_linearization(benchmark):
     curves = ("row", "col", "zorder", "hilbert")
-    results = benchmark.pedantic(
+    stats = benchmark.pedantic(
         lambda: {name: (_sweep_seq_fraction(name, "row"),
                         _sweep_seq_fraction(name, "col"))
                  for name in curves},
         rounds=1, iterations=1)
+    merged = IOStats()
+    for row_st, col_st in stats.values():
+        merged = merged.merged(row_st).merged(col_st)
+    record_io_stats(benchmark, merged)
+    results = {name: (row_st.seq_reads / max(row_st.reads, 1),
+                      col_st.seq_reads / max(col_st.reads, 1))
+               for name, (row_st, col_st) in stats.items()}
     print("\nAblation: sequential fraction per linearization")
     print(f"  {'curve':8s} {'row sweep':>10s} {'col sweep':>10s} "
           f"{'worst case':>11s}")
@@ -112,7 +124,7 @@ def test_ablation_linearization(benchmark):
         assert worst[curve] < worst["col"]
 
 
-def _policy_hit_rate(policy: str) -> float:
+def _policy_hit_rate(policy: str) -> tuple[float, IOStats]:
     """Hot set re-read between long scans: rewards keeping hot pages."""
     store = ArrayStore(memory_bytes=16 * 8192, block_size=8192,
                        policy=policy)
@@ -126,13 +138,18 @@ def _policy_hit_rate(policy: str) -> float:
             vec.read_chunk(hot)
         for ci in range(20, 40):           # cold scan
             vec.read_chunk(ci)
-    return store.pool.stats.hit_rate
+    return store.pool.stats.hit_rate, store.device.stats.snapshot()
 
 
 def test_ablation_buffer_policy(benchmark):
-    results = benchmark.pedantic(
+    outcome = benchmark.pedantic(
         lambda: {p: _policy_hit_rate(p) for p in ("lru", "clock")},
         rounds=1, iterations=1)
+    merged = IOStats()
+    for _, st in outcome.values():
+        merged = merged.merged(st)
+    record_io_stats(benchmark, merged)
+    results = {p: rate for p, (rate, _) in outcome.items()}
     print("\nAblation: buffer replacement, hot set + cold scans")
     for policy, rate in results.items():
         print(f"  {policy:6s} hit rate {rate:.1%}")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from conftest import record_io_stats
 
 from repro.core.chain import in_order
 from repro.core.costs import bnlj_matmul_io, square_tile_matmul_io
@@ -43,14 +44,15 @@ def _measure(kind, dims, mem):
     out = algo(store, a, b, mem)
     store.flush()
     assert np.allclose(out.to_numpy(), a_np @ b_np)
-    measured = store.device.stats.total
-    return measured, model(m, l, n, mem, 1024)
+    return store.device.stats.snapshot(), model(m, l, n, mem, 1024)
 
 
 @pytest.mark.parametrize("kind,dims,mem", CASES)
 def test_model_agreement(benchmark, kind, dims, mem):
-    measured, model = benchmark.pedantic(
+    stats, model = benchmark.pedantic(
         _measure, args=(kind, dims, mem), rounds=1, iterations=1)
+    record_io_stats(benchmark, stats)
+    measured = stats.total
     ratio = measured / model
     print(f"\n{kind} {dims} M={mem // 1024}k scalars: "
           f"measured={measured} model={model:.0f} ratio={ratio:.2f}")
@@ -76,11 +78,14 @@ def test_chain_reorder_measured(benchmark):
         store.reset_stats()
         out = multiply_chain(store, mats, mem, order=order)
         store.flush()
-        return store.device.stats.total, out.to_numpy()
+        return store.device.stats.snapshot(), out.to_numpy()
 
-    io_opt, r_opt = benchmark.pedantic(
+    stats_opt, r_opt = benchmark.pedantic(
         run, args=(None,), rounds=1, iterations=1)
-    io_inorder, r_inorder = run(in_order(3))
+    stats_inorder, r_inorder = run(in_order(3))
+    record_io_stats(benchmark, stats_opt)
+    benchmark.extra_info["io_in_order"] = stats_inorder.as_dict()
+    io_opt, io_inorder = stats_opt.total, stats_inorder.total
     print(f"\nchain n={n}, s={s}: in-order={io_inorder} blocks, "
           f"opt-order={io_opt} blocks "
           f"({io_inorder / io_opt:.2f}x saving)")

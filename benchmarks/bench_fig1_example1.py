@@ -18,8 +18,10 @@ Shape assertions encode the paper's findings:
 from __future__ import annotations
 
 import pytest
+from conftest import record_io_stats
 
 from repro.engines import ALL_ENGINES
+from repro.storage import IOStats
 from repro.workloads import run_example1
 
 #: The paper's vector sizes.
@@ -47,6 +49,7 @@ def test_fig1_run(benchmark, engine_name, n):
     """Time one (engine, n) cell and record its metrics."""
     result = benchmark.pedantic(_run, args=(engine_name, n),
                                 rounds=1, iterations=1)
+    record_io_stats(benchmark, result.io)
     benchmark.extra_info["io_mb"] = round(result.io_mb, 2)
     benchmark.extra_info["sim_seconds"] = round(result.sim_seconds, 2)
 
@@ -56,6 +59,11 @@ def test_fig1_tables_and_shape(benchmark):
     benchmark.pedantic(
         lambda: [_run(name, n) for n in SIZES for name in ENGINE_ORDER],
         rounds=1, iterations=1)
+    merged = IOStats()
+    for n in SIZES:
+        for name in ENGINE_ORDER:
+            merged = merged.merged(_run(name, n).io)
+    record_io_stats(benchmark, merged)
 
     print("\nFigure 1(a): Disk I/O (MB) for Example 1")
     header = f"{'engine':22s}" + "".join(

@@ -14,6 +14,7 @@ I/O of evaluating the 10-element result, printing both DAGs.
 from __future__ import annotations
 
 import numpy as np
+from conftest import record_io_stats
 
 from repro.core import RiotSession
 
@@ -28,7 +29,7 @@ def _build(session: RiotSession, values: np.ndarray):
     return b2[1:10]
 
 
-def _measure(optimize: bool) -> tuple[int, np.ndarray, str]:
+def _measure(optimize: bool):
     rng = np.random.default_rng(42)
     values = rng.uniform(0.0, 20.0, N)
     session = RiotSession(memory_bytes=MEMORY, optimize=optimize)
@@ -37,13 +38,16 @@ def _measure(optimize: bool) -> tuple[int, np.ndarray, str]:
     session.store.flush()
     session.reset_stats()
     got = first10.values()
-    return session.io_stats.total, got, explain
+    return session.io_stats.snapshot(), got, explain
 
 
 def test_fig2_rewrite_io(benchmark):
-    io_opt, got_opt, explain = benchmark.pedantic(
+    stats_opt, got_opt, explain = benchmark.pedantic(
         lambda: _measure(True), rounds=1, iterations=1)
-    io_raw, got_raw, _ = _measure(False)
+    stats_raw, got_raw, _ = _measure(False)
+    record_io_stats(benchmark, stats_opt)
+    benchmark.extra_info["io_unoptimized"] = stats_raw.as_dict()
+    io_opt, io_raw = stats_opt.total, stats_raw.total
 
     print("\nFigure 2: expression DAGs for b[1:10]")
     print(explain)

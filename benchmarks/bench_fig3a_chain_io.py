@@ -12,6 +12,7 @@ orders of magnitude of the figure's log-scale axis.
 
 from __future__ import annotations
 
+from conftest import record_io_stats
 
 from repro.core.costs import GB_IN_SCALARS, fig3_strategy_costs, fig3a_rows
 
@@ -21,6 +22,9 @@ STRATEGIES = ["RIOT-DB", "BNLJ-Inspired", "Square/In-Order",
 
 def test_fig3a_table(benchmark):
     rows = benchmark.pedantic(fig3a_rows, rounds=1, iterations=1)
+    # Purely analytic (the paper's own calculated costs): the shared
+    # schema is still emitted, with an explicit all-zero IOStats.
+    record_io_stats(benchmark)
 
     print("\nFigure 3(a): I/O cost (disk blocks) of A %*% B %*% C, s=2")
     print(f"{'strategy':18s}" + "".join(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 
 import numpy as np
+from conftest import record_io_stats
 
 from repro.core.evaluator import Evaluator
 from repro.core.expr import ArrayInput, Map, Scalar
@@ -108,8 +109,8 @@ def _report(benchmark, row: dict) -> None:
           f"on {on.read_calls} calls ({reduction:.1%} fewer; "
           f"{on.prefetched} prefetched, {on.coalesced_ios} coalesced, "
           f"{on.readahead_hits} readahead hits)")
-    benchmark.extra_info["read_calls_off"] = off.read_calls
-    benchmark.extra_info["read_calls_on"] = on.read_calls
+    record_io_stats(benchmark, on)
+    benchmark.extra_info["io_scheduler_off"] = off.as_dict()
     benchmark.extra_info["reduction"] = round(reduction, 4)
     # Contract: same blocks, same bytes, same bits — fewer calls.
     assert np.array_equal(row["result_on"], row["result_off"])
@@ -153,6 +154,7 @@ def test_readahead_window_sweep(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_io_stats(benchmark, rows[16])
     print("\nreadahead window sweep (pure demand scan):")
     for window, st in rows.items():
         print(f"  window={window:3d}  reads={st.reads:5d} "

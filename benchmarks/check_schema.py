@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Validate benchmark JSON artifacts against the shared IOStats schema.
+
+The CI benchmark-smoke job runs every ``bench_*.py`` with
+``--benchmark-json`` and then this script over the result directory.
+Every benchmark entry must carry ``extra_info["io"]`` containing every
+key of :data:`repro.storage.IOSTATS_SCHEMA_KEYS` (the shape produced by
+``IOStats.as_dict()``) — the uniform schema that lets downstream
+tooling aggregate I/O numbers across benchmarks without per-file
+special cases.  Exit status is non-zero on any violation, which fails
+the job.
+
+Usage::
+
+    python benchmarks/check_schema.py bench-results/
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.storage import IOSTATS_SCHEMA_KEYS
+
+
+def check_file(path: Path) -> tuple[list[str], int]:
+    """Violations and benchmark count for one pytest-benchmark JSON."""
+    problems: list[str] = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable benchmark JSON ({exc})"], 0
+    benchmarks = data.get("benchmarks", [])
+    if not benchmarks:
+        problems.append(f"{path.name}: no benchmarks recorded")
+    for bench in benchmarks:
+        name = bench.get("name", "<unnamed>")
+        io = bench.get("extra_info", {}).get("io")
+        if not isinstance(io, dict):
+            problems.append(
+                f"{path.name}::{name}: extra_info['io'] missing — "
+                f"record it with record_io_stats(benchmark, stats)")
+            continue
+        missing = [k for k in IOSTATS_SCHEMA_KEYS if k not in io]
+        if missing:
+            problems.append(
+                f"{path.name}::{name}: io dict missing schema keys "
+                f"{missing}")
+    return problems, len(benchmarks)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    results_dir = Path(argv[1])
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        print(f"no benchmark JSON files found in {results_dir}")
+        return 1
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        file_problems, n = check_file(path)
+        problems.extend(file_problems)
+        if not file_problems:
+            checked += n
+            print(f"ok: {path.name} ({n} benchmarks)")
+    if problems:
+        print(f"\n{len(problems)} schema violation(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nall {checked} benchmark entries carry the shared "
+          f"IOStats schema ({len(IOSTATS_SCHEMA_KEYS)} keys)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

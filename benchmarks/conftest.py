@@ -11,6 +11,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.storage import IOStats
+
+
+def record_io_stats(benchmark, stats: IOStats | None = None) -> None:
+    """Attach I/O counters to ``extra_info`` under the shared schema.
+
+    Every benchmark emits ``extra_info["io"] = IOStats.as_dict()`` —
+    the one JSON shape the CI artifact job validates and aggregates
+    (``benchmarks/check_schema.py``).  Purely analytic benchmarks (the
+    Figure-3 calculations) pass no stats and record an explicit
+    all-zero IOStats rather than omitting the key.
+    """
+    benchmark.extra_info["io"] = (stats or IOStats()).as_dict()
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` exactly once (these workloads are deterministic and

@@ -128,6 +128,17 @@ class _Deferred:
     def max(self) -> float:
         return float(self.session.force(Reduce("max", self.node)))
 
+    # -- sparsity metadata -------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Estimated nonzero fraction of this handle's DAG node."""
+        return self.node.density
+
+    @property
+    def estimated_nnz(self) -> float:
+        """Expected nonzero count under the density estimate."""
+        return self.node.estimated_nnz
+
     # -- evaluation --------------------------------------------------------
     def force(self):
         """Materialize this handle's DAG into the tile store."""
@@ -211,6 +222,19 @@ class RiotVector(_Deferred):
 
 class RiotMatrix(_Deferred):
     """A deferred 2-D array."""
+
+    @classmethod
+    def from_coo(cls, session, rows, cols, values,
+                 shape: tuple[int, int],
+                 name: str | None = None) -> "RiotMatrix":
+        """Build a sparse matrix handle from 0-based COO triplets.
+
+        Storage is CSR tiles with a per-tile nnz directory (empty tiles
+        occupy zero pages); the handle's density drives chain ordering
+        and sparse/dense kernel selection in the rewriter.
+        """
+        return session.sparse_matrix(rows, cols, values, shape,
+                                     name=name)
 
     def _wrap(self, node: Node):
         if node.ndim == 2:

@@ -100,6 +100,131 @@ def riotdb_matmul_io(n1: float, n2: float, n3: float,
 
 
 # ----------------------------------------------------------------------
+# Sparse kernels (nnz-parameterized; see repro.sparse)
+# ----------------------------------------------------------------------
+#: Default side of a *sparse* tile at B = 1024 scalars per block: 4x the
+#: dense square-tile side (see ``SPARSE_TILE_FACTOR`` in
+#: :mod:`repro.sparse.sparse_matrix` — a CSR tile's pages scale with its
+#: nnz, so the grid can use geometrically larger tiles than dense
+#: storage, making empty tiles common at low density).
+DEFAULT_TILE_SIDE = 128
+
+
+def sparse_tile_pages(tile_rows: float, tile_nnz: float,
+                      block: float) -> float:
+    """Pages one CSR tile occupies: header + indptr + indices + data.
+
+    ``tile_words`` in :mod:`repro.sparse.sparse_matrix` is the exact
+    integer version; here the ceiling is taken on the expectation.
+    """
+    words = tile_rows + 2.0 + 2.0 * tile_nnz
+    return max(1.0, math.ceil(words / block))
+
+
+def sparse_matrix_profile(m: float, l: float, nnz: float, block: float,
+                          tile_side: float = DEFAULT_TILE_SIDE) -> dict:
+    """Expected tile-directory statistics of an m x l matrix with ``nnz``
+    uniformly placed nonzeros on a ``tile_side``-square grid.
+
+    Returns grid dimensions, the probability that a tile is nonempty,
+    the expected nonempty-tile count, and the expected total pages —
+    the quantities every sparse cost model below is built from.
+    """
+    area = tile_side * tile_side
+    density = min(1.0, nnz / (m * l)) if m and l else 0.0
+    grid_rows = math.ceil(m / tile_side)
+    grid_cols = math.ceil(l / tile_side)
+    p_nonempty = 1.0 - (1.0 - density) ** area
+    n_nonempty = grid_rows * grid_cols * p_nonempty
+    avg_nnz = (density * area / p_nonempty) if p_nonempty > 0 else 0.0
+    pages = n_nonempty * sparse_tile_pages(tile_side, avg_nnz, block)
+    return {"grid_rows": grid_rows, "grid_cols": grid_cols,
+            "p_nonempty": p_nonempty, "n_nonempty": n_nonempty,
+            "avg_nnz": avg_nnz, "pages": pages}
+
+
+def spmv_io(m: float, l: float, nnz: float, block: float,
+            tile_side: float = DEFAULT_TILE_SIDE) -> float:
+    """I/O of ``y = A x`` with sparse tiled A and a chunked dense x.
+
+    Per block row: every nonempty tile is read once, and an x chunk is
+    read iff any of the tiles it spans is nonempty (the kernel's slice
+    reads within one block row coalesce to one read per touched chunk
+    via the buffer pool).  y is written once, streaming.
+    """
+    prof = sparse_matrix_profile(m, l, nnz, block, tile_side)
+    x_blocks = math.ceil(l / block)
+    tiles_per_chunk = max(1.0, min(l, block) / tile_side)
+    p_chunk = 1.0 - (1.0 - prof["p_nonempty"]) ** tiles_per_chunk
+    x_reads = prof["grid_rows"] * x_blocks * p_chunk
+    y_writes = math.ceil(m / block)
+    return prof["pages"] + x_reads + y_writes
+
+
+def spmm_panel_width(memory: float, tile_rows: float, tile_cols: float,
+                     n: float) -> int:
+    """Column-panel width of the SpMM schedule, shared by kernel and model.
+
+    Memory holds one accumulator panel (tile_rows x pw), one dense B
+    strip (tile_cols x pw) and one CSR tile; the width is rounded down
+    to whole tiles so B reads and C writes stay tile-aligned.
+    """
+    pw = (memory - tile_rows * tile_cols) / (tile_rows + tile_cols)
+    pw = max(tile_cols, (pw // tile_cols) * tile_cols)
+    return int(min(n, pw)) if n >= tile_cols else int(n)
+
+
+def spmm_io(m: float, l: float, n: float, nnz: float, memory: float,
+            block: float, tile_side: float = DEFAULT_TILE_SIDE) -> float:
+    """I/O of ``C = A B`` with sparse tiled A and dense tiled B.
+
+    The schedule sweeps column panels of B: per panel every nonempty A
+    tile is read (A is re-read once per panel) and the matching
+    ``tile_side x pw`` strip of B is read per nonempty A tile; C is
+    written once, tile-aligned.
+    """
+    prof = sparse_matrix_profile(m, l, nnz, block, tile_side)
+    pw = spmm_panel_width(memory, tile_side, tile_side, n)
+    panels = math.ceil(n / pw)
+    a_reads = panels * prof["pages"]
+    b_reads = prof["n_nonempty"] * tile_side * n / block
+    c_writes = m * n / block
+    return a_reads + b_reads + c_writes
+
+
+def spgemm_io(m: float, l: float, n: float, nnz_a: float, nnz_b: float,
+              block: float,
+              tile_side: float = DEFAULT_TILE_SIDE) -> float:
+    """I/O of ``C = A B`` with both operands sparse tiled.
+
+    For every output tile, each k where A(i,k) and B(k,j) are both
+    nonempty costs one read of each tile; C's nonempty tiles are
+    written once.  Result density follows the standard independence
+    estimate ``1 - (1 - dA dB)^l`` per element.
+    """
+    prof_a = sparse_matrix_profile(m, l, nnz_a, block, tile_side)
+    prof_b = sparse_matrix_profile(l, n, nnz_b, block, tile_side)
+    pages_tile_a = sparse_tile_pages(tile_side, prof_a["avg_nnz"], block)
+    pages_tile_b = sparse_tile_pages(tile_side, prof_b["avg_nnz"], block)
+    k_tiles = math.ceil(l / tile_side)
+    out_tiles = math.ceil(m / tile_side) * math.ceil(n / tile_side)
+    pair_p = prof_a["p_nonempty"] * prof_b["p_nonempty"]
+    reads = out_tiles * k_tiles * pair_p * (pages_tile_a + pages_tile_b)
+    d_a = min(1.0, nnz_a / (m * l))
+    d_b = min(1.0, nnz_b / (l * n))
+    d_c = 1.0 - (1.0 - d_a * d_b) ** l
+    writes = sparse_matrix_profile(m, n, d_c * m * n, block,
+                                   tile_side)["pages"]
+    return reads + writes
+
+
+def matmul_result_density(d_a: float, d_b: float, inner: float) -> float:
+    """Density estimate for a product of matrices with densities
+    ``d_a``/``d_b`` and inner dimension ``inner`` (independence model)."""
+    return 1.0 - (1.0 - min(1.0, d_a) * min(1.0, d_b)) ** max(inner, 0.0)
+
+
+# ----------------------------------------------------------------------
 # Chains
 # ----------------------------------------------------------------------
 def chain_io(dims: list[float], order, per_multiply) -> float:

@@ -97,6 +97,14 @@ class RiotNGEngine(Engine):
             np.asarray(data, dtype=np.float64), layout="square")
         return NGMat(self.session, ArrayInput(stored))
 
+    def make_sparse_matrix(self, rows, cols, values,
+                           shape: tuple[int, int]) -> NGMat:
+        """Store 0-based COO triplets as CSR tiles (``sparseMatrix``)."""
+        from repro.sparse import SparseTiledMatrix
+        stored = SparseTiledMatrix.from_coo(
+            self.session.store, rows, cols, values, shape)
+        return NGMat(self.session, ArrayInput(stored))
+
     # -- registration ------------------------------------------------------
     def _register_all(self) -> None:
         g = self.generics

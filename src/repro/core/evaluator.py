@@ -41,6 +41,10 @@ class Evaluator:
         self.store = store
         self.memory_scalars = memory_scalars or (
             store.pool.capacity * store.scalars_per_block)
+        # Sparse matrix -> its dense twin, so a sparse object consumed
+        # by several dense-only contexts is converted (read fully +
+        # written as dense tiles) once, not once per consumer.
+        self._densified_cache: dict[int, tuple[object, object]] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -76,8 +80,7 @@ class Evaluator:
         if isinstance(node, MatMul):
             a = self._force(node.children[0], memo)
             b = self._force(node.children[1], memo)
-            return square_tile_matmul(self.store, a, b,
-                                      self.memory_scalars)
+            return self._dispatch_matmul(node, a, b)
         if isinstance(node, Transpose):
             return self._force_transpose(node, memo)
         if isinstance(node, SubscriptAssign) and not node.logical_mask:
@@ -94,6 +97,46 @@ class Evaluator:
                 return float(fns[node.op](*values))
         raise NotImplementedError(
             f"cannot evaluate node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication dispatch (dense and sparse kernels)
+    # ------------------------------------------------------------------
+    def _dispatch_matmul(self, node: MatMul, a, b):
+        """Route a forced ``%*%`` to the right kernel.
+
+        The rewriter's cost-model verdict (``node.kernel``) wins;
+        ``auto`` falls back to type-driven dispatch: sparse x sparse
+        runs SpGEMM, sparse x dense runs SpMM, and a sparse *right*
+        operand under a dense left one is densified (no dense x sparse
+        kernel exists — the cost models treat that case as dense).
+        """
+        from repro.sparse import SparseTiledMatrix, spgemm, spmm
+        kernel = getattr(node, "kernel", "auto")
+        if kernel == "dense":
+            a = self._densified(a)
+            b = self._densified(b)
+        if isinstance(a, SparseTiledMatrix):
+            if isinstance(b, SparseTiledMatrix):
+                return spgemm(self.store, a, b)
+            return spmm(self.store, a, b, self.memory_scalars)
+        b = self._densified(b)
+        return square_tile_matmul(self.store, a, b, self.memory_scalars)
+
+    def _densified(self, data):
+        """Dense view of a forced matrix for tile-streaming consumers.
+
+        Memoized per sparse object (the sparse operand is kept in the
+        cache entry so its ``id`` stays valid for the cache's lifetime).
+        """
+        from repro.sparse import SparseTiledMatrix
+        if not isinstance(data, SparseTiledMatrix):
+            return data
+        cached = self._densified_cache.get(id(data))
+        if cached is not None and cached[0] is data:
+            return cached[1]
+        dense = data.to_dense()
+        self._densified_cache[id(data)] = (data, dense)
+        return dense
 
     # ------------------------------------------------------------------
     # Streamability analysis
@@ -351,7 +394,7 @@ class Evaluator:
             if c.shape == ():
                 inputs.append(self._force(c, memo))
             else:
-                forced = self._force(c, memo)
+                forced = self._densified(self._force(c, memo))
                 if not isinstance(forced, TiledMatrix):
                     raise NotImplementedError(
                         "matrix operands must be stored matrices")
@@ -375,7 +418,7 @@ class Evaluator:
 
     def _force_transpose(self, node: Transpose,
                          memo: dict[int, object]) -> TiledMatrix:
-        src = self._force(node.children[0], memo)
+        src = self._densified(self._force(node.children[0], memo))
         out = self.store.create_matrix(node.shape,
                                        tile_shape=src.tile_shape[::-1])
         for ti, tj in src.tiles():

@@ -38,16 +38,48 @@ TERNARY_OPS = {
 COMPARISON_OPS = frozenset(["==", "!=", "<", ">", "<=", ">=",
                             "and", "or", "not"])
 
+#: Unary ops with f(0) == 0: they preserve the operand's zero pattern,
+#: so the estimated density passes through unchanged.
+ZERO_PRESERVING_UNARY = frozenset(["sqrt", "abs", "neg", "floor", "ceil"])
+
+
+def _estimate_map_density(op: str, children: tuple["Node", ...]) -> float:
+    """Estimated fraction of nonzeros a Map produces.
+
+    Follows the standard independence heuristics of sparse query
+    optimizers: products intersect zero patterns, sums union them,
+    zero-preserving unaries pass density through.  Anything whose zero
+    pattern cannot be predicted (comparisons, exp/log, ifelse) is
+    conservatively dense.
+    """
+    ds = [c.density for c in children]
+    if op in ("*", "and"):
+        d = 1.0
+        for x in ds:
+            d *= x
+        return d
+    if op in ("+", "-", "or"):
+        return min(1.0, sum(ds))
+    if op in ZERO_PRESERVING_UNARY or op in ("/", "pow", "mod"):
+        # For the binaries only the first operand's zeros survive
+        # (0 / y == 0, 0 ** y == 0 for y > 0, 0 %% y == 0).
+        return ds[0]
+    return 1.0
+
 
 class Node:
     """Base class for DAG nodes.
 
     ``shape`` is ``()`` for scalars, ``(n,)`` for vectors, ``(r, c)`` for
-    matrices.  ``children`` is a tuple of child nodes.
+    matrices.  ``children`` is a tuple of child nodes.  ``density`` is
+    the estimated fraction of nonzero elements (1.0 when unknown); the
+    rewriter uses it to order matrix chains and pick sparse vs. dense
+    kernels through the nnz-parameterized cost models.
     """
 
     shape: tuple[int, ...] = ()
     children: tuple["Node", ...] = ()
+    density: float = 1.0
 
     @property
     def ndim(self) -> int:
@@ -56,6 +88,11 @@ class Node:
     @property
     def size(self) -> int:
         return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def estimated_nnz(self) -> float:
+        """Expected nonzero count under the density estimate."""
+        return self.density * self.size
 
     def key(self) -> tuple:
         """Structural identity for CSE (children by object id)."""
@@ -84,6 +121,9 @@ class ArrayInput(Node):
             self.shape = tuple(int(s) for s in data.shape)
         else:
             raise TypeError(f"cannot wrap {type(data).__name__}")
+        nnz = getattr(data, "nnz", None)      # SparseTiledMatrix
+        if nnz is not None and self.size:
+            self.density = nnz / self.size
 
     def key(self) -> tuple:
         return ("ArrayInput", id(self.data))
@@ -101,6 +141,7 @@ class Scalar(Node):
     def __init__(self, value: float) -> None:
         self.value = float(value)
         self.shape = ()
+        self.density = 0.0 if self.value == 0.0 else 1.0
 
     def key(self) -> tuple:
         return ("Scalar", self.value)
@@ -167,6 +208,7 @@ class Map(Node):
         self.op = op
         self.children = tuple(children)
         self.shape = _broadcast_shape([c.shape for c in children], op)
+        self.density = _estimate_map_density(op, self.children)
 
     def key(self) -> tuple:
         return ("Map", self.op, tuple(id(c) for c in self.children))
@@ -188,6 +230,7 @@ class Subscript(Node):
             raise ValueError("index must be a vector")
         self.children = (src, index)
         self.shape = index.shape
+        self.density = src.density
 
     @property
     def src(self) -> Node:
@@ -220,6 +263,9 @@ class SubscriptAssign(Node):
         self.children = (base, index, value)
         self.logical_mask = logical_mask
         self.shape = base.shape
+        # Assigning zeros can only clear elements; anything else may fill.
+        self.density = (base.density if value.density == 0.0
+                        else min(1.0, base.density + value.density))
 
     @property
     def base(self) -> Node:
@@ -247,22 +293,41 @@ class SubscriptAssign(Node):
 
 class MatMul(Node):
     """Matrix multiplication — a first-class operator (§5: *"This approach
-    departs from those that are more minimalist in design"*)."""
+    departs from those that are more minimalist in design"*).
 
-    def __init__(self, a: Node, b: Node) -> None:
+    ``kernel`` is an execution hint the rewriter sets from the
+    nnz-parameterized cost models: ``"auto"`` (default, evaluator
+    decides from the forced operand types), ``"sparse"`` (keep sparse
+    operands sparse), or ``"dense"`` (densify sparse operands and run
+    the Appendix-A square-tile multiply).
+    """
+
+    KERNELS = ("auto", "sparse", "dense")
+
+    def __init__(self, a: Node, b: Node, kernel: str = "auto") -> None:
         if a.ndim != 2 or b.ndim != 2:
             raise ValueError("MatMul operands must be matrices")
         if a.shape[1] != b.shape[0]:
             raise ValueError(
                 f"non-conformable: {a.shape} x {b.shape}")
+        if kernel not in self.KERNELS:
+            raise ValueError(f"unknown kernel hint {kernel!r}")
         self.children = (a, b)
         self.shape = (a.shape[0], b.shape[1])
+        self.kernel = kernel
+        from .costs import matmul_result_density
+        self.density = matmul_result_density(
+            a.density, b.density, a.shape[1])
+
+    def key(self) -> tuple:
+        return ("MatMul", self.kernel,
+                tuple(id(c) for c in self.children))
 
     def with_children(self, children) -> "MatMul":
-        return MatMul(children[0], children[1])
+        return MatMul(children[0], children[1], kernel=self.kernel)
 
     def label(self) -> str:
-        return "%*%"
+        return "%*%" if self.kernel == "auto" else f"%*%[{self.kernel}]"
 
 
 class Transpose(Node):
@@ -273,6 +338,7 @@ class Transpose(Node):
             raise ValueError("Transpose operand must be a matrix")
         self.children = (a,)
         self.shape = (a.shape[1], a.shape[0])
+        self.density = a.density
 
     def with_children(self, children) -> "Transpose":
         return Transpose(children[0])

@@ -15,31 +15,56 @@ The optimizer applies transformation rules until fixpoint:
 6. **Common-subexpression elimination** by structural hashing (the two
    ``sqrt`` terms of Example 1 share their ``x`` and ``y`` scans).
 7. **Matrix-chain reordering** — chains of ``%*%`` are re-parenthesized by
-   the dynamic program of Appendix B (see :mod:`repro.core.chain`).
+   the dynamic program of Appendix B (see :mod:`repro.core.chain`).  When
+   any factor carries an estimated density below 1, the nnz-weighted DP
+   (:func:`repro.core.chain.optimal_order_sparse`) replaces the dense
+   flop count, so e.g. a sparse-sparse-vector chain collapses the cheap
+   sparse product first.
+8. **Sparse/dense kernel selection** — every ``%*%`` with a sparse-
+   estimated operand is annotated with the cheaper execution kernel by
+   comparing the nnz-parameterized ``spmm_io`` model against the dense
+   Appendix-A ``square_tile_matmul_io`` model.
 """
 
 from __future__ import annotations
 
 
 from . import chain as chain_mod
+from .costs import spgemm_io, spmm_io, square_tile_matmul_io
 from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
                    Scalar, Subscript, SubscriptAssign, UNARY_OPS,
                    walk)
 
+#: Densities at or above this are treated as dense (estimates are fuzzy;
+#: a 99.9%-full matrix gains nothing from CSR tiles).
+DENSE_THRESHOLD = 0.999
+
 
 class Rewriter:
-    """Applies rewrite rules bottom-up until fixpoint."""
+    """Applies rewrite rules bottom-up until fixpoint.
+
+    ``memory_scalars`` and ``block_scalars`` parameterize the I/O cost
+    models used by chain reordering and kernel selection; sessions pass
+    their own buffer-pool budget so plan choices match the store the
+    plan will run on.
+    """
 
     def __init__(self, enable_pushdown: bool = True,
                  enable_chain_reorder: bool = True,
                  enable_cse: bool = True,
                  enable_fold: bool = True,
-                 max_passes: int = 10) -> None:
+                 enable_kernel_select: bool = True,
+                 max_passes: int = 10,
+                 memory_scalars: int = 8 * 1024 * 1024,
+                 block_scalars: int = 1024) -> None:
         self.enable_pushdown = enable_pushdown
         self.enable_chain_reorder = enable_chain_reorder
         self.enable_cse = enable_cse
         self.enable_fold = enable_fold
+        self.enable_kernel_select = enable_kernel_select
         self.max_passes = max_passes
+        self.memory_scalars = memory_scalars
+        self.block_scalars = block_scalars
         self.applied: list[str] = []
 
     # ------------------------------------------------------------------
@@ -63,6 +88,7 @@ class Rewriter:
         for n in walk(node):
             ids[id(n)] = len(ids)
             sig.append((type(n).__name__, getattr(n, "op", None),
+                        getattr(n, "kernel", None),
                         tuple(ids[id(c)] for c in n.children)))
         return tuple(sig)
 
@@ -91,6 +117,10 @@ class Rewriter:
             reordered = self._reorder_chain(node)
             if reordered is not node:
                 return reordered
+        if self.enable_kernel_select and isinstance(node, MatMul):
+            selected = self._select_kernel(node)
+            if selected is not node:
+                return selected
         return node
 
     # -- rule: constant folding -----------------------------------------
@@ -148,12 +178,91 @@ class Rewriter:
         if len(factors) < 3:
             return node
         dims = [factors[0].shape[0]] + [f.shape[1] for f in factors]
-        order = chain_mod.optimal_order(dims)
+        densities = [f.density for f in factors]
+        if min(densities) < DENSE_THRESHOLD:
+            order = chain_mod.optimal_order_sparse(dims, densities)
+            rule = "chain-reorder-sparse"
+        else:
+            order = chain_mod.optimal_order(dims)
+            rule = "chain-reorder"
         current = self._signature_order(node, factors)
         if order == current:
             return node
-        self.applied.append("chain-reorder")
+        self.applied.append(rule)
         return self._build_order(factors, order)
+
+    # -- rule: sparse/dense kernel selection -------------------------------
+    def _sparse_stored(self, node: Node) -> bool:
+        """Will forcing this node yield a *sparse-stored* matrix?
+
+        Estimated density and storage format are different things: a
+        SpMM result is dense-stored however sparse its values.  Sparse
+        storage arises from a sparse ArrayInput or from a SpGEMM
+        (sparse x sparse ``%*%`` not forced dense).  Kernel selection
+        runs bottom-up, so child MatMuls are already annotated here.
+        """
+        if isinstance(node, ArrayInput):
+            return hasattr(node.data, "tile_nnz")
+        if isinstance(node, MatMul) and node.kernel != "dense":
+            return (self._sparse_stored(node.children[0])
+                    and self._sparse_stored(node.children[1]))
+        return False
+
+    def _sparse_tile_side(self, node: Node) -> int | None:
+        """Tile side the forced sparse matrix will actually have.
+
+        A SpGEMM result inherits its row-tile side from the left
+        factor, so recursing left reaches the stored leaf.
+        """
+        if isinstance(node, ArrayInput):
+            tile_shape = getattr(node.data, "tile_shape", None)
+            return tile_shape[0] if tile_shape else None
+        if isinstance(node, MatMul):
+            return self._sparse_tile_side(node.children[0])
+        return None
+
+    def _select_kernel(self, node: MatMul) -> Node:
+        """Annotate a ``%*%`` with the cost-model-cheaper kernel.
+
+        Only fires when an operand will be sparse-stored: the matching
+        nnz-parameterized model (``spgemm_io`` for sparse x sparse,
+        ``spmm_io`` for sparse x dense, each fed the operands'
+        estimated nnz) is compared against the dense Appendix-A model
+        at this rewriter's memory/block setting, and the verdict is
+        recorded on the node for the evaluator.
+        """
+        if node.kernel != "auto":
+            return node
+        a, b = node.children
+        a_sp = self._sparse_stored(a)
+        b_sp = self._sparse_stored(b)
+        if not a_sp:
+            # No dense x sparse kernel exists; the evaluator densifies
+            # the right operand either way, so leave the node alone.
+            return node
+        m, k = a.shape
+        n = b.shape[1]
+        from .costs import DEFAULT_TILE_SIDE
+        tile_side = self._sparse_tile_side(a) or DEFAULT_TILE_SIDE
+        if b_sp:
+            sparse_cost = spgemm_io(m, k, n, a.estimated_nnz,
+                                    b.estimated_nnz, self.block_scalars,
+                                    tile_side=tile_side)
+        else:
+            sparse_cost = spmm_io(m, k, n, a.estimated_nnz,
+                                  self.memory_scalars,
+                                  self.block_scalars,
+                                  tile_side=tile_side)
+        # The Appendix-A formula is asymptotic; at small sizes it drops
+        # below the trivial floor of reading both operands and writing
+        # the result once, so clamp it there before comparing.
+        dense_cost = max(
+            square_tile_matmul_io(m, k, n, self.memory_scalars,
+                                  self.block_scalars),
+            (m * k + k * n + m * n) / self.block_scalars)
+        kernel = "sparse" if sparse_cost < dense_cost else "dense"
+        self.applied.append(f"kernel-select:{kernel}")
+        return MatMul(a, b, kernel=kernel)
 
     def _signature_order(self, node: Node, factors: list[Node]):
         index_of = {id(f): i for i, f in enumerate(factors)}
@@ -212,6 +321,8 @@ class Rewriter:
             base = ("Reduce", node.op)
         elif isinstance(node, SubscriptAssign):
             base = ("SubscriptAssign", node.logical_mask)
+        elif isinstance(node, MatMul):
+            base = ("MatMul", node.kernel)
         else:
             base = (type(node).__name__,)
         return base + tuple(id(c) for c in node.children)

@@ -28,9 +28,12 @@ class RiotSession:
                  policy: str = "lru") -> None:
         self.store = ArrayStore(memory_bytes=memory_bytes,
                                 block_size=block_size, policy=policy)
-        self.rewriter = Rewriter() if optimize else Rewriter(
+        cost_env = {"memory_scalars": memory_bytes // 8,
+                    "block_scalars": block_size // 8}
+        self.rewriter = Rewriter(**cost_env) if optimize else Rewriter(
             enable_pushdown=False, enable_chain_reorder=False,
-            enable_cse=False, enable_fold=False)
+            enable_cse=False, enable_fold=False,
+            enable_kernel_select=False, **cost_env)
         self.optimize_enabled = optimize
         self.evaluator = Evaluator(
             self.store,
@@ -53,6 +56,28 @@ class RiotSession:
             np.asarray(data, dtype=np.float64), layout=layout,
             linearization=linearization, name=name)
         return RiotMatrix(self, ArrayInput(stored, name=stored.name))
+
+    def sparse_matrix(self, rows, cols, values, shape: tuple[int, int],
+                      name: str | None = None) -> RiotMatrix:
+        """Store 0-based COO triplets as CSR tiles; deferred handle.
+
+        The handle's DAG node carries the exact density, so the
+        rewriter's chain ordering and kernel selection see it.
+        """
+        from repro.sparse import SparseTiledMatrix
+        stored = SparseTiledMatrix.from_coo(self.store, rows, cols,
+                                            values, shape, name=name)
+        return RiotMatrix(self, ArrayInput(stored, name=stored.name))
+
+    def random_sparse_matrix(self, rows: int, cols: int, density: float,
+                             seed: int = 0) -> RiotMatrix:
+        """Uniformly sparse random matrix (standard-normal values)."""
+        rng = np.random.default_rng(seed)
+        nnz = int(round(density * rows * cols))
+        flat = rng.choice(rows * cols, size=nnz, replace=False)
+        return self.sparse_matrix(flat // cols, flat % cols,
+                                  rng.standard_normal(nnz),
+                                  (rows, cols))
 
     def arange(self, lo: int, hi: int) -> RiotVector:
         """The lazy range ``lo:hi`` (generated, never stored)."""

@@ -224,6 +224,62 @@ def _builtin_which(interp, args, kwargs):
     return interp.generics.dispatch("which", x)
 
 
+def _as_float_array(interp, value, what: str) -> np.ndarray:
+    """Pull a scalar or engine vector into a flat numpy array."""
+    if isinstance(value, RScalar):
+        return np.asarray([value.as_float()])
+    if isinstance(value, RNull):
+        return np.empty(0)
+    try:
+        values = interp.generics.dispatch("iterate", value)
+    except Exception as exc:
+        raise RError(f"{what} must be a numeric vector") from exc
+    return np.asarray(list(values), dtype=np.float64)
+
+
+def _builtin_sparse_matrix(interp, args, kwargs):
+    """``sparseMatrix(i, j, x, dims)``: COO triplets, 1-based like R.
+
+    ``dims`` is a length-2 vector (or ``nrow=``/``ncol=``); omitted, it
+    defaults to the max index.  Duplicated (i, j) pairs are summed, as
+    in R's Matrix package.  Engines that expose ``make_sparse_matrix``
+    (next-gen RIOT) store CSR tiles; every other engine receives the
+    equivalent dense matrix, keeping §4 transparency: the same program
+    runs everywhere, only the storage differs.
+    """
+    if len(args) < 3:
+        raise RError("sparseMatrix(i, j, x, dims) needs i, j and x")
+    iv = _as_float_array(interp, args[0], "sparseMatrix i")
+    jv = _as_float_array(interp, args[1], "sparseMatrix j")
+    xv = _as_float_array(interp, args[2], "sparseMatrix x")
+    if not (iv.size == jv.size == xv.size):
+        raise RError("sparseMatrix: i, j and x must have equal length")
+    dims = args[3] if len(args) > 3 else kwargs.get("dims")
+    if dims is not None:
+        dv = _as_float_array(interp, dims, "sparseMatrix dims")
+        if dv.size != 2:
+            raise RError("sparseMatrix dims must have length 2")
+        nrow, ncol = int(dv[0]), int(dv[1])
+    else:
+        nrow = _scalar_int(kwargs["nrow"], "nrow") if "nrow" in kwargs \
+            else int(iv.max()) if iv.size else 0
+        ncol = _scalar_int(kwargs["ncol"], "ncol") if "ncol" in kwargs \
+            else int(jv.max()) if jv.size else 0
+    if nrow <= 0 or ncol <= 0:
+        raise RError("sparseMatrix dims must be positive")
+    rows = iv.astype(np.int64) - 1
+    cols = jv.astype(np.int64) - 1
+    if iv.size and (rows.min() < 0 or rows.max() >= nrow
+                    or cols.min() < 0 or cols.max() >= ncol):
+        raise RError("sparseMatrix subscript out of bounds")
+    engine = interp.engine
+    if hasattr(engine, "make_sparse_matrix"):
+        return engine.make_sparse_matrix(rows, cols, xv, (nrow, ncol))
+    dense = np.zeros((nrow, ncol))
+    np.add.at(dense, (rows, cols), xv)
+    return engine.make_matrix(dense)
+
+
 def _builtin_crossprod(interp, args, kwargs):
     x = args[0]
     y = args[1] if len(args) > 1 else x
@@ -252,6 +308,7 @@ BUILTINS = {
     "seq": _builtin_seq,
     "seq_len": _builtin_seq_len,
     "matrix": _builtin_matrix,
+    "sparseMatrix": _builtin_sparse_matrix,
     "dim": _builtin_dim,
     "nrow": _dim_part(0),
     "ncol": _dim_part(1),

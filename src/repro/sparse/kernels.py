@@ -1,0 +1,233 @@
+"""I/O-measured sparse kernels: SpMV, SpMM, SpGEMM.
+
+Each kernel runs against the counted storage stack and announces its tile
+footprint through ``pool.prefetch()`` before reading it, exactly like the
+dense ``square_tile_matmul`` — so the PR-1 scheduler turns the misses into
+a few coalesced device calls without changing block totals.
+
+The analytic twins live in :mod:`repro.core.costs` (``spmv_io``,
+``spmm_io``, ``spgemm_io``); ``tests/sparse`` checks measured-vs-model
+agreement the same way ``tests/linalg`` does for the dense algorithms.
+
+Accounting note: hints are announced in pool-sized batches (see
+:class:`_BatchedHints`), which keeps hinted block totals within a few
+percent of the unhinted run.  Unlike the chunk-aligned dense streams,
+exact equality is not guaranteed — batching shifts eviction *timing*,
+so a vector chunk that happened to stay cached across block rows in the
+unhinted run may be re-read in the hinted one.  Results are always
+bitwise identical and call counts strictly drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import spmm_panel_width
+from repro.storage import ArrayStore, TiledMatrix, TiledVector
+
+from .sparse_matrix import SparseTiledMatrix, csr_matvec
+
+_FLOAT = np.float64
+
+
+def _check_conformable(a: SparseTiledMatrix, b) -> None:
+    b_rows = b.length if isinstance(b, TiledVector) else b.shape[0]
+    if a.shape[1] != b_rows:
+        raise ValueError(
+            f"non-conformable operands: {a.shape} x {(b_rows,)}")
+
+
+def _vector_slice(x: TiledVector, lo: int, hi: int) -> np.ndarray:
+    """Values ``x[lo:hi)`` read through the chunk grid."""
+    parts = []
+    for ci in range(lo // x.chunk, -(-hi // x.chunk)):
+        c_lo, c_hi = x.chunk_bounds(ci)
+        data = x.read_chunk(ci)
+        parts.append(data[max(lo, c_lo) - c_lo: min(hi, c_hi) - c_lo])
+    return np.concatenate(parts) if parts else np.empty(0, dtype=_FLOAT)
+
+
+class _BatchedHints:
+    """Announce per-tile footprints in batches the pool can hold.
+
+    An oversized hint is clipped by the pool, and frames prefetched
+    beyond what fits can be evicted before their demand read — the
+    re-reads would badly inflate the block totals the cost models
+    charge.  Capping each announcement at half the pool keeps every
+    hinted block resident until it is consumed, mirroring the
+    windowing of ``TiledVector.scan``.
+    """
+
+    def __init__(self, pool, groups: list[list[int]],
+                 enabled: bool) -> None:
+        self.pool = pool
+        self.groups = groups
+        self.enabled = enabled
+        self.limit = max(1, pool.capacity // 2 - 2)
+        self._next = 0
+
+    def before(self, idx: int) -> None:
+        """Ensure group ``idx`` has been announced (greedy lookahead)."""
+        if not self.enabled or idx < self._next:
+            return
+        batch: list[int] = []
+        t = idx
+        while t < len(self.groups) and (
+                not batch
+                or len(batch) + len(self.groups[t]) <= self.limit):
+            batch.extend(self.groups[t])
+            t += 1
+        if batch:
+            self.pool.prefetch(batch)
+        self._next = max(t, idx + 1)
+
+
+class _StreamingVectorWriter:
+    """Write a vector front to back in arbitrary-sized pieces.
+
+    Block rows of SpMV produce ``tile_rows`` results at a time, which
+    rarely align with the output's chunk grid; this buffers exactly one
+    chunk so every chunk is still written once, in order.
+    """
+
+    def __init__(self, out: TiledVector) -> None:
+        self.out = out
+        self._buf = np.zeros(out.chunk, dtype=_FLOAT)
+        self._filled = 0
+        self._ci = 0
+
+    def emit(self, piece: np.ndarray) -> None:
+        pos = 0
+        while pos < piece.size:
+            lo, hi = self.out.chunk_bounds(self._ci)
+            room = (hi - lo) - self._filled
+            take = min(room, piece.size - pos)
+            self._buf[self._filled: self._filled + take] = \
+                piece[pos: pos + take]
+            self._filled += take
+            pos += take
+            if self._filled == hi - lo:
+                self.out.write_chunk(self._ci, self._buf[: hi - lo])
+                self._ci += 1
+                self._filled = 0
+
+    def close(self) -> None:
+        if self._filled:
+            raise RuntimeError("vector writer closed mid-chunk")
+
+
+def spmv(store: ArrayStore, a: SparseTiledMatrix, x: TiledVector,
+         name: str | None = None) -> TiledVector:
+    """``y = A x`` one block row at a time, skipping empty tiles.
+
+    Per block row the footprint — every nonempty CSR tile plus the x
+    chunks their column ranges cover — is announced up front; empty
+    tiles cost nothing, which is where the win over dense tiling
+    comes from.
+    """
+    _check_conformable(a, x)
+    out = store.create_vector(a.shape[0], name=name)
+    writer = _StreamingVectorWriter(out)
+    hinting = a.store is store and x.store is store
+    for ti in range(a.grid[0]):
+        r0 = ti * a.tile_shape[0]
+        r1 = min(r0 + a.tile_shape[0], a.shape[0])
+        acc = np.zeros(r1 - r0, dtype=_FLOAT)
+        tjs = a.nonempty_in_row(ti)
+        groups: list[list[int]] = []
+        seen_chunks: set[int] = set()
+        for tj in tjs:
+            keys = a.tile_blocks(ti, tj)
+            _, _, c0, c1 = a.tile_bounds(ti, tj)
+            fresh = [ci for ci in range(c0 // x.chunk, -(-c1 // x.chunk))
+                     if ci not in seen_chunks]
+            seen_chunks.update(fresh)
+            groups.append(keys + x.blocks_for_chunks(fresh))
+        hints = _BatchedHints(store.pool, groups, hinting)
+        for idx, tj in enumerate(tjs):
+            hints.before(idx)
+            indptr, indices, data = a.read_tile_csr(ti, tj)
+            _, _, c0, c1 = a.tile_bounds(ti, tj)
+            csr_matvec(indptr, indices, data,
+                       _vector_slice(x, c0, c1), acc)
+        writer.emit(acc)
+    writer.close()
+    return out
+
+
+def spmm(store: ArrayStore, a: SparseTiledMatrix, b: TiledMatrix,
+         memory_scalars: int, name: str | None = None) -> TiledMatrix:
+    """``C = A B`` with sparse A and dense tiled B, by column panels.
+
+    The panel width comes from :func:`repro.core.costs.spmm_panel_width`
+    so the measured schedule and the analytic model stay in lockstep.
+    Within a panel, each block row reads only the nonempty A tiles and
+    the B strips they touch; block rows with no nonzeros write their
+    zero panel without reading anything.
+    """
+    _check_conformable(a, b)
+    m, l = a.shape
+    n = b.shape[1]
+    th, tw = a.tile_shape
+    pw = spmm_panel_width(memory_scalars, th, tw, n)
+    out = store.create_matrix((m, n), tile_shape=a.tile_shape,
+                              linearization=a.linearization.name,
+                              name=name)
+    hinting = a.store is store and b.store is store
+    for j0 in range(0, n, pw):
+        j1 = min(j0 + pw, n)
+        for ti in range(a.grid[0]):
+            r0 = ti * th
+            r1 = min(r0 + th, m)
+            acc = np.zeros((r1 - r0, j1 - j0), dtype=_FLOAT)
+            tjs = a.nonempty_in_row(ti)
+            groups = []
+            for tj in tjs:
+                _, _, c0, c1 = a.tile_bounds(ti, tj)
+                groups.append(a.tile_blocks(ti, tj)
+                              + b.submatrix_blocks(c0, c1, j0, j1))
+            hints = _BatchedHints(store.pool, groups, hinting)
+            for idx, tj in enumerate(tjs):
+                hints.before(idx)
+                _, _, c0, c1 = a.tile_bounds(ti, tj)
+                a_tile = a.read_tile(ti, tj)
+                acc += a_tile @ b.read_submatrix(c0, c1, j0, j1)
+            out.write_submatrix(r0, j0, acc)
+    return out
+
+
+def spgemm(store: ArrayStore, a: SparseTiledMatrix,
+           b: SparseTiledMatrix,
+           name: str | None = None) -> SparseTiledMatrix:
+    """``C = A B`` with both operands sparse; C is built sparse too.
+
+    Requires the k-grids to line up (``a`` tile width == ``b`` tile
+    height).  Each output tile multiplies only the k-tiles where both
+    operands are nonempty — the tile directories make that intersection
+    free of I/O — and an all-zero result tile is never written at all.
+    """
+    _check_conformable(a, b)
+    if a.tile_shape[1] != b.tile_shape[0]:
+        raise ValueError(
+            f"k-grids must align: A tiles {a.tile_shape} vs "
+            f"B tiles {b.tile_shape}")
+    m, n = a.shape[0], b.shape[1]
+    out = SparseTiledMatrix(
+        store, name or store._fresh_name("spgemm"), (m, n),
+        (a.tile_shape[0], b.tile_shape[1]), a.linearization.name)
+    hinting = a.store is store and b.store is store
+    for ti, tj in out.tiles():
+        ks = sorted(set(a.nonempty_in_row(ti))
+                    & set(b.nonempty_in_col(tj)))
+        if not ks:
+            continue
+        groups = [a.tile_blocks(ti, k) + b.tile_blocks(k, tj)
+                  for k in ks]
+        hints = _BatchedHints(store.pool, groups, hinting)
+        r0, r1, c0, c1 = out.tile_bounds(ti, tj)
+        acc = np.zeros((r1 - r0, c1 - c0), dtype=_FLOAT)
+        for idx, k in enumerate(ks):
+            hints.before(idx)
+            acc += a.read_tile(ti, k) @ b.read_tile(k, tj)
+        out.append_tile_dense(ti, tj, acc)
+    return out

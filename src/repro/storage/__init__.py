@@ -8,7 +8,8 @@ tile store.  Routing all of them through one counted
 I/O comparisons (Figure 1(a), Figure 3) exact here.
 """
 
-from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE, IOStats,
+from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE,
+                           IOSTATS_SCHEMA_KEYS, IOStats,
                            SCALARS_PER_BLOCK, SimClock, coalesce_runs)
 from .buffer_pool import BufferPool, ClockPolicy, LRUPolicy, make_policy
 from .io_scheduler import IOScheduler
@@ -27,6 +28,7 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "Hilbert",
     "IOScheduler",
+    "IOSTATS_SCHEMA_KEYS",
     "IOStats",
     "Linearization",
     "LRUPolicy",

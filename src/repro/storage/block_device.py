@@ -82,6 +82,21 @@ class IOStats:
     def mb_total(self, block_size: int = DEFAULT_BLOCK_SIZE) -> float:
         return self.bytes_total(block_size) / (1024.0 * 1024.0)
 
+    def as_dict(self) -> dict[str, int]:
+        """Counters plus derived totals under the shared JSON schema.
+
+        Every ``benchmarks/bench_*.py`` emits this exact shape in its
+        ``extra_info["io"]`` so the CI artifact job can validate and
+        aggregate results uniformly (see ``benchmarks/check_schema.py``
+        and ``IOSTATS_SCHEMA_KEYS``).
+        """
+        out = {f: int(getattr(self, f)) for f in _IOSTAT_FIELDS}
+        out["reads"] = self.reads
+        out["writes"] = self.writes
+        out["total"] = self.total
+        out["calls"] = self.calls
+        return out
+
     def snapshot(self) -> "IOStats":
         return IOStats(**{f: getattr(self, f) for f in _IOSTAT_FIELDS})
 
@@ -106,6 +121,11 @@ class IOStats:
 _IOSTAT_FIELDS = ("seq_reads", "rand_reads", "seq_writes", "rand_writes",
                   "read_calls", "write_calls", "coalesced_ios",
                   "prefetched", "readahead_hits")
+
+#: Keys every benchmark's ``extra_info["io"]`` must carry — the shared
+#: JSON schema of the CI benchmark artifacts.
+IOSTATS_SCHEMA_KEYS = _IOSTAT_FIELDS + ("reads", "writes", "total",
+                                        "calls")
 
 
 def coalesce_runs(block_ids: list[int]) -> list[tuple[int, int]]:

@@ -47,6 +47,13 @@ def tile_shape_for_layout(layout: str, shape: tuple[int, int],
     ``square`` square tiles of area <= B (the Appendix-A layout).
     """
     n1, n2 = shape
+    if n1 <= 0 or n2 <= 0:
+        raise ValueError(
+            f"cannot tile a zero- or negative-sized matrix: shape "
+            f"{shape} (every dimension must be >= 1)")
+    if scalars_per_block <= 0:
+        raise ValueError(
+            f"scalars_per_block must be positive, got {scalars_per_block}")
     if layout == "row":
         # Row-major packing: whole rows laid end to end.  When a row is
         # shorter than a block, several rows share one block so pages stay

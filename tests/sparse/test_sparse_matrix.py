@@ -1,0 +1,154 @@
+"""Tests for the CSR-tiled sparse matrix store."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (SparseTiledMatrix, csr_from_dense, csr_to_dense,
+                          tile_words)
+from repro.sparse.sparse_matrix import default_sparse_tile_shape
+from repro.storage import ArrayStore
+
+
+def _random_sparse(rng, m, n, density):
+    return (rng.random((m, n)) < density) * rng.standard_normal((m, n))
+
+
+class TestCSRCodec:
+    def test_roundtrip(self, rng):
+        tile = _random_sparse(rng, 17, 23, 0.2)
+        indptr, indices, data = csr_from_dense(tile)
+        assert indptr[0] == 0 and indptr[-1] == data.size
+        assert np.array_equal(csr_to_dense(indptr, indices, data,
+                                           tile.shape), tile)
+
+    def test_empty_tile(self):
+        indptr, indices, data = csr_from_dense(np.zeros((4, 4)))
+        assert data.size == 0
+        assert np.array_equal(indptr, np.zeros(5, dtype=np.int64))
+
+    def test_tile_words_exact(self):
+        # 1 header + (rows+1) indptr + nnz indices + nnz data words.
+        assert tile_words(rows=32, nnz=10) == 1 + 33 + 10 + 10
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, store, rng):
+        dense = _random_sparse(rng, 300, 200, 0.05)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        assert np.allclose(sp.to_numpy(), dense)
+        assert sp.nnz == np.count_nonzero(dense)
+
+    def test_from_coo_sums_duplicates_and_drops_zeros(self, store):
+        i = [0, 0, 1, 2, 2]
+        j = [1, 1, 2, 0, 3]
+        x = [1.0, 2.0, 0.0, 5.0, -1.0]
+        sp = SparseTiledMatrix.from_coo(store, i, j, x, (4, 5))
+        expect = np.zeros((4, 5))
+        np.add.at(expect, (np.asarray(i), np.asarray(j)), np.asarray(x))
+        assert np.allclose(sp.to_numpy(), expect)
+        assert sp.nnz == 3  # duplicate summed to one entry, zero dropped
+
+    def test_from_coo_cancelling_duplicates_vanish(self, store):
+        sp = SparseTiledMatrix.from_coo(store, [1, 1], [1, 1],
+                                        [2.5, -2.5], (3, 3))
+        assert sp.nnz == 0
+        assert sp.data_pages == 0
+
+    def test_from_coo_rejects_out_of_range(self, store):
+        with pytest.raises(IndexError):
+            SparseTiledMatrix.from_coo(store, [5], [0], [1.0], (4, 4))
+
+    def test_from_coo_rejects_misaligned_triplets(self, store):
+        with pytest.raises(ValueError):
+            SparseTiledMatrix.from_coo(store, [0, 1], [0], [1.0], (4, 4))
+
+    def test_default_tile_is_larger_than_dense(self, store):
+        # A CSR tile's pages scale with nnz, so the default grid uses
+        # 4x the dense square side (128 at 8 KB blocks).
+        assert default_sparse_tile_shape((10_000, 10_000),
+                                        store.scalars_per_block) == \
+            (128, 128)
+        sp = SparseTiledMatrix.from_coo(store, [0], [0], [1.0],
+                                        (1000, 1000))
+        assert sp.tile_shape == (128, 128)
+
+
+class TestTileDirectory:
+    def test_empty_tiles_occupy_zero_pages(self, store):
+        # One nonzero in one corner of a 512x512 matrix: exactly one
+        # directory entry, one page, 15 empty tiles for free.
+        sp = SparseTiledMatrix.from_coo(store, [0], [0], [7.0],
+                                        (512, 512))
+        assert sp.grid == (4, 4)
+        assert len(sp.directory) == 1
+        assert sp.data_pages == 1
+        assert sp.tile_blocks(3, 3) == []
+        assert sp.tile_nnz(0, 0) == 1 and sp.tile_nnz(3, 3) == 0
+
+    def test_directory_matches_contents(self, store, rng):
+        dense = _random_sparse(rng, 400, 300, 0.01)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        th, tw = sp.tile_shape
+        for (ti, tj), (_, _, nnz) in sp.directory.items():
+            block = dense[ti * th: (ti + 1) * th, tj * tw: (tj + 1) * tw]
+            assert nnz == np.count_nonzero(block)
+        assert sp.nnz == sum(e[2] for e in sp.directory.values())
+
+    def test_row_and_col_indexes(self, store):
+        sp = SparseTiledMatrix.from_coo(
+            store, [0, 0, 200], [0, 200, 0], [1.0, 2.0, 3.0], (256, 256))
+        assert sp.nonempty_in_row(0) == [0, 1]
+        assert sp.nonempty_in_row(1) == [0]
+        assert sp.nonempty_in_col(0) == [0, 1]
+        assert sp.nonempty_in_col(1) == [0]
+
+    def test_tiles_append_in_linearization_order(self, store, rng):
+        dense = _random_sparse(rng, 512, 512, 0.01)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        order = [sp.linearization.index(ti, tj)
+                 for ti, tj in sp.nonempty_tiles()]
+        assert order == sorted(order)
+
+    def test_read_tile_densifies_with_edge_clipping(self, store, rng):
+        dense = _random_sparse(rng, 200, 150, 0.1)  # 128-tiles clip
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        for ti, tj in sp.tiles():
+            r0, r1, c0, c1 = sp.tile_bounds(ti, tj)
+            assert np.array_equal(sp.read_tile(ti, tj),
+                                  dense[r0:r1, c0:c1])
+
+    def test_double_append_rejected(self, store):
+        sp = SparseTiledMatrix.from_coo(store, [0], [0], [1.0],
+                                        (64, 64))
+        with pytest.raises(ValueError):
+            sp.append_tile_dense(0, 0, np.ones((64, 64)))
+
+
+class TestIOAccounting:
+    def test_cold_read_costs_directory_pages(self, rng):
+        store = ArrayStore(memory_bytes=16 * 8192)
+        dense = _random_sparse(rng, 512, 512, 0.02)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        store.pool.clear()
+        store.reset_stats()
+        sp.to_numpy()
+        assert store.device.stats.reads == sp.data_pages
+
+    def test_sparse_pages_far_below_dense(self, store, rng):
+        n = 1024
+        dense = _random_sparse(rng, n, n, 0.001)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        dense_pages = (n * n) // store.scalars_per_block
+        assert sp.data_pages * 10 < dense_pages
+
+    def test_to_dense_matches(self, store, rng):
+        dense = _random_sparse(rng, 300, 300, 0.05)
+        sp = SparseTiledMatrix.from_dense(store, dense)
+        assert np.allclose(sp.to_dense().to_numpy(), dense)
+
+    def test_drop_releases_everything(self, store):
+        sp = SparseTiledMatrix.from_coo(store, [0, 100], [0, 100],
+                                        [1.0, 2.0], (256, 256))
+        sp.drop()
+        assert sp.nnz == 0 and not sp.directory
+        assert sp.file.num_pages == 0

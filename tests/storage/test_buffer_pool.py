@@ -252,6 +252,39 @@ class TestPrefetchEdgeCases:
         pool.get(blocks[0])
         assert pool.stats.readahead_hits == 0
 
+    def test_prefetch_larger_than_capacity_is_truncated(self, device):
+        """A footprint bigger than the pool clips, never thrashes.
+
+        Sparse kernels announce whole tile footprints that can exceed a
+        small pool; the contract is: fetch only what fits (capacity
+        minus the reserved demand frame), keep residency bounded, and
+        count exactly the fetched blocks as reads.
+        """
+        blocks = _fill_device(device, 32)
+        pool = BufferPool(device, 8)
+        fetched = pool.prefetch(blocks)
+        assert fetched == 7          # capacity 8 minus one demand frame
+        assert pool.resident <= 8
+        assert device.stats.reads == 7
+        # The surviving prefix is resident: reading it costs nothing.
+        before = device.stats.reads
+        for bid in blocks[:fetched]:
+            pool.get(bid)
+        assert device.stats.reads == before
+        assert pool.stats.readahead_hits == fetched
+
+    def test_oversized_prefetch_never_evicts_earlier_prefetch(self, device):
+        """With unread prefetched frames filling the pool, a second
+        oversized hint must back off entirely instead of cannibalizing
+        the blocks the first hint promised."""
+        blocks = _fill_device(device, 24)
+        pool = BufferPool(device, 8)
+        assert pool.prefetch(blocks[:16]) == 7
+        before = device.stats.reads
+        assert pool.prefetch(blocks[16:]) == 0
+        assert device.stats.reads == before
+        assert pool.stats.prefetch_wasted == 0
+
 
 class TestClockPinnedVictims:
     def test_victim_when_all_but_one_pinned(self, device):

@@ -37,6 +37,40 @@ class TestBijection:
             cls(0, 5)
 
 
+@pytest.mark.parametrize("cls", CURVES)
+@pytest.mark.parametrize("grid", [(1, 9), (9, 1), (1, 1), (1, 2), (2, 1)])
+class TestDegenerateGrids:
+    """1xN / Nx1 / single-tile grids: the curves must stay bijective.
+
+    These shapes show up constantly in practice — vectors stored as
+    matrices, single-tile matrices, skinny sparse-tile grids — and the
+    power-of-two padding in Z-order/Hilbert makes them easy to break.
+    """
+
+    def test_roundtrip_every_position(self, cls, grid):
+        rows, cols = grid
+        lin = cls(rows, cols)
+        for pos in range(rows * cols):
+            ti, tj = lin.coords(pos)
+            assert 0 <= ti < rows and 0 <= tj < cols
+            assert lin.index(ti, tj) == pos
+
+    def test_dense_position_range(self, cls, grid):
+        rows, cols = grid
+        lin = cls(rows, cols)
+        positions = sorted(lin.index(i, j)
+                           for i in range(rows) for j in range(cols))
+        assert positions == list(range(rows * cols))
+
+    def test_out_of_grid_rejected(self, cls, grid):
+        rows, cols = grid
+        lin = cls(rows, cols)
+        with pytest.raises(IndexError):
+            lin.index(rows, 0)
+        with pytest.raises(IndexError):
+            lin.index(0, cols)
+
+
 @given(rows=st.integers(1, 12), cols=st.integers(1, 12),
        name=st.sampled_from(["row", "col", "zorder", "hilbert"]))
 @settings(max_examples=60, deadline=None)

@@ -183,6 +183,26 @@ class TestTileShapeForLayout:
         with pytest.raises(ValueError):
             tile_shape_for_layout("diagonal", (10, 10), 1024)
 
+    @pytest.mark.parametrize("layout", ["row", "col", "square"])
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (0, 0), (-1, 5)])
+    def test_zero_sized_shape_raises_clearly(self, layout, shape):
+        """A degenerate shape must raise ValueError, not ZeroDivisionError
+        (the row/col branches divide by the opposite dimension)."""
+        with pytest.raises(ValueError, match="zero- or negative-sized"):
+            tile_shape_for_layout(layout, shape, 1024)
+
+    def test_zero_block_raises_clearly(self):
+        with pytest.raises(ValueError, match="scalars_per_block"):
+            tile_shape_for_layout("square", (10, 10), 0)
+
+    def test_create_matrix_zero_shape_raises_clearly(self):
+        """The ArrayStore path reaches tile_shape_for_layout before the
+        TiledMatrix constructor; it must fail just as clearly."""
+        from repro.storage import ArrayStore
+        store = ArrayStore(memory_bytes=8 * 8192)
+        with pytest.raises(ValueError):
+            store.create_matrix((0, 5))
+
 
 class TestArrayStore:
     def test_fresh_names_unique(self, store):
