@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .expr import (Map, MatMul, Node, Range, Reduce, Scalar, Subscript,
-                   SubscriptAssign, Transpose)
+from .expr import (Inverse, Map, MatMul, Node, Range, Reduce, Scalar,
+                   Solve, Subscript, SubscriptAssign, Transpose)
 
 
 def _scalarize(value) -> Node:
@@ -254,6 +254,19 @@ class RiotMatrix(_Deferred):
     @property
     def T(self) -> "RiotMatrix":
         return RiotMatrix(self.session, Transpose(self.node))
+
+    def inv(self) -> "RiotMatrix":
+        """Deferred explicit inverse.
+
+        ``a.inv() @ b`` never materializes the inverse: the rewriter
+        turns it into ``solve(a, b)`` before evaluation.
+        """
+        return RiotMatrix(self.session, Inverse(self.node))
+
+    def solve(self, b):
+        """Deferred solution of ``self @ x == b`` (vector or matrix b)."""
+        node = Solve(self.node, _scalarize(b))
+        return self._wrap(node)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RiotMatrix(shape={self.shape}, deferred)"

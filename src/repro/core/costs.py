@@ -225,6 +225,102 @@ def matmul_result_density(d_a: float, d_b: float, inner: float) -> float:
 
 
 # ----------------------------------------------------------------------
+# Dense LU factorization and triangular solves (§5 first-class operators)
+# ----------------------------------------------------------------------
+def lu_panel_width(n: float, memory: float, tile_side: float) -> int:
+    """Column-panel width of the out-of-core pivoted LU, shared by
+    kernel and model.
+
+    Partial pivoting needs the full trailing column panel resident to
+    choose pivot rows, so the panel is *tall*: ``n x p`` scalars.  One
+    third of the memory budget goes to the panel (the other two thirds
+    cover the strip being swapped/updated and pool working frames),
+    giving ``p = M / (3 n)``, rounded down to whole storage tiles and
+    clamped to ``[tile_side, n]``.
+    """
+    p = (memory / 3.0) / max(n, 1.0)
+    p = max(tile_side, (p // tile_side) * tile_side)
+    return int(min(p, max(n, 1.0)))
+
+
+def _dense_tile_side(block: float) -> int:
+    """Side of a square dense tile of area <= ``block`` scalars."""
+    return max(1, int(math.isqrt(int(block))))
+
+
+def lu_io(n: float, memory: float, block: float,
+          tile_side: float | None = None) -> float:
+    """I/O (blocks) of the blocked partial-pivoting LU of an n x n matrix.
+
+    Mirrors the schedule of :func:`repro.linalg.lu.lu_decompose` term by
+    term.  Per column panel of width p (tall panel resident in memory):
+
+    - the trailing ``h x p`` panel is read, factored, and written back,
+    - one pass over the remaining ``h x (n - p)`` rows applies the
+      panel's row interchanges (and, for trailing strips, the
+      triangular solve producing U's row panel) — read + write,
+    - the trailing update streams L blocks once per block row and the
+      U/target blocks per (i, j) pair, exactly as the kernel loops.
+
+    Plus the initial copy of the input into the working factor
+    (RIOT's pure-operator discipline: read once, write once).
+    """
+    tile = tile_side or _dense_tile_side(block)
+    p = lu_panel_width(n, memory, tile)
+    total = 2.0 * n * n / block          # copy input -> working factor
+    k0 = 0.0
+    while k0 < n:
+        k1 = min(k0 + p, n)
+        w = k1 - k0                      # panel width
+        h = n - k0                       # trailing height
+        total += 2.0 * h * w / block     # panel read + factored write-back
+        total += 2.0 * h * (n - w) / block   # swap (+U) pass, read + write
+        t = n - k1                       # trailing square side
+        if t > 0:
+            nb = math.ceil(t / p)        # trailing blocks per side
+            total += t * w / block       # L blocks, once per block row
+            total += nb * t * w / block  # U row panel, re-read per block row
+            total += 2.0 * t * t / block  # trailing blocks read + written
+        k0 = k1
+    return total
+
+
+def solve_io(n: float, nrhs: float, memory: float, block: float,
+             tile_side: float | None = None) -> float:
+    """I/O (blocks) of the two blocked substitution sweeps of ``A x = b``
+    given a packed L\\U factor (the RHS rides along in memory).
+
+    The forward sweep reads each block row of the strictly-lower
+    triangle plus the diagonal block; the backward sweep mirrors it on
+    the upper triangle — together one pass over the packed factor with
+    the diagonal blocks touched twice.
+    """
+    tile = tile_side or _dense_tile_side(block)
+    b = lu_panel_width(n, memory, tile)
+    total = 0.0
+    i0 = 0.0
+    while i0 < n:
+        i1 = min(i0 + b, n)
+        total += (i1 - i0) * i1 / block        # forward: row strip to diag
+        total += (i1 - i0) * (n - i0) / block  # backward: diag to row end
+        i0 = i1
+    return total
+
+
+def inverse_io(n: float, memory: float, block: float,
+               tile_side: float | None = None) -> float:
+    """I/O of materializing ``inv(A)``: one pivoted factorization, one
+    substitution sweep per resident column panel of the identity RHS,
+    and one write of the n x n result."""
+    tile = tile_side or _dense_tile_side(block)
+    pw = lu_panel_width(n, memory, tile)
+    panels = math.ceil(n / pw)
+    return (lu_io(n, memory, block, tile)
+            + panels * solve_io(n, pw, memory, block, tile)
+            + n * n / block)
+
+
+# ----------------------------------------------------------------------
 # Chains
 # ----------------------------------------------------------------------
 def chain_io(dims: list[float], order, per_multiply) -> float:

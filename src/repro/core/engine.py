@@ -22,8 +22,9 @@ from repro.rlang.reference import format_vector
 from repro.rlang.values import MissingIndex, RError, RScalar
 from repro.storage import IOStats, SimClock
 
-from .expr import (ArrayInput, COMPARISON_OPS, Map, MatMul, Node, Range,
-                   Reduce, Scalar, Subscript, SubscriptAssign, Transpose)
+from .expr import (ArrayInput, COMPARISON_OPS, Inverse, Map, MatMul, Node,
+                   Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, Transpose)
 from .session import RiotSession
 
 
@@ -140,6 +141,9 @@ class RiotNGEngine(Engine):
         g.set_method("[", (NGVec, object), self._index)
         g.set_method("[<-", (NGVec, object, object), self._assign)
         g.set_method("%*%", (NGMat, NGMat), self._matmul)
+        g.set_method("solve", (NGMat,), self._inverse)
+        g.set_method("solve", (NGMat, NGMat), self._solve)
+        g.set_method("solve", (NGMat, NGVec), self._solve)
         g.set_method("t", (NGMat,), self._transpose)
         g.set_method("reshape", (NGVec, RScalar, RScalar), self._reshape)
         g.set_method("print", (NGVec,), self._print_vector)
@@ -265,6 +269,21 @@ class RiotNGEngine(Engine):
     # -- linear algebra -----------------------------------------------------
     def _matmul(self, a: NGMat, b: NGMat) -> NGMat:
         return NGMat(self.session, MatMul(a.node, b.node))
+
+    def _inverse(self, a: NGMat) -> NGMat:
+        """``solve(a)``: the deferred explicit inverse.
+
+        Deferred like everything else, so ``solve(a) %*% b`` is
+        rewritten into a single Solve node before evaluation.
+        """
+        return NGMat(self.session, Inverse(a.node))
+
+    def _solve(self, a: NGMat, b):
+        """``solve(a, b)``: defer the linear system ``a %*% x == b``."""
+        node = Solve(a.node, b.node)
+        if node.ndim == 1:
+            return NGVec(self.session, node)
+        return NGMat(self.session, node)
 
     def _transpose(self, m: NGMat) -> NGMat:
         return NGMat(self.session, Transpose(m.node))

@@ -25,9 +25,9 @@ import numpy as np
 from repro.linalg.matmul import square_tile_matmul
 from repro.storage import ArrayStore, TiledMatrix, TiledVector
 
-from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
-                   Scalar, Subscript, SubscriptAssign, TERNARY_OPS,
-                   Transpose, UNARY_OPS)
+from .expr import (ArrayInput, BINARY_OPS, Inverse, Map, MatMul, Node,
+                   Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, TERNARY_OPS, Transpose, UNARY_OPS)
 
 #: Chunks of lookahead announced to the buffer pool during streaming.
 STREAM_PREFETCH_CHUNKS = 16
@@ -50,9 +50,20 @@ class Evaluator:
     # Entry point
     # ------------------------------------------------------------------
     def force(self, node: Node, memo: dict[int, object] | None = None):
-        """Evaluate ``node``; returns TiledVector/TiledMatrix or float."""
+        """Evaluate ``node``; returns TiledVector/TiledMatrix or float.
+
+        The densified-twin cache only needs to live for one evaluation
+        (its job is de-duplicating conversions *within* a DAG): it is
+        cleared on entry and drained again on exit, so a long session
+        never pins the sparse operands it densified — not even the
+        last evaluation's.
+        """
+        self._densified_cache.clear()
         memo = memo if memo is not None else {}
-        return self._force(node, memo)
+        try:
+            return self._force(node, memo)
+        finally:
+            self._densified_cache.clear()
 
     def _force(self, node: Node, memo: dict[int, object]):
         if id(node) in memo:
@@ -81,6 +92,10 @@ class Evaluator:
             a = self._force(node.children[0], memo)
             b = self._force(node.children[1], memo)
             return self._dispatch_matmul(node, a, b)
+        if isinstance(node, Solve):
+            return self._force_solve(node, memo)
+        if isinstance(node, Inverse):
+            return self._force_inverse(node, memo)
         if isinstance(node, Transpose):
             return self._force_transpose(node, memo)
         if isinstance(node, SubscriptAssign) and not node.logical_mask:
@@ -137,6 +152,84 @@ class Evaluator:
         dense = data.to_dense()
         self._densified_cache[id(data)] = (data, dense)
         return dense
+
+    # ------------------------------------------------------------------
+    # Linear systems: solve() and inv()
+    # ------------------------------------------------------------------
+    def _as_tiled_matrix(self, data) -> TiledMatrix:
+        """Coerce a forced matrix operand onto this evaluator's store."""
+        data = self._densified(data)
+        if isinstance(data, TiledMatrix):
+            return data
+        return self.store.matrix_from_numpy(
+            np.asarray(data, dtype=np.float64), layout="square")
+
+    def _force_solve(self, node: Solve, memo: dict[int, object]):
+        """``solve(A, B)``: pivoted out-of-core LU + blocked substitution.
+
+        The factor streams from the tile store; the right-hand side is
+        factored once and substituted one memory-sized column panel at
+        a time, so a wide B (e.g. a rewritten ``inv(A) %*% B`` with
+        matrix B) respects the same budget the factorization does.
+        """
+        from repro.core.costs import lu_panel_width
+        from repro.linalg.lu import lu_decompose
+        from repro.linalg.solve import lu_solve_factored
+        a = self._as_tiled_matrix(self._force(node.children[0], memo))
+        b = self._densified(self._force(node.children[1], memo))
+        factors = lu_decompose(self.store, a, self.memory_scalars)
+        try:
+            if node.ndim == 1:
+                rhs = (b.to_numpy() if hasattr(b, "to_numpy")
+                       else np.asarray(b, dtype=np.float64))
+                x = lu_solve_factored(factors, rhs.ravel(),
+                                      self.memory_scalars)
+                return self.store.vector_from_numpy(x)
+            n, k = node.shape
+            b_mat = self._as_tiled_matrix(b)
+            out = self.store.create_matrix(node.shape, layout="square")
+            pw = lu_panel_width(n, self.memory_scalars,
+                                out.tile_shape[1])
+            for j0 in range(0, k, pw):
+                j1 = min(j0 + pw, k)
+                rhs = b_mat.read_submatrix(0, n, j0, j1)
+                out.write_submatrix(
+                    0, j0,
+                    lu_solve_factored(factors, rhs,
+                                      self.memory_scalars))
+            return out
+        finally:
+            factors.drop()
+
+    def _force_inverse(self, node: Inverse,
+                       memo: dict[int, object]) -> TiledMatrix:
+        """Materialize ``inv(A)``: factor once, then substitute one
+        memory-sized column panel of the identity at a time.
+
+        This is the plan the ``inv(A) %*% B -> solve(A, B)`` rewrite
+        avoids; it exists for programs that genuinely need the inverse.
+        """
+        from repro.core.costs import lu_panel_width
+        from repro.linalg.lu import lu_decompose
+        from repro.linalg.solve import lu_solve_factored
+        a = self._as_tiled_matrix(self._force(node.children[0], memo))
+        n = node.shape[0]
+        factors = lu_decompose(self.store, a, self.memory_scalars)
+        out = self.store.create_matrix((n, n), layout="square")
+        pw = lu_panel_width(n, self.memory_scalars,
+                            out.tile_shape[1])
+        try:
+            for j0 in range(0, n, pw):
+                j1 = min(j0 + pw, n)
+                rhs = np.zeros((n, j1 - j0))
+                rhs[np.arange(j0, j1), np.arange(j1 - j0)] = 1.0
+                out.write_submatrix(
+                    0, j0,
+                    lu_solve_factored(factors, rhs,
+                                      self.memory_scalars))
+        finally:
+            factors.drop()
+        return out
 
     # ------------------------------------------------------------------
     # Streamability analysis

@@ -330,6 +330,61 @@ class MatMul(Node):
         return "%*%" if self.kernel == "auto" else f"%*%[{self.kernel}]"
 
 
+class Solve(Node):
+    """``solve(A, B)``: the solution of the linear system ``A X = B``.
+
+    A first-class operator like MatMul and Transpose (§5 names LU
+    decomposition in the expression algebra; this is its consumer).
+    ``B`` may be a vector or a matrix of right-hand-side columns; the
+    result has B's shape.  Executed by pivoted out-of-core LU plus
+    blocked substitution — never by materializing ``inv(A)``, which is
+    exactly what the ``inv(A) %*% B -> solve(A, B)`` rewrite exploits.
+    """
+
+    def __init__(self, a: Node, b: Node) -> None:
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(
+                f"solve() needs a square coefficient matrix, got "
+                f"{a.shape}")
+        if b.ndim not in (1, 2):
+            raise ValueError("solve() RHS must be a vector or matrix")
+        if b.shape[0] != a.shape[0]:
+            raise ValueError(
+                f"non-conformable system: {a.shape} vs RHS {b.shape}")
+        self.children = (a, b)
+        self.shape = b.shape
+
+    def with_children(self, children) -> "Solve":
+        return Solve(children[0], children[1])
+
+    def label(self) -> str:
+        return "solve"
+
+
+class Inverse(Node):
+    """``inv(A)`` — the explicit matrix inverse.
+
+    Present in the algebra so user programs can write it, but plans
+    should rarely execute it: the rewriter turns ``inv(A) %*% B`` into
+    :class:`Solve`, the classic algebraic optimization a SQL-hosted
+    system cannot see.  Forcing an Inverse directly materializes it by
+    one pivoted factorization and per-panel substitution sweeps.
+    """
+
+    def __init__(self, a: Node) -> None:
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(
+                f"inv() needs a square matrix, got {a.shape}")
+        self.children = (a,)
+        self.shape = a.shape
+
+    def with_children(self, children) -> "Inverse":
+        return Inverse(children[0])
+
+    def label(self) -> str:
+        return "inv"
+
+
 class Transpose(Node):
     """Matrix transpose."""
 

@@ -24,6 +24,9 @@ The optimizer applies transformation rules until fixpoint:
    estimated operand is annotated with the cheaper execution kernel by
    comparing the nnz-parameterized ``spmm_io`` model against the dense
    Appendix-A ``square_tile_matmul_io`` model.
+9. **Inverse elimination** — ``inv(A) %*% B`` becomes ``solve(A, B)``:
+   one pivoted factorization plus substitution instead of materializing
+   the n x n inverse and multiplying through it.
 """
 
 from __future__ import annotations
@@ -31,9 +34,9 @@ from __future__ import annotations
 
 from . import chain as chain_mod
 from .costs import spgemm_io, spmm_io, square_tile_matmul_io
-from .expr import (ArrayInput, BINARY_OPS, Map, MatMul, Node, Range, Reduce,
-                   Scalar, Subscript, SubscriptAssign, UNARY_OPS,
-                   walk)
+from .expr import (ArrayInput, BINARY_OPS, Inverse, Map, MatMul, Node,
+                   Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, UNARY_OPS, walk)
 
 #: Densities at or above this are treated as dense (estimates are fuzzy;
 #: a 99.9%-full matrix gains nothing from CSR tiles).
@@ -54,6 +57,7 @@ class Rewriter:
                  enable_cse: bool = True,
                  enable_fold: bool = True,
                  enable_kernel_select: bool = True,
+                 enable_solve_rewrite: bool = True,
                  max_passes: int = 10,
                  memory_scalars: int = 8 * 1024 * 1024,
                  block_scalars: int = 1024) -> None:
@@ -62,6 +66,7 @@ class Rewriter:
         self.enable_cse = enable_cse
         self.enable_fold = enable_fold
         self.enable_kernel_select = enable_kernel_select
+        self.enable_solve_rewrite = enable_solve_rewrite
         self.max_passes = max_passes
         self.memory_scalars = memory_scalars
         self.block_scalars = block_scalars
@@ -113,6 +118,10 @@ class Rewriter:
             pushed = self._push_subscript(node)
             if pushed is not node:
                 return self._apply_rules(pushed)
+        if self.enable_solve_rewrite and isinstance(node, MatMul):
+            solved = self._inv_to_solve(node)
+            if solved is not node:
+                return self._apply_rules(solved)
         if self.enable_chain_reorder and isinstance(node, MatMul):
             reordered = self._reorder_chain(node)
             if reordered is not node:
@@ -162,6 +171,23 @@ class Rewriter:
         if isinstance(src, Subscript):
             self.applied.append("pushdown-compose")
             return Subscript(src.src, Subscript(src.index, index))
+        return node
+
+    # -- rule: inv(A) %*% B  ->  solve(A, B) ---------------------------------
+    def _inv_to_solve(self, node: MatMul) -> Node:
+        """Replace a multiply by an explicit inverse with a Solve node.
+
+        ``inv(A) %*% B`` and ``solve(A, B)`` are algebraically equal,
+        but the solve plan factors A once and substitutes, while the
+        inverse plan additionally materializes the n x n inverse and
+        runs a full out-of-core multiply — strictly more I/O
+        (:func:`repro.core.costs.inverse_io` vs ``lu_io + solve_io``).
+        The classic array-algebra rewrite a SQL host cannot express.
+        """
+        a, b = node.children
+        if isinstance(a, Inverse):
+            self.applied.append("inv-to-solve")
+            return Solve(a.children[0], b)
         return node
 
     # -- rule: matrix chain reordering ---------------------------------------

@@ -15,7 +15,7 @@ from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
 
 from .arrays import RiotMatrix, RiotVector
 from .evaluator import Evaluator
-from .expr import ArrayInput, Node, Range
+from .expr import ArrayInput, Inverse, Node, Range, Solve
 from .rewrite import Rewriter
 
 
@@ -33,7 +33,8 @@ class RiotSession:
         self.rewriter = Rewriter(**cost_env) if optimize else Rewriter(
             enable_pushdown=False, enable_chain_reorder=False,
             enable_cse=False, enable_fold=False,
-            enable_kernel_select=False, **cost_env)
+            enable_kernel_select=False, enable_solve_rewrite=False,
+            **cost_env)
         self.optimize_enabled = optimize
         self.evaluator = Evaluator(
             self.store,
@@ -95,6 +96,25 @@ class RiotSession:
         rng = np.random.default_rng(seed)
         return self.matrix(rng.standard_normal((rows, cols)),
                            layout=layout)
+
+    # ------------------------------------------------------------------
+    # Linear systems
+    # ------------------------------------------------------------------
+    def solve(self, a: RiotMatrix, b=None):
+        """R's ``solve()``: ``solve(a, b)`` defers ``A x = b``;
+        ``solve(a)`` defers the explicit inverse.
+
+        Both are DAG nodes, so the rewriter sees them: a deferred
+        ``session.solve(a) @ b`` plan is rewritten back into a single
+        Solve before anything is materialized.
+        """
+        a_node = a.node if hasattr(a, "node") else a
+        if b is None:
+            return RiotMatrix(self, Inverse(a_node))
+        b_node = b.node if hasattr(b, "node") else b
+        node = Solve(a_node, b_node)
+        wrapper = RiotVector if node.ndim == 1 else RiotMatrix
+        return wrapper(self, node)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -280,6 +280,22 @@ def _builtin_sparse_matrix(interp, args, kwargs):
     return engine.make_matrix(dense)
 
 
+def _builtin_solve(interp, args, kwargs):
+    """R's ``solve``: ``solve(a)`` inverts, ``solve(a, b)`` solves.
+
+    Data work is forwarded through the generics table, so each engine
+    picks its plan: the reference engine calls numpy eagerly, while
+    next-generation RIOT defers a Solve/Inverse DAG node — which is
+    what lets the optimizer rewrite ``solve(a) %*% b`` into a single
+    pivoted-LU solve.
+    """
+    if not args:
+        raise RError("solve(a, b) needs at least a matrix")
+    if len(args) == 1:
+        return interp.generics.dispatch("solve", args[0])
+    return interp.generics.dispatch("solve", args[0], args[1])
+
+
 def _builtin_crossprod(interp, args, kwargs):
     x = args[0]
     y = args[1] if len(args) > 1 else x
@@ -320,5 +336,6 @@ BUILTINS = {
     "all": _builtin_all,
     "any": _builtin_any,
     "which": _builtin_which,
+    "solve": _builtin_solve,
     "crossprod": _builtin_crossprod,
 }

@@ -138,6 +138,9 @@ class NumpyEngine:
         g.set_method("%*%", (M, M), self._matmul)
         g.set_method("%*%", (M, V), self._matvec)
         g.set_method("%*%", (V, M), self._vecmat)
+        g.set_method("solve", (M,), self._inverse)
+        g.set_method("solve", (M, M), self._solve)
+        g.set_method("solve", (M, V), self._solve)
         g.set_method("t", (M,), self._transpose)
         g.set_method("t", (V,), self._transpose_vector)
         g.set_method("reshape", (V, RScalar, RScalar), self._reshape)
@@ -341,6 +344,36 @@ class NumpyEngine:
         out = self._wrap_matrix(
             (self._values(v) @ self._values(a)).reshape(1, -1))
         self._charge([v, a], out)
+        return out
+
+    def _inverse(self, m):
+        """R's ``solve(a)``: the explicit inverse."""
+        data = self._values(m)
+        if data.shape[0] != data.shape[1]:
+            raise RError(f"solve() needs a square matrix: {data.shape}")
+        try:
+            out = self._wrap_matrix(np.linalg.inv(data))
+        except np.linalg.LinAlgError as exc:
+            raise RError(f"solve(): {exc}") from exc
+        self._charge([m], out)
+        return out
+
+    def _solve(self, a, b):
+        """R's ``solve(a, b)``: the solution of ``a %*% x == b``."""
+        data = self._values(a)
+        if data.shape[0] != data.shape[1]:
+            raise RError(f"solve() needs a square matrix: {data.shape}")
+        rhs = self._values(b)
+        if rhs.shape[0] != data.shape[0]:
+            raise RError(
+                f"non-conformable system: {data.shape} vs {rhs.shape}")
+        try:
+            x = np.linalg.solve(data, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise RError(f"solve(): {exc}") from exc
+        out = (self._wrap_vector(x) if x.ndim == 1
+               else self._wrap_matrix(x))
+        self._charge([a, b], out)
         return out
 
     def _transpose(self, m):

@@ -119,9 +119,12 @@ class IOScheduler:
               n_speculative: int = 0) -> dict[int, np.ndarray]:
         """Read blocks, coalescing adjacent ids into single device calls.
 
-        ``n_speculative`` of the ids are charged to the ``prefetched``
-        counter (they move ahead of demand); all ids count as ordinary
-        block reads either way.
+        The *last* ``n_speculative`` entries of ``block_ids`` are the
+        speculative ones (callers append them after the demanded ids);
+        they are charged to the ``prefetched`` counter after dedup
+        against the demand ids and each other, so an id that is both
+        demanded and speculated — or speculated twice — counts once.
+        All ids count as ordinary block reads either way.
         """
         ids = sorted(set(block_ids))
         if not ids:
@@ -131,7 +134,10 @@ class IOScheduler:
         else:
             arrays = [self.device.read_block(b) for b in ids]
         if n_speculative:
-            self.device.stats.prefetched += n_speculative
+            demand = block_ids[:len(block_ids) - n_speculative]
+            speculative = set(block_ids[len(block_ids) - n_speculative:])
+            self.device.stats.prefetched += len(
+                speculative.difference(demand))
         return dict(zip(ids, arrays))
 
     def write_back(self, items: list[tuple[int, np.ndarray]]) -> None:

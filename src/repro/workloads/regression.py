@@ -7,7 +7,11 @@ module solves the normal equations entirely on the tile store:
     beta = (X'X)^{-1} X'y
 
 using the Appendix-A square-tile multiply for X'X and X'y and the blocked
-out-of-core LU solver for the final system.
+out-of-core *partial-pivoting* LU solver for the final system.  Pivoting
+means the solve is correct for any nonsingular normal-equation matrix —
+ill-conditioned or nearly collinear designs included — not just the
+diagonally dominant systems the unpivoted Doolittle factorization could
+survive.
 """
 
 from __future__ import annotations
@@ -30,10 +34,22 @@ class RegressionProblem:
 
 
 def generate_problem(n_obs: int, n_feat: int, noise: float = 0.01,
-                     seed: int = 0) -> RegressionProblem:
+                     seed: int = 0,
+                     collinearity: float = 0.0) -> RegressionProblem:
+    """Draw a synthetic OLS instance.
+
+    ``collinearity`` in [0, 1) mixes each feature with a shared latent
+    factor, driving X'X away from diagonal dominance toward
+    near-singularity — the regime the pivoted solver handles and the
+    old unpivoted factorization could not be trusted with.
+    """
     rng = np.random.default_rng(seed)
     beta = rng.standard_normal(n_feat)
     x = rng.standard_normal((n_obs, n_feat))
+    if collinearity:
+        latent = rng.standard_normal(n_obs)
+        x = ((1.0 - collinearity) * x
+             + collinearity * latent[:, None])
     y = x @ beta + noise * rng.standard_normal(n_obs)
     return RegressionProblem(x, y, beta)
 
@@ -45,7 +61,9 @@ def ols_out_of_core(problem: RegressionProblem,
 
     Returns ``(beta_hat, io_stats)``; the transpose is stored explicitly
     (a tiled transpose costs one pass and lets both multiplies stream with
-    square tiles).
+    square tiles).  The final system goes through the pivoted
+    :func:`repro.linalg.lu_solve`, so the design needs no conditioning
+    tricks.
     """
     store = ArrayStore(memory_bytes=memory_scalars * 8,
                        block_size=block_size)

@@ -212,6 +212,32 @@ class TestCaching:
         assert session.io_stats.total == 0
 
 
+class TestDensifiedCache:
+    def test_cache_drains_after_every_force(self, rng):
+        """The sparse->dense twin cache must not grow without bound
+        across a session: it lives only for the duration of one
+        evaluation, so no densified operand outlives its force()."""
+        session = RiotSession(memory_bytes=4 << 20)
+        evaluator = session.evaluator
+        for seed in range(4):
+            a = session.random_sparse_matrix(96, 96, 0.01, seed=seed)
+            dense = session.matrix(rng.standard_normal((96, 96)))
+            # Elementwise matrix op forces densification of `a`.
+            (a + dense).force()
+            assert len(evaluator._densified_cache) == 0
+
+    def test_densify_still_memoized_within_one_force(self, rng):
+        """One DAG using a sparse operand twice converts it once."""
+        session = RiotSession(memory_bytes=4 << 20)
+        a = session.random_sparse_matrix(128, 128, 0.02, seed=3)
+        dense = session.matrix(rng.standard_normal((128, 128)))
+        expr = (a + dense) * (a + 0.0)
+        got = expr.values()
+        a_np = session.values(a)
+        d_np = session.values(dense)
+        assert np.allclose(got, (a_np + d_np) * a_np)
+
+
 @given(st.lists(st.floats(min_value=-100, max_value=100,
                           allow_nan=False), min_size=1, max_size=300),
        st.sampled_from(["+", "-", "*", "sqrtabs", "pow2"]))

@@ -248,6 +248,34 @@ class TestStatsContract:
         assert np.array_equal(results[True][2], results[False][2])
 
 
+class TestFetchPrefetchAccounting:
+    def test_speculative_charge_dedups_against_demand(self, device):
+        """A block both demanded and speculated must count once: the
+        old code charged ``n_speculative`` from the pre-dedup list, so
+        overlapping ids inflated ``stats.prefetched``."""
+        blocks = _fill(device, 8)
+        sched = IOScheduler(device)
+        device.reset_stats()
+        # Demand blocks[0:2]; speculate blocks[1:4] — one id overlaps.
+        sched.fetch(blocks[:2] + blocks[1:4], n_speculative=3)
+        assert device.stats.prefetched == 2
+        assert device.stats.reads == 4  # dedup'd block totals
+
+    def test_duplicate_speculative_ids_count_once(self, device):
+        blocks = _fill(device, 8)
+        sched = IOScheduler(device)
+        device.reset_stats()
+        sched.fetch([blocks[0], blocks[3], blocks[3]], n_speculative=2)
+        assert device.stats.prefetched == 1
+
+    def test_disjoint_speculation_charged_in_full(self, device):
+        blocks = _fill(device, 8)
+        sched = IOScheduler(device)
+        device.reset_stats()
+        sched.fetch(blocks[:1] + blocks[4:7], n_speculative=3)
+        assert device.stats.prefetched == 3
+
+
 class TestSchedulerEvictionRaces:
     def test_clock_readahead_never_orphans_dirty_blocks(self, device):
         """Speculative installs must not evict the just-demanded frame:
