@@ -14,15 +14,16 @@ Public API::
 from . import chain, costs
 from .arrays import RiotMatrix, RiotVector
 from .evaluator import Evaluator
-from .expr import (ArrayInput, Inverse, Map, MatMul, Node, Range, Reduce,
-                   Scalar, Solve, Subscript, SubscriptAssign, Transpose,
-                   count_nodes, render, to_dot, walk)
+from .expr import (ArrayInput, Crossprod, Inverse, Map, MatMul, Node,
+                   Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, Transpose, count_nodes, render,
+                   to_dot, walk)
 from .rewrite import Rewriter, optimize
 from .session import RiotSession
 
 __all__ = [
-    "ArrayInput", "Evaluator", "Inverse", "Map", "MatMul", "Node",
-    "Range", "Reduce", "RiotMatrix", "RiotSession", "RiotVector",
+    "ArrayInput", "Crossprod", "Evaluator", "Inverse", "Map", "MatMul",
+    "Node", "Range", "Reduce", "RiotMatrix", "RiotSession", "RiotVector",
     "Rewriter", "Scalar", "Solve", "Subscript", "SubscriptAssign",
     "Transpose", "chain", "costs", "count_nodes", "optimize", "render",
     "to_dot", "walk",

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .expr import (Inverse, Map, MatMul, Node, Range, Reduce, Scalar,
-                   Solve, Subscript, SubscriptAssign, Transpose)
+from .expr import (Crossprod, Inverse, Map, MatMul, Node, Range, Reduce,
+                   Scalar, Solve, Subscript, SubscriptAssign, Transpose)
 
 
 def _scalarize(value) -> Node:
@@ -253,7 +253,34 @@ class RiotMatrix(_Deferred):
 
     @property
     def T(self) -> "RiotMatrix":
+        """Deferred (lazy) transpose — a DAG node, never a disk pass.
+
+        A transpose that feeds a product is absorbed into the
+        multiply's operand flags by the rewriter; only a ``force()``
+        of a bare transpose materializes anything.
+        """
         return RiotMatrix(self.session, Transpose(self.node))
+
+    def crossprod(self, other=None) -> "RiotMatrix":
+        """``t(self) %*% other`` without materializing the transpose.
+
+        With no argument the product is ``t(self) %*% self``: the
+        symmetric :class:`Crossprod` node, whose kernel computes only
+        the upper-triangular output blocks and mirrors them on write.
+        """
+        if other is None:
+            return RiotMatrix(self.session, Crossprod(self.node))
+        return RiotMatrix(self.session, MatMul(
+            self.node, _scalarize(other), trans_a=True))
+
+    def tcrossprod(self, other=None) -> "RiotMatrix":
+        """``self %*% t(other)`` (``other`` defaults to self),
+        transpose-free like :meth:`crossprod`."""
+        if other is None:
+            return RiotMatrix(self.session,
+                              Crossprod(self.node, t_first=False))
+        return RiotMatrix(self.session, MatMul(
+            self.node, _scalarize(other), trans_b=True))
 
     def inv(self) -> "RiotMatrix":
         """Deferred explicit inverse.

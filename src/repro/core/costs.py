@@ -40,6 +40,69 @@ def square_tile_matmul_io(m: float, l: float, n: float,
             / (block * math.sqrt(memory))) + (m * n) / block
 
 
+def transposed_matmul_io(m: float, l: float, n: float,
+                         memory: float, block: float) -> float:
+    """Appendix-A schedule with a *flagged* (transposed) operand.
+
+    The flag is free: a flagged operand's submatrices are read in
+    stored layout (the mirrored rectangle covers the same number of
+    whole tiles) and transposed in memory, so the model is exactly the
+    unflagged :func:`square_tile_matmul_io`.  Stated as its own symbol
+    so plans can be costed against the *materialized-transpose*
+    alternative, which additionally pays
+    :func:`transpose_materialize_io`.
+    """
+    return square_tile_matmul_io(m, l, n, memory, block)
+
+
+def transpose_materialize_io(rows: float, cols: float,
+                             block: float) -> float:
+    """One full disk pass to store an explicit transpose: read every
+    source tile once, write every output tile once.  This is the pass
+    the ``trans_a``/``trans_b`` operand flags delete."""
+    return 2.0 * rows * cols / block
+
+
+def crossprod_io(m: float, k: float, memory: float,
+                 block: float) -> float:
+    """I/O of the symmetric ``t(A) %*% A`` schedule for an m x k A.
+
+    Per inner panel the kernel reads one p x p operand block for each
+    diagonal output block (g of them) and two for each strictly-upper
+    pair (g(g-1)/2), totalling g^2 block reads per panel — half the
+    2 g^2 the general schedule pays — and every output block is written
+    once (mirrors are writes of already-resident data):
+
+    ``sqrt(3) * m k^2 / (B sqrt(M)) + k^2 / B``.
+    """
+    return (math.sqrt(3.0) * m * k * k
+            / (block * math.sqrt(memory))) + (k * k) / block
+
+
+def matmul_epilogue_io(m: float, l: float, n: float,
+                       extra_inputs: float, memory: float, block: float,
+                       fused: bool = True) -> float:
+    """I/O of ``map(A %*% B, C1..Ck)`` — an elementwise epilogue over a
+    product with ``extra_inputs`` additional matrix operands.
+
+    Fused, the epilogue is applied to each product submatrix while it
+    is resident: the multiply's own single write is the *only* write,
+    and each extra operand is read tile-aligned once.  The panel
+    shrinks to ``p = sqrt(M / (3 + extra_inputs))`` so the callback's
+    resident submatrices stay inside the budget, which scales the
+    operand-read term by ``sqrt(3 + extra_inputs) / sqrt(3)``.
+    Unfused, the raw product is materialized and the elementwise pass
+    re-reads it and writes the final result — ``2 m n / B`` extra
+    blocks on top of the plain multiply.
+    """
+    if fused:
+        return (2.0 * math.sqrt(3.0 + extra_inputs) * l * m * n
+                / (block * math.sqrt(memory))
+                + (1.0 + extra_inputs) * m * n / block)
+    return (square_tile_matmul_io(m, l, n, memory, block)
+            + (2.0 + extra_inputs) * m * n / block)
+
+
 def bnlj_matmul_io(n1: float, n2: float, n3: float,
                    memory: float, block: float) -> float:
     """Block-nested-loop-inspired algorithm of §3/§4.

@@ -22,8 +22,8 @@ from repro.rlang.reference import format_vector
 from repro.rlang.values import MissingIndex, RError, RScalar
 from repro.storage import IOStats, SimClock
 
-from .expr import (ArrayInput, COMPARISON_OPS, Inverse, Map, MatMul, Node,
-                   Range, Reduce, Scalar, Solve, Subscript,
+from .expr import (ArrayInput, COMPARISON_OPS, Crossprod, Inverse, Map,
+                   MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
                    SubscriptAssign, Transpose)
 from .session import RiotSession
 
@@ -145,6 +145,8 @@ class RiotNGEngine(Engine):
         g.set_method("solve", (NGMat, NGMat), self._solve)
         g.set_method("solve", (NGMat, NGVec), self._solve)
         g.set_method("t", (NGMat,), self._transpose)
+        g.set_method("crossprod", (NGMat, NGMat), self._crossprod)
+        g.set_method("tcrossprod", (NGMat, NGMat), self._tcrossprod)
         g.set_method("reshape", (NGVec, RScalar, RScalar), self._reshape)
         g.set_method("print", (NGVec,), self._print_vector)
         g.set_method("print", (NGMat,), self._print_matrix)
@@ -287,6 +289,20 @@ class RiotNGEngine(Engine):
 
     def _transpose(self, m: NGMat) -> NGMat:
         return NGMat(self.session, Transpose(m.node))
+
+    def _crossprod(self, a: NGMat, b: NGMat) -> NGMat:
+        """``crossprod(a[, b])``: t(a) %*% b with an operand flag — the
+        transpose never exists on disk.  With one argument (b is a) the
+        node is the symmetric :class:`Crossprod`."""
+        if a.node is b.node:
+            return NGMat(self.session, Crossprod(a.node))
+        return NGMat(self.session, MatMul(a.node, b.node, trans_a=True))
+
+    def _tcrossprod(self, a: NGMat, b: NGMat) -> NGMat:
+        """``tcrossprod(a[, b])``: a %*% t(b), transpose-free."""
+        if a.node is b.node:
+            return NGMat(self.session, Crossprod(a.node, t_first=False))
+        return NGMat(self.session, MatMul(a.node, b.node, trans_b=True))
 
     def _reshape(self, v: NGVec, nrow: RScalar, ncol: RScalar) -> NGMat:
         n1, n2 = nrow.as_int(), ncol.as_int()

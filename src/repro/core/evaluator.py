@@ -14,7 +14,14 @@ Execution strategy, following §5:
   forced to a temporary first — the exact cost difference the Figure-2
   ablation bench measures.
 - **Out-of-core matmul.**  MatMul nodes call the Appendix-A square-tile
-  algorithm; chains have already been reordered by the DP.
+  algorithm; chains have already been reordered by the DP.  Transposed
+  operand flags stream the stored tiles and transpose them in memory;
+  ``Crossprod`` runs the symmetric half-the-blocks schedule.
+- **Fused matmul epilogues.**  A matrix Map region fed by exactly one
+  MatMul/Crossprod (``alpha * (A %*% B) + C``) is pushed *into* the
+  multiply as an epilogue callback: the elementwise expression is applied
+  to each output submatrix while it is still memory-resident and written
+  once — the raw product never reaches disk.
 - **Streaming reductions** accumulate across chunks without materializing.
 """
 
@@ -22,12 +29,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.linalg.matmul import square_tile_matmul
+from repro.linalg.matmul import crossprod_matmul, square_tile_matmul
 from repro.storage import ArrayStore, TiledMatrix, TiledVector
 
-from .expr import (ArrayInput, BINARY_OPS, Inverse, Map, MatMul, Node,
-                   Range, Reduce, Scalar, Solve, Subscript,
-                   SubscriptAssign, TERNARY_OPS, Transpose, UNARY_OPS)
+from .expr import (ArrayInput, BINARY_OPS, Crossprod, Inverse, Map,
+                   MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, TERNARY_OPS, Transpose, UNARY_OPS,
+                   walk)
 
 #: Chunks of lookahead announced to the buffer pool during streaming.
 STREAM_PREFETCH_CHUNKS = 16
@@ -37,10 +45,13 @@ class Evaluator:
     """Evaluates DAG nodes to tiled arrays / scalars over an ArrayStore."""
 
     def __init__(self, store: ArrayStore,
-                 memory_scalars: int | None = None) -> None:
+                 memory_scalars: int | None = None,
+                 fuse_epilogues: bool = True) -> None:
         self.store = store
         self.memory_scalars = memory_scalars or (
             store.pool.capacity * store.scalars_per_block)
+        self.fuse_epilogues = fuse_epilogues
+        self._parent_edges: dict[int, int] = {}
         # Sparse matrix -> its dense twin, so a sparse object consumed
         # by several dense-only contexts is converted (read fully +
         # written as dense tiles) once, not once per consumer.
@@ -59,6 +70,17 @@ class Evaluator:
         last evaluation's.
         """
         self._densified_cache.clear()
+        # Parent-edge counts over the whole root DAG: epilogue fusion
+        # evaluates a region's products and interior Maps without
+        # memoizing them, so it must only fire when *every* consumer of
+        # those nodes sits inside the fused region — otherwise the
+        # multiply would silently run twice.
+        self._parent_edges = {}
+        if self.fuse_epilogues:
+            for n in walk(node):
+                for c in n.children:
+                    self._parent_edges[id(c)] = \
+                        self._parent_edges.get(id(c), 0) + 1
         memo = memo if memo is not None else {}
         try:
             return self._force(node, memo)
@@ -92,6 +114,11 @@ class Evaluator:
             a = self._force(node.children[0], memo)
             b = self._force(node.children[1], memo)
             return self._dispatch_matmul(node, a, b)
+        if isinstance(node, Crossprod):
+            a = self._as_tiled_matrix(self._force(node.children[0],
+                                                  memo))
+            return crossprod_matmul(self.store, a, self.memory_scalars,
+                                    t_first=node.t_first)
         if isinstance(node, Solve):
             return self._force_solve(node, memo)
         if isinstance(node, Inverse):
@@ -103,6 +130,10 @@ class Evaluator:
         if node.ndim == 1:
             return self._stream_vector(node, memo)
         if node.ndim == 2:
+            if self.fuse_epilogues and isinstance(node, Map):
+                fused = self._try_fused_epilogue(node, memo)
+                if fused is not None:
+                    return fused
             return self._stream_matrix(node, memo)
         if node.ndim == 0:
             # Scalar-valued Map over reductions/constants.
@@ -124,8 +155,16 @@ class Evaluator:
         runs SpGEMM, sparse x dense runs SpMM, and a sparse *right*
         operand under a dense left one is densified (no dense x sparse
         kernel exists — the cost models treat that case as dense).
+        Transposed operand flags force the dense flagged kernel (tiles
+        are transposed in memory as they stream, so no transposed copy
+        — dense or sparse — ever exists on disk).
         """
         from repro.sparse import SparseTiledMatrix, spgemm, spmm
+        if node.trans_a or node.trans_b:
+            return square_tile_matmul(
+                self.store, self._as_tiled_matrix(a),
+                self._as_tiled_matrix(b), self.memory_scalars,
+                trans_a=node.trans_a, trans_b=node.trans_b)
         kernel = getattr(node, "kernel", "auto")
         if kernel == "dense":
             a = self._densified(a)
@@ -509,11 +548,149 @@ class Evaluator:
                                               dtype=np.float64))
         return out
 
+    # ------------------------------------------------------------------
+    # Fused matmul epilogues
+    # ------------------------------------------------------------------
+    def _epilogue_region(self, node: Map, memo: dict[int, object]):
+        """Classify a matrix Map region for epilogue fusion.
+
+        Returns ``(barriers, matrices, scalars, unmemoized)`` — the
+        distinct MatMul/Crossprod barriers, the stored-matrix leaves
+        (inputs and already-memoized results), the scalar-valued
+        subtrees, and a map of region-internal parent-edge counts for
+        every node the fused evaluation would *not* memoize (the
+        barriers and interior Maps) — or ``None`` when the region
+        contains anything the per-submatrix epilogue evaluator cannot
+        handle.
+        """
+        barriers: list[Node] = []
+        matrices: list[Node] = []
+        scalars: list[Node] = []
+        unmemoized: dict[int, int] = {}
+        seen: set[int] = set()
+
+        def visit(n: Node) -> bool:
+            if (isinstance(n, (MatMul, Crossprod, Map)) and n.ndim == 2
+                    and id(n) not in memo):
+                unmemoized[id(n)] = unmemoized.get(id(n), 0) + 1
+            if id(n) in seen:
+                return True
+            seen.add(id(n))
+            if n.ndim == 0:
+                scalars.append(n)
+                return True
+            if n.ndim != 2:
+                return False
+            if id(n) in memo or isinstance(n, ArrayInput):
+                matrices.append(n)
+                return True
+            if isinstance(n, (MatMul, Crossprod)):
+                barriers.append(n)
+                return True
+            if isinstance(n, Map):
+                return all(visit(c) for c in n.children)
+            return False
+
+        if not all(visit(c) for c in node.children):
+            return None
+        return barriers, matrices, scalars, unmemoized
+
+    def _try_fused_epilogue(self, node: Map, memo: dict[int, object]):
+        """Fuse an elementwise region into the product that feeds it.
+
+        When the Map region is fed by exactly one MatMul/Crossprod that
+        will run a dense kernel, the whole scalar expression tree is
+        applied to each output submatrix while it is memory-resident
+        and written once: the raw product never exists on disk.
+        Returns the result matrix, or ``None`` to fall back to the
+        materialize-then-stream path (sparse plans, multiple barriers,
+        non-conforming shapes).
+        """
+        region = self._epilogue_region(node, memo)
+        if region is None:
+            return None
+        barriers, matrix_nodes, scalar_nodes, unmemoized = region
+        if len(barriers) != 1:
+            return None
+        barrier = barriers[0]
+        if barrier.shape != node.shape:
+            return None
+        for nid, region_edges in unmemoized.items():
+            if region_edges < self._parent_edges.get(nid, 0):
+                # The product — or an interior Map on the way to it —
+                # has consumers outside this region; fusing (which
+                # memoizes neither) would make them recompute the
+                # multiply.
+                return None
+        if isinstance(barrier, MatMul):
+            if barrier.kernel == "sparse":
+                return None
+            a = self._force(barrier.children[0], memo)
+            b = self._force(barrier.children[1], memo)
+            from repro.sparse import SparseTiledMatrix
+            if (barrier.kernel == "auto"
+                    and not (barrier.trans_a or barrier.trans_b)
+                    and isinstance(a, SparseTiledMatrix)):
+                return None  # SpMM/SpGEMM dispatch wins; no dense fusion
+            operands = (self._as_tiled_matrix(a),
+                        self._as_tiled_matrix(b))
+        else:
+            operands = (self._as_tiled_matrix(
+                self._force(barrier.children[0], memo)),)
+        inputs: dict[int, TiledMatrix] = {}
+        for n in matrix_nodes:
+            forced = self._as_tiled_matrix(self._force(n, memo))
+            if forced.shape != node.shape:
+                return None
+            inputs[id(n)] = forced
+        values = {id(n): float(self._force(n, memo))
+                  for n in scalar_nodes}
+        fns = {**UNARY_OPS, **BINARY_OPS, **TERNARY_OPS}
+
+        def epilogue(r0: int, c0: int, block: np.ndarray) -> np.ndarray:
+            r1 = r0 + block.shape[0]
+            c1 = c0 + block.shape[1]
+
+            def ev(n: Node):
+                if n is barrier:
+                    return block
+                if id(n) in values:
+                    return values[id(n)]
+                sub = inputs.get(id(n))
+                if sub is not None:
+                    return sub.read_submatrix(r0, r1, c0, c1)
+                return fns[n.op](*[ev(c) for c in n.children])
+
+            return np.asarray(ev(node), dtype=np.float64)
+
+        if isinstance(barrier, Crossprod):
+            return crossprod_matmul(self.store, operands[0],
+                                    self.memory_scalars,
+                                    t_first=barrier.t_first,
+                                    epilogue=epilogue,
+                                    epilogue_inputs=len(inputs))
+        return square_tile_matmul(self.store, operands[0], operands[1],
+                                  self.memory_scalars,
+                                  trans_a=barrier.trans_a,
+                                  trans_b=barrier.trans_b,
+                                  epilogue=epilogue,
+                                  epilogue_inputs=len(inputs))
+
     def _force_transpose(self, node: Transpose,
                          memo: dict[int, object]) -> TiledMatrix:
+        """Materialize a *bare* transpose (one read + one write pass).
+
+        The rewriter eliminates transposes that feed products, so this
+        fallback only runs for explicitly forced ``t(A)``.  The output
+        keeps the source's linearization and carries its name, so a
+        stored transpose is as recognizable — and its scans as
+        sequential — as the array it came from.
+        """
         src = self._densified(self._force(node.children[0], memo))
-        out = self.store.create_matrix(node.shape,
-                                       tile_shape=src.tile_shape[::-1])
+        out = self.store.create_matrix(
+            node.shape, tile_shape=src.tile_shape[::-1],
+            linearization=src.linearization.name,
+            name=f"t({src.name})")
         for ti, tj in src.tiles():
             r0, r1, c0, c1 = src.tile_bounds(ti, tj)
             out.write_submatrix(c0, r0,

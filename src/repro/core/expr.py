@@ -300,34 +300,88 @@ class MatMul(Node):
     decides from the forced operand types), ``"sparse"`` (keep sparse
     operands sparse), or ``"dense"`` (densify sparse operands and run
     the Appendix-A square-tile multiply).
+
+    ``trans_a``/``trans_b`` are *operand flags*: the product uses the
+    transpose of the corresponding operand, but the operand itself is
+    read in its stored layout — each tile is transposed in memory as it
+    streams through, so the transposed copy never exists on disk.  The
+    rewriter sets them by absorbing :class:`Transpose` children
+    (``t(A) %*% B -> MatMul(A, B, trans_a=True)``).
     """
 
     KERNELS = ("auto", "sparse", "dense")
 
-    def __init__(self, a: Node, b: Node, kernel: str = "auto") -> None:
+    def __init__(self, a: Node, b: Node, kernel: str = "auto",
+                 trans_a: bool = False, trans_b: bool = False) -> None:
         if a.ndim != 2 or b.ndim != 2:
             raise ValueError("MatMul operands must be matrices")
-        if a.shape[1] != b.shape[0]:
+        sa = a.shape[::-1] if trans_a else a.shape
+        sb = b.shape[::-1] if trans_b else b.shape
+        if sa[1] != sb[0]:
             raise ValueError(
-                f"non-conformable: {a.shape} x {b.shape}")
+                f"non-conformable: {sa} x {sb}")
         if kernel not in self.KERNELS:
             raise ValueError(f"unknown kernel hint {kernel!r}")
+        if kernel == "sparse" and (trans_a or trans_b):
+            raise ValueError(
+                "transposed operand flags imply dense execution; the "
+                "sparse kernels have no flagged variants")
         self.children = (a, b)
-        self.shape = (a.shape[0], b.shape[1])
+        self.shape = (sa[0], sb[1])
         self.kernel = kernel
+        self.trans_a = bool(trans_a)
+        self.trans_b = bool(trans_b)
         from .costs import matmul_result_density
         self.density = matmul_result_density(
-            a.density, b.density, a.shape[1])
+            a.density, b.density, sa[1])
 
     def key(self) -> tuple:
-        return ("MatMul", self.kernel,
+        return ("MatMul", self.kernel, self.trans_a, self.trans_b,
                 tuple(id(c) for c in self.children))
 
     def with_children(self, children) -> "MatMul":
-        return MatMul(children[0], children[1], kernel=self.kernel)
+        return MatMul(children[0], children[1], kernel=self.kernel,
+                      trans_a=self.trans_a, trans_b=self.trans_b)
 
     def label(self) -> str:
-        return "%*%" if self.kernel == "auto" else f"%*%[{self.kernel}]"
+        left = "t(a)" if self.trans_a else "a"
+        right = "t(b)" if self.trans_b else "b"
+        base = ("%*%" if not (self.trans_a or self.trans_b)
+                else f"%*%[{left},{right}]")
+        return base if self.kernel == "auto" else f"{base}[{self.kernel}]"
+
+
+class Crossprod(Node):
+    """The symmetric product ``t(A) %*% A`` (R's ``crossprod``), or
+    ``A %*% t(A)`` (``tcrossprod``) when ``t_first`` is False.
+
+    A first-class node because the symmetry is worth a dedicated
+    schedule: the kernel computes only the upper-triangular output
+    blocks (half the multiply FLOPs, half the operand reads) and
+    mirrors each block to its transposed position on write.  The
+    rewriter produces it from ``t(A) %*% A`` patterns; nothing ever
+    materializes ``t(A)``.
+    """
+
+    def __init__(self, a: Node, t_first: bool = True) -> None:
+        if a.ndim != 2:
+            raise ValueError("Crossprod operand must be a matrix")
+        self.children = (a,)
+        self.t_first = bool(t_first)
+        inner, k = a.shape if t_first else a.shape[::-1]
+        self.shape = (k, k)
+        from .costs import matmul_result_density
+        self.density = matmul_result_density(a.density, a.density, inner)
+
+    def key(self) -> tuple:
+        return ("Crossprod", self.t_first,
+                tuple(id(c) for c in self.children))
+
+    def with_children(self, children) -> "Crossprod":
+        return Crossprod(children[0], t_first=self.t_first)
+
+    def label(self) -> str:
+        return "crossprod" if self.t_first else "tcrossprod"
 
 
 class Solve(Node):

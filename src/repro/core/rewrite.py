@@ -27,6 +27,13 @@ The optimizer applies transformation rules until fixpoint:
 9. **Inverse elimination** — ``inv(A) %*% B`` becomes ``solve(A, B)``:
    one pivoted factorization plus substitution instead of materializing
    the n x n inverse and multiplying through it.
+10. **Transpose elimination** — transposes become *operand flags*, not
+    disk passes: ``t(t(A)) -> A``; ``t(A %*% B) -> MatMul(B, A, flags)``
+    (pushed through the product instead of materializing it);
+    ``t(A) %*% B -> MatMul(A, B, trans_a=True)`` (the flag reads A in
+    stored layout, transposing tiles in memory); and the symmetric
+    patterns ``t(A) %*% A`` / ``A %*% t(A)`` become :class:`Crossprod`,
+    whose kernel computes only the upper-triangular output blocks.
 """
 
 from __future__ import annotations
@@ -34,9 +41,9 @@ from __future__ import annotations
 
 from . import chain as chain_mod
 from .costs import spgemm_io, spmm_io, square_tile_matmul_io
-from .expr import (ArrayInput, BINARY_OPS, Inverse, Map, MatMul, Node,
-                   Range, Reduce, Scalar, Solve, Subscript,
-                   SubscriptAssign, UNARY_OPS, walk)
+from .expr import (ArrayInput, BINARY_OPS, Crossprod, Inverse, Map,
+                   MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, Transpose, UNARY_OPS, walk)
 
 #: Densities at or above this are treated as dense (estimates are fuzzy;
 #: a 99.9%-full matrix gains nothing from CSR tiles).
@@ -58,6 +65,7 @@ class Rewriter:
                  enable_fold: bool = True,
                  enable_kernel_select: bool = True,
                  enable_solve_rewrite: bool = True,
+                 enable_transpose_rewrite: bool = True,
                  max_passes: int = 10,
                  memory_scalars: int = 8 * 1024 * 1024,
                  block_scalars: int = 1024) -> None:
@@ -67,6 +75,7 @@ class Rewriter:
         self.enable_fold = enable_fold
         self.enable_kernel_select = enable_kernel_select
         self.enable_solve_rewrite = enable_solve_rewrite
+        self.enable_transpose_rewrite = enable_transpose_rewrite
         self.max_passes = max_passes
         self.memory_scalars = memory_scalars
         self.block_scalars = block_scalars
@@ -94,6 +103,8 @@ class Rewriter:
             ids[id(n)] = len(ids)
             sig.append((type(n).__name__, getattr(n, "op", None),
                         getattr(n, "kernel", None),
+                        getattr(n, "trans_a", None),
+                        getattr(n, "trans_b", None),
                         tuple(ids[id(c)] for c in n.children)))
         return tuple(sig)
 
@@ -122,10 +133,18 @@ class Rewriter:
             solved = self._inv_to_solve(node)
             if solved is not node:
                 return self._apply_rules(solved)
+        if self.enable_transpose_rewrite and isinstance(node, Transpose):
+            pushed = self._push_transpose(node)
+            if pushed is not node:
+                return self._apply_rules(pushed)
         if self.enable_chain_reorder and isinstance(node, MatMul):
             reordered = self._reorder_chain(node)
             if reordered is not node:
                 return reordered
+        if self.enable_transpose_rewrite and isinstance(node, MatMul):
+            absorbed = self._absorb_transpose(node)
+            if absorbed is not node:
+                return self._apply_rules(absorbed)
         if self.enable_kernel_select and isinstance(node, MatMul):
             selected = self._select_kernel(node)
             if selected is not node:
@@ -190,15 +209,78 @@ class Rewriter:
             return Solve(a.children[0], b)
         return node
 
+    # -- rule: transpose elimination ----------------------------------------
+    def _push_transpose(self, node: Transpose) -> Node:
+        """Eliminate a Transpose by algebra instead of a disk pass.
+
+        ``t(t(A))`` cancels; ``t`` of a symmetric :class:`Crossprod`
+        is the identity; ``t(A %*% B)`` swaps the operands and flips
+        their flags (``(AB)^T = B^T A^T``), pushing the transpose into
+        the product where it is free.  A transpose of a *stored* leaf
+        (or of a sparse plan) is left alone — the evaluator's explicit
+        materialization remains the fallback for forcing a bare ``t(A)``.
+        """
+        child = node.children[0]
+        if isinstance(child, Transpose):
+            self.applied.append("transpose-cancel")
+            return child.children[0]
+        if isinstance(child, Crossprod):
+            self.applied.append("transpose-symmetric")
+            return child
+        if isinstance(child, MatMul) and child.kernel != "sparse":
+            a, b = child.children
+            if self._sparse_stored(a) or self._sparse_stored(b):
+                return node
+            self.applied.append("transpose-push-matmul")
+            return MatMul(b, a, kernel=child.kernel,
+                          trans_a=not child.trans_b,
+                          trans_b=not child.trans_a)
+        return node
+
+    def _absorb_transpose(self, node: MatMul) -> Node:
+        """Fold Transpose children into operand flags, then recognize
+        the symmetric patterns.
+
+        ``t(A) %*% B`` becomes ``MatMul(A, B, trans_a=True)`` — A's
+        tiles are read in stored layout and transposed in memory, so
+        the transposed copy never exists on disk.  When both operands
+        are the *same* node and exactly one flag is set, the product is
+        symmetric and becomes :class:`Crossprod`.  Sparse-stored
+        operands keep their Transpose (the sparse kernels have no
+        flagged variants; densify-then-transpose stays the fallback).
+        """
+        a, b = node.children
+        ta, tb = node.trans_a, node.trans_b
+        changed = False
+        if isinstance(a, Transpose) and \
+                not self._sparse_stored(a.children[0]):
+            a, ta, changed = a.children[0], not ta, True
+        if isinstance(b, Transpose) and \
+                not self._sparse_stored(b.children[0]):
+            b, tb, changed = b.children[0], not tb, True
+        if changed:
+            self.applied.append("transpose-absorb")
+            return MatMul(a, b, kernel=node.kernel,
+                          trans_a=ta, trans_b=tb)
+        if a is b and ta != tb and not self._sparse_stored(a):
+            self.applied.append("crossprod")
+            return Crossprod(a, t_first=ta)
+        return node
+
     # -- rule: matrix chain reordering ---------------------------------------
     def _collect_chain(self, node: Node, factors: list[Node]) -> None:
-        if isinstance(node, MatMul):
+        # A flagged MatMul is opaque to reordering (its operands are
+        # not chain factors of the outer product) — treat it as a leaf.
+        if isinstance(node, MatMul) and not (node.trans_a or
+                                             node.trans_b):
             self._collect_chain(node.children[0], factors)
             self._collect_chain(node.children[1], factors)
         else:
             factors.append(node)
 
     def _reorder_chain(self, node: MatMul) -> Node:
+        if node.trans_a or node.trans_b:
+            return node
         factors: list[Node] = []
         self._collect_chain(node, factors)
         if len(factors) < 3:
@@ -258,6 +340,10 @@ class Rewriter:
         recorded on the node for the evaluator.
         """
         if node.kernel != "auto":
+            return node
+        if node.trans_a or node.trans_b:
+            # Flags imply dense execution (tiles transposed in memory);
+            # the sparse kernels have no flagged variants.
             return node
         a, b = node.children
         a_sp = self._sparse_stored(a)
@@ -348,7 +434,9 @@ class Rewriter:
         elif isinstance(node, SubscriptAssign):
             base = ("SubscriptAssign", node.logical_mask)
         elif isinstance(node, MatMul):
-            base = ("MatMul", node.kernel)
+            base = ("MatMul", node.kernel, node.trans_a, node.trans_b)
+        elif isinstance(node, Crossprod):
+            base = ("Crossprod", node.t_first)
         else:
             base = (type(node).__name__,)
         return base + tuple(id(c) for c in node.children)

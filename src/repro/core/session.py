@@ -15,7 +15,8 @@ from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
 
 from .arrays import RiotMatrix, RiotVector
 from .evaluator import Evaluator
-from .expr import ArrayInput, Inverse, Node, Range, Solve
+from .expr import ArrayInput, Crossprod, Inverse, MatMul, Node, Range, \
+    Solve
 from .rewrite import Rewriter
 
 
@@ -34,12 +35,17 @@ class RiotSession:
             enable_pushdown=False, enable_chain_reorder=False,
             enable_cse=False, enable_fold=False,
             enable_kernel_select=False, enable_solve_rewrite=False,
+            enable_transpose_rewrite=False,
             **cost_env)
         self.optimize_enabled = optimize
         self.evaluator = Evaluator(
             self.store,
-            memory_scalars=memory_bytes // 8)
-        self._materialized: dict[int, object] = {}
+            memory_scalars=memory_bytes // 8,
+            fuse_epilogues=optimize)
+        # id -> (node, result).  The node rides along to pin its id:
+        # a dict keyed on id() alone would hand a *new* DAG node that
+        # recycled a collected node's address someone else's result.
+        self._materialized: dict[int, tuple[Node, object]] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -116,6 +122,24 @@ class RiotSession:
         wrapper = RiotVector if node.ndim == 1 else RiotMatrix
         return wrapper(self, node)
 
+    def crossprod(self, a: RiotMatrix, b=None) -> RiotMatrix:
+        """R's ``crossprod``: ``t(a) %*% b`` without materializing the
+        transpose; ``crossprod(a)`` defers the symmetric
+        :class:`Crossprod` node (half the reads and FLOPs)."""
+        a_node = a.node if hasattr(a, "node") else a
+        if b is None:
+            return RiotMatrix(self, Crossprod(a_node))
+        b_node = b.node if hasattr(b, "node") else b
+        return RiotMatrix(self, MatMul(a_node, b_node, trans_a=True))
+
+    def tcrossprod(self, a: RiotMatrix, b=None) -> RiotMatrix:
+        """R's ``tcrossprod``: ``a %*% t(b)``, transpose-free."""
+        a_node = a.node if hasattr(a, "node") else a
+        if b is None:
+            return RiotMatrix(self, Crossprod(a_node, t_first=False))
+        b_node = b.node if hasattr(b, "node") else b
+        return RiotMatrix(self, MatMul(a_node, b_node, trans_b=True))
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -130,12 +154,13 @@ class RiotSession:
         policy of §5's Discussion).
         """
         node = obj.node if hasattr(obj, "node") else obj
-        if id(node) in self._materialized:
-            return self._materialized[id(node)]
+        cached = self._materialized.get(id(node))
+        if cached is not None and cached[0] is node:
+            return cached[1]
         optimized = self.optimize(node)
         memo: dict[int, object] = {}
         result = self.evaluator.force(optimized, memo)
-        self._materialized[id(node)] = result
+        self._materialized[id(node)] = (node, result)
         return result
 
     def values(self, obj) -> np.ndarray | float:

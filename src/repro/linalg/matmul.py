@@ -1,6 +1,6 @@
 """Measured out-of-core matrix multiplication over the tile store.
 
-Two real algorithms from the paper, both running against
+Real algorithms from the paper, all running against
 :class:`~repro.storage.TiledMatrix` with every block counted:
 
 - :func:`bnlj_matmul` — the §3/§4 algorithm "borrowing the idea from block
@@ -9,9 +9,21 @@ Two real algorithms from the paper, both running against
   ``Theta(n1*n2*n3*(n2+n3)/(B*M))``.
 - :func:`square_tile_matmul` — the Appendix-A optimal schedule: p x p
   submatrices with ``p = sqrt(M/3)``, cost ``Theta(lmn/(B*sqrt(M)))``.
+- :func:`crossprod_matmul` — the symmetric ``t(A) %*% A`` schedule: only
+  upper-triangular output blocks are computed (mirrored on write), so it
+  moves about half the operand blocks of the general algorithm.
 
-``tests/linalg`` checks both for numerical equality with numpy and for
-I/O agreement with the analytic models of :mod:`repro.core.costs`.
+The dense kernels take ``trans_a``/``trans_b`` *operand flags*: a flagged
+operand is multiplied as its transpose but **read in its stored layout**,
+each submatrix transposed in memory as it streams through — the transposed
+copy never exists on disk.  They also accept an ``epilogue`` callback
+(``epilogue(r0, c0, block) -> block``) applied to every output submatrix
+while it is still memory-resident, which is how the evaluator fuses
+elementwise consumers (``alpha * (A %*% B) + C``) into the multiply
+without materializing the raw product.
+
+``tests/linalg`` checks all of them for numerical equality with numpy and
+for I/O agreement with the analytic models of :mod:`repro.core.costs`.
 """
 
 from __future__ import annotations
@@ -23,27 +35,89 @@ import numpy as np
 from repro.storage import ArrayStore, TiledMatrix
 
 
-def _check_conformable(a: TiledMatrix, b: TiledMatrix) -> None:
-    if a.shape[1] != b.shape[0]:
+def _effective_shape(m: TiledMatrix, trans: bool) -> tuple[int, int]:
+    return m.shape[::-1] if trans else m.shape
+
+
+def _check_conformable(a: TiledMatrix, b: TiledMatrix,
+                       trans_a: bool = False,
+                       trans_b: bool = False) -> None:
+    sa = _effective_shape(a, trans_a)
+    sb = _effective_shape(b, trans_b)
+    if sa[1] != sb[0]:
         raise ValueError(
-            f"non-conformable matrices: {a.shape} x {b.shape}")
+            f"non-conformable matrices: {sa} x {sb}")
+
+
+def _square_panel(memory_scalars: int, tile_side: int, what: str,
+                  panels: int = 3) -> int:
+    """The Appendix-A submatrix side p = sqrt(M/panels), tile-aligned.
+
+    ``panels`` is the number of p x p submatrices resident at once —
+    3 for the plain schedule (A, B and C blocks), plus one more per
+    fused-epilogue matrix input, which reads its own p x p submatrix
+    while the accumulator is still live.  Raises :class:`ValueError`
+    when the budget cannot hold that many whole storage tiles — the
+    minimum working set — instead of silently clamping p *up* to the
+    tile side and overrunning the budget (the same honor-the-budget
+    guard the pivoted LU applies).
+    """
+    need = panels * tile_side * tile_side
+    if memory_scalars < need:
+        raise ValueError(
+            f"memory budget of {memory_scalars} scalars cannot hold "
+            f"{panels} submatrices of {tile_side} x {tile_side} for "
+            f"{what}: the square-tile schedule needs at least "
+            f"{panels} * tile_side^2 = {need} scalars")
+    p = int(math.sqrt(memory_scalars / float(panels)))
+    return max(tile_side, (p // tile_side) * tile_side)
+
+
+def _read_operand(m: TiledMatrix, r0: int, r1: int, c0: int, c1: int,
+                  trans: bool) -> np.ndarray:
+    """Rectangle (r0:r1, c0:c1) of the *effective* operand.
+
+    A flagged operand reads the mirrored rectangle of the stored matrix
+    and transposes it in memory — stored tiles are never re-laid out.
+    """
+    if trans:
+        return m.read_submatrix(c0, c1, r0, r1).T
+    return m.read_submatrix(r0, r1, c0, c1)
+
+
+def _operand_blocks(m: TiledMatrix, r0: int, r1: int, c0: int, c1: int,
+                    trans: bool) -> list[int]:
+    """Device blocks backing the effective rectangle (prefetch hints)."""
+    if trans:
+        return m.submatrix_blocks(c0, c1, r0, r1)
+    return m.submatrix_blocks(r0, r1, c0, c1)
 
 
 def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                        memory_scalars: int,
-                       name: str | None = None) -> TiledMatrix:
+                       name: str | None = None,
+                       trans_a: bool = False,
+                       trans_b: bool = False,
+                       epilogue=None,
+                       epilogue_inputs: int = 0) -> TiledMatrix:
     """Appendix-A schedule: three p x p submatrices resident at a time.
 
     ``p`` is sized so one submatrix of A, one of B and one of the result
     fill the memory budget, then rounded down to a whole number of storage
-    tiles so submatrix reads map to whole-tile I/O.
+    tiles so submatrix reads map to whole-tile I/O.  Flagged operands are
+    read in stored layout and transposed per submatrix in memory;
+    ``epilogue`` (if given) maps each finished output submatrix before
+    its single write, and ``epilogue_inputs`` declares how many extra
+    p x p operand submatrices the callback will read so the panel
+    shrinks to keep the whole working set inside the budget.
     """
-    _check_conformable(a, b)
-    m, l = a.shape
-    n = b.shape[1]
+    _check_conformable(a, b, trans_a, trans_b)
+    m, l = _effective_shape(a, trans_a)
+    n = _effective_shape(b, trans_b)[1]
     tile_side = max(a.tile_shape[0], a.tile_shape[1])
-    p = int(math.sqrt(memory_scalars / 3.0))
-    p = max(tile_side, (p // tile_side) * tile_side)
+    panels = 3 + (epilogue_inputs if epilogue is not None else 0)
+    p = _square_panel(memory_scalars, tile_side, "square_tile_matmul",
+                      panels)
     out = store.create_matrix((m, n), layout="square", name=name)
     hinting = a.store is store and b.store is store
     for i0 in range(0, m, p):
@@ -58,40 +132,117 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                     # submatrices at once — so the scheduler turns the
                     # tile misses into a handful of coalesced reads.
                     store.pool.prefetch(
-                        a.submatrix_blocks(i0, i1, k0, k1)
-                        + b.submatrix_blocks(k0, k1, j0, j1))
-                a_sub = a.read_submatrix(i0, i1, k0, k1)
-                b_sub = b.read_submatrix(k0, k1, j0, j1)
+                        _operand_blocks(a, i0, i1, k0, k1, trans_a)
+                        + _operand_blocks(b, k0, k1, j0, j1, trans_b))
+                a_sub = _read_operand(a, i0, i1, k0, k1, trans_a)
+                b_sub = _read_operand(b, k0, k1, j0, j1, trans_b)
                 acc += a_sub @ b_sub
+            if epilogue is not None:
+                acc = epilogue(i0, j0, acc)
             out.write_submatrix(i0, j0, acc)
+    return out
+
+
+def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
+                     memory_scalars: int,
+                     name: str | None = None,
+                     t_first: bool = True,
+                     epilogue=None,
+                     epilogue_inputs: int = 0) -> TiledMatrix:
+    """Symmetric product ``t(A) %*% A`` (or ``A %*% t(A)``) in one pass.
+
+    Exploits symmetry two ways the general schedule cannot: only the
+    upper-triangular p x p output blocks are computed (off-diagonal
+    blocks are mirrored to their transposed position on write), and the
+    diagonal blocks read their single operand panel once instead of
+    twice.  Roughly half the operand reads and half the multiply FLOPs
+    of running ``square_tile_matmul`` with a transposed flag — and the
+    transpose itself never exists on disk either way.
+
+    ``epilogue`` is applied independently to each output block *and* to
+    its mirror (with the mirrored block coordinates), so fused
+    elementwise consumers need not be symmetric; ``epilogue_inputs``
+    shrinks the panel like in :func:`square_tile_matmul`.
+    """
+    inner, k = a.shape if t_first else a.shape[::-1]
+    tile_side = max(a.tile_shape[0], a.tile_shape[1])
+    panels = 3 + (epilogue_inputs if epilogue is not None else 0)
+    p = _square_panel(memory_scalars, tile_side, "crossprod_matmul",
+                      panels)
+    out = store.create_matrix((k, k), layout="square", name=name)
+    hinting = a.store is store
+    for i0 in range(0, k, p):
+        i1 = min(i0 + p, k)
+        for j0 in range(i0, k, p):
+            j1 = min(j0 + p, k)
+            acc = np.zeros((i1 - i0, j1 - j0))
+            for r0 in range(0, inner, p):
+                r1 = min(r0 + p, inner)
+                if hinting:
+                    blocks = _operand_blocks(a, r0, r1, i0, i1,
+                                             not t_first)
+                    if j0 != i0:
+                        blocks = blocks + _operand_blocks(
+                            a, r0, r1, j0, j1, not t_first)
+                    store.pool.prefetch(blocks)
+                left = _read_operand(a, r0, r1, i0, i1, not t_first)
+                right = (left if j0 == i0 else
+                         _read_operand(a, r0, r1, j0, j1, not t_first))
+                acc += left.T @ right
+            block = acc if epilogue is None else epilogue(i0, j0, acc)
+            out.write_submatrix(i0, j0, block)
+            if j0 != i0:
+                mirror = (acc.T if epilogue is None
+                          else epilogue(j0, i0, acc.T))
+                out.write_submatrix(j0, i0, mirror)
     return out
 
 
 def bnlj_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                 memory_scalars: int,
-                name: str | None = None) -> TiledMatrix:
+                name: str | None = None,
+                trans_a: bool = False,
+                trans_b: bool = False) -> TiledMatrix:
     """§3's block-nested-loop-join-inspired algorithm.
 
     Memory is split between ``q`` rows of A and the matching ``q`` rows of
     the result (q = M/(n2+n3)); each chunk of A rows scans B in full.  Works
     best when A is stored with row tiles and B with column tiles, exactly
-    as the paper's BNLJ-Inspired strategy assumes.
+    as the paper's BNLJ-Inspired strategy assumes.  Each A-row chunk and
+    each B column-block announces its footprint to the buffer pool before
+    reading it, so cold tile misses coalesce into large device reads.
+    Flagged operands stream in stored layout, transposed in memory.
+
+    Accounting note: with *distinct* operands block totals are exactly
+    equal hinted or unhinted (the dense streaming contract).  When the
+    same stored matrix is passed as both operands (``t(A) %*% A`` via a
+    flag), the B scan re-reads blocks the A chunk may have left cached;
+    that reuse depends on eviction timing, so hinted runs may drift a
+    few percent in block totals — the same bounded exception the sparse
+    kernels document.  Prefer :func:`crossprod_matmul` there anyway.
     """
-    _check_conformable(a, b)
-    n1, n2 = a.shape
-    n3 = b.shape[1]
+    _check_conformable(a, b, trans_a, trans_b)
+    n1, n2 = _effective_shape(a, trans_a)
+    n3 = _effective_shape(b, trans_b)[1]
     q = max(1, int(memory_scalars / (n2 + n3)))
     out = store.create_matrix((n1, n3), layout="row", name=name)
+    hinting = a.store is store and b.store is store
     for r0 in range(0, n1, q):
         r1 = min(r0 + q, n1)
-        a_rows = a.read_submatrix(r0, r1, 0, n2)
+        if hinting:
+            store.pool.prefetch(
+                _operand_blocks(a, r0, r1, 0, n2, trans_a))
+        a_rows = _read_operand(a, r0, r1, 0, n2, trans_a)
         t_rows = np.zeros((r1 - r0, n3))
         # Scan B one column-block at a time (a block of columns costs the
         # same I/O as one column when B uses column tiles).
-        col_step = max(1, b.tile_shape[1])
+        col_step = max(1, b.tile_shape[0] if trans_b else b.tile_shape[1])
         for c0 in range(0, n3, col_step):
             c1 = min(c0 + col_step, n3)
-            b_cols = b.read_submatrix(0, n2, c0, c1)
+            if hinting:
+                store.pool.prefetch(
+                    _operand_blocks(b, 0, n2, c0, c1, trans_b))
+            b_cols = _read_operand(b, 0, n2, c0, c1, trans_b)
             t_rows[:, c0:c1] = a_rows @ b_cols
         out.write_submatrix(r0, 0, t_rows)
     return out
@@ -106,7 +257,8 @@ def naive_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     the access pattern of Example 2's straightforward algorithm, at tile
     rather than element granularity.  I/O grows as
     ``Theta(n1*n2*n3 / (B * t))`` for tile side t, which a small buffer
-    pool cannot hide.
+    pool cannot hide.  Deliberately unhinted: this is the baseline the
+    prefetching benchmarks compare against.
     """
     _check_conformable(a, b)
     m, l = a.shape

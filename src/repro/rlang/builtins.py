@@ -297,10 +297,31 @@ def _builtin_solve(interp, args, kwargs):
 
 
 def _builtin_crossprod(interp, args, kwargs):
+    """R's ``crossprod(x[, y])`` = ``t(x) %*% y``.
+
+    Engines that register a ``crossprod`` generic (next-generation
+    RIOT) get the transpose-free plan: an operand-flagged MatMul, or
+    the symmetric Crossprod node when y is x.  Every other engine
+    falls back to building ``t(x)`` and multiplying — §4 transparency,
+    same program everywhere.
+    """
     x = args[0]
     y = args[1] if len(args) > 1 else x
+    if interp.generics.lookup("crossprod", (type(x), type(y))):
+        return interp.generics.dispatch("crossprod", x, y)
     tx = interp.generics.dispatch("t", x)
     return interp.generics.dispatch("%*%", tx, y)
+
+
+def _builtin_tcrossprod(interp, args, kwargs):
+    """R's ``tcrossprod(x[, y])`` = ``x %*% t(y)`` (transpose-free on
+    engines that register the generic, like ``crossprod``)."""
+    x = args[0]
+    y = args[1] if len(args) > 1 else x
+    if interp.generics.lookup("tcrossprod", (type(x), type(y))):
+        return interp.generics.dispatch("tcrossprod", x, y)
+    ty = interp.generics.dispatch("t", y)
+    return interp.generics.dispatch("%*%", x, ty)
 
 
 BUILTINS = {
@@ -338,4 +359,5 @@ BUILTINS = {
     "which": _builtin_which,
     "solve": _builtin_solve,
     "crossprod": _builtin_crossprod,
+    "tcrossprod": _builtin_tcrossprod,
 }

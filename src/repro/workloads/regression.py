@@ -6,12 +6,16 @@ module solves the normal equations entirely on the tile store:
 
     beta = (X'X)^{-1} X'y
 
-using the Appendix-A square-tile multiply for X'X and X'y and the blocked
-out-of-core *partial-pivoting* LU solver for the final system.  Pivoting
-means the solve is correct for any nonsingular normal-equation matrix —
-ill-conditioned or nearly collinear designs included — not just the
-diagonally dominant systems the unpivoted Doolittle factorization could
-survive.
+using the symmetric transpose-free crossprod kernel for X'X, a
+transposed-operand-flagged square-tile multiply for X'y, and the blocked
+out-of-core *partial-pivoting* LU solver for the final system.  ``t(X)``
+is never stored: both multiplies read X's tiles in their stored layout
+and transpose each tile in memory, deleting the full extra disk pass
+(read X + write t(X)) earlier versions paid before the first multiply
+even started.  Pivoting means the solve is correct for any nonsingular
+normal-equation matrix — ill-conditioned or nearly collinear designs
+included — not just the diagonally dominant systems the unpivoted
+Doolittle factorization could survive.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.linalg import lu_solve, square_tile_matmul
+from repro.linalg import crossprod_matmul, lu_solve, square_tile_matmul
 from repro.storage import ArrayStore
 
 
@@ -59,23 +63,24 @@ def ols_out_of_core(problem: RegressionProblem,
                     block_size: int = 8192) -> tuple[np.ndarray, object]:
     """Solve the normal equations on a memory-capped tile store.
 
-    Returns ``(beta_hat, io_stats)``; the transpose is stored explicitly
-    (a tiled transpose costs one pass and lets both multiplies stream with
-    square tiles).  The final system goes through the pivoted
-    :func:`repro.linalg.lu_solve`, so the design needs no conditioning
-    tricks.
+    Returns ``(beta_hat, io_stats)``.  X'X runs the symmetric
+    :func:`repro.linalg.crossprod_matmul` (upper-triangular blocks only,
+    mirrored on write) and X'y a ``trans_a``-flagged square-tile
+    multiply — both read X in its stored layout, so no transposed copy
+    of the design matrix ever touches the disk.  The final system goes
+    through the pivoted :func:`repro.linalg.lu_solve`, so the design
+    needs no conditioning tricks.
     """
     store = ArrayStore(memory_bytes=memory_scalars * 8,
                        block_size=block_size)
     x = store.matrix_from_numpy(problem.x, layout="square", name="X")
-    xt = store.matrix_from_numpy(np.ascontiguousarray(problem.x.T),
-                                 layout="square", name="Xt")
     y = store.matrix_from_numpy(problem.y.reshape(-1, 1),
                                 layout="square", name="y")
     store.pool.clear()
     store.reset_stats()
-    xtx = square_tile_matmul(store, xt, x, memory_scalars, name="XtX")
-    xty = square_tile_matmul(store, xt, y, memory_scalars, name="Xty")
+    xtx = crossprod_matmul(store, x, memory_scalars, name="XtX")
+    xty = square_tile_matmul(store, x, y, memory_scalars, name="Xty",
+                             trans_a=True)
     beta = lu_solve(store, xtx, xty.to_numpy().ravel(), memory_scalars)
     store.flush()
     return beta, store.device.stats

@@ -95,6 +95,38 @@ class TestSemantics:
         assert interp.run("nrow(t(A))").value == 9
         assert interp.run("ncol(t(A))").value == 6
 
+    def test_crossprod_routes_to_symmetric_node(self, engine, interp,
+                                                rng):
+        """``crossprod(A)`` builds the Crossprod node directly — no
+        Transpose, no plain MatMul — and matches numpy."""
+        from repro.core import Crossprod, Transpose, walk
+        a = rng.standard_normal((40, 12))
+        interp.env["A"] = engine.make_matrix(a)
+        interp.run("C <- crossprod(A)")
+        node = interp.env["C"].node
+        assert isinstance(node, Crossprod) and node.t_first
+        assert not any(isinstance(n, Transpose) for n in walk(node))
+        got = engine.session.force(node).to_numpy()
+        assert np.allclose(got, a.T @ a)
+
+    def test_tcrossprod_and_two_arg_crossprod(self, engine, interp,
+                                              rng):
+        from repro.core import Crossprod, MatMul
+        a = rng.standard_normal((40, 12))
+        b = rng.standard_normal((40, 8))
+        interp.env["A"] = engine.make_matrix(a)
+        interp.env["B"] = engine.make_matrix(b)
+        interp.run("T1 <- tcrossprod(A); T2 <- crossprod(A, B)")
+        assert isinstance(interp.env["T1"].node, Crossprod)
+        assert not interp.env["T1"].node.t_first
+        node2 = interp.env["T2"].node
+        assert isinstance(node2, MatMul) and node2.trans_a
+        assert np.allclose(
+            engine.session.force(interp.env["T1"].node).to_numpy(),
+            a @ a.T)
+        assert np.allclose(
+            engine.session.force(node2).to_numpy(), a.T @ b)
+
     def test_range_is_lazy(self, engine, interp):
         engine.session.store.flush()
         engine.reset_stats()

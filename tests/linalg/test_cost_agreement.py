@@ -9,11 +9,13 @@ slack caused by rounding p down to whole tiles and edge effects).
 import numpy as np
 import pytest
 
-from repro.core.costs import (bnlj_matmul_io, lu_io, lu_panel_width,
+from repro.core.costs import (bnlj_matmul_io, crossprod_io, lu_io,
+                              lu_panel_width, matmul_epilogue_io,
                               matmul_io_lower_bound, solve_io,
-                              square_tile_matmul_io)
-from repro.linalg import (bnlj_matmul, lu_decompose, lu_solve_factored,
-                          square_tile_matmul)
+                              square_tile_matmul_io,
+                              transposed_matmul_io)
+from repro.linalg import (bnlj_matmul, crossprod_matmul, lu_decompose,
+                          lu_solve_factored, square_tile_matmul)
 from repro.storage import ArrayStore
 
 BLOCK_SCALARS = 1024
@@ -117,6 +119,110 @@ class TestLUPanelWidth:
     def test_floor_is_tile_side(self):
         # Model-side helper never raises; the kernel guards the budget.
         assert lu_panel_width(1024, 100, 32) == 32
+
+
+@pytest.mark.parametrize("dims,mem", [
+    ((2048, 256), 48 * 1024),
+    ((512, 512), 96 * 1024),
+    ((768, 320), 48 * 1024),
+])
+class TestCrossprodAgreement:
+    """Measured symmetric-kernel I/O vs the ``crossprod_io`` model."""
+
+    def test_measured_within_model(self, rng, dims, mem):
+        m, k = dims
+        a_np = rng.standard_normal((m, k))
+        store = ArrayStore(memory_bytes=mem * 8, block_size=8192)
+        a = store.matrix_from_numpy(a_np, layout="square")
+        store.pool.clear()
+        store.reset_stats()
+        out = crossprod_matmul(store, a, mem)
+        store.flush()
+        assert np.allclose(out.to_numpy(), a_np.T @ a_np)
+        measured = store.device.stats.total
+        model = crossprod_io(m, k, mem, BLOCK_SCALARS)
+        assert 0.5 * model <= measured <= 2.0 * model
+
+
+@pytest.mark.parametrize("dims,mem", [
+    ((512, 512, 512), 96 * 1024),
+    ((2048, 256, 256), 48 * 1024),
+])
+class TestFlaggedMatmulAgreement:
+    """A transposed-operand flag costs the same blocks as the stored
+    layout: measurement stays within the unflagged Appendix-A model."""
+
+    def test_trans_a_within_model(self, rng, dims, mem):
+        l, m, n = dims  # effective product: (m x l) x (l x n)
+        a_np = rng.standard_normal((l, m))  # stored un-transposed
+        b_np = rng.standard_normal((l, n))
+        store = ArrayStore(memory_bytes=mem * 8, block_size=8192)
+        a = store.matrix_from_numpy(a_np, layout="square")
+        b = store.matrix_from_numpy(b_np, layout="square")
+        store.pool.clear()
+        store.reset_stats()
+        out = square_tile_matmul(store, a, b, mem, trans_a=True)
+        store.flush()
+        assert np.allclose(out.to_numpy(), a_np.T @ b_np)
+        measured = store.device.stats.total
+        model = transposed_matmul_io(m, l, n, mem, BLOCK_SCALARS)
+        assert 0.5 * model <= measured <= 2.0 * model
+
+
+class TestTransposeMaterializeAgreement:
+    def test_measured_within_model(self, rng):
+        """The explicit-materialization fallback (one read pass + one
+        write pass) moves the blocks ``transpose_materialize_io``
+        predicts — the cost the operand flags delete."""
+        from repro.core import RiotSession
+        from repro.core.costs import transpose_materialize_io
+        m, n = 512, 256
+        session = RiotSession(memory_bytes=48 * 1024 * 8,
+                              block_size=8192)
+        a_np = rng.standard_normal((m, n))
+        a = session.matrix(a_np)
+        session.store.pool.clear()
+        session.reset_stats()
+        out = session.force(a.T)
+        session.store.flush()
+        assert np.allclose(out.to_numpy(), a_np.T)
+        measured = session.io_stats.total
+        model = transpose_materialize_io(m, n, BLOCK_SCALARS)
+        assert 0.5 * model <= measured <= 2.0 * model
+
+
+class TestEpilogueAgreement:
+    def test_fused_epilogue_within_model(self, rng):
+        """Fused ``2 (A B) + C`` moves the blocks the fused
+        ``matmul_epilogue_io`` model predicts (one extra input read,
+        no product materialization)."""
+        m, l, n = 512, 256, 512
+        mem = 48 * 1024
+        a_np = rng.standard_normal((m, l))
+        b_np = rng.standard_normal((l, n))
+        c_np = rng.standard_normal((m, n))
+        store = ArrayStore(memory_bytes=mem * 8, block_size=8192)
+        a = store.matrix_from_numpy(a_np, layout="square")
+        b = store.matrix_from_numpy(b_np, layout="square")
+        c = store.matrix_from_numpy(c_np, layout="square")
+        store.pool.clear()
+        store.reset_stats()
+
+        def epilogue(r0, c0, block):
+            return 2.0 * block + c.read_submatrix(
+                r0, r0 + block.shape[0], c0, c0 + block.shape[1])
+
+        out = square_tile_matmul(store, a, b, mem, epilogue=epilogue,
+                                 epilogue_inputs=1)
+        store.flush()
+        assert np.allclose(out.to_numpy(), 2.0 * (a_np @ b_np) + c_np)
+        measured = store.device.stats.total
+        model = matmul_epilogue_io(m, l, n, 1, mem, BLOCK_SCALARS,
+                                   fused=True)
+        assert 0.5 * model <= measured <= 2.0 * model
+        # The unfused model pays the product write and re-read on top.
+        assert model < matmul_epilogue_io(m, l, n, 1, mem,
+                                          BLOCK_SCALARS, fused=False)
 
 
 class TestCrossAlgorithm:

@@ -166,6 +166,18 @@ class TestMatrices:
         A = interp.env["A"].data
         assert np.allclose(interp.env["C"].data, A.T @ A)
 
+    def test_crossprod_two_args(self, interp):
+        run(interp, "A <- matrix(rnorm(12), 4, 3)\n"
+                    "B <- matrix(rnorm(8), 4, 2)\n"
+                    "C <- crossprod(A, B)")
+        A, B = interp.env["A"].data, interp.env["B"].data
+        assert np.allclose(interp.env["C"].data, A.T @ B)
+
+    def test_tcrossprod(self, interp):
+        run(interp, "A <- matrix(rnorm(12), 4, 3); C <- tcrossprod(A)")
+        A = interp.env["A"].data
+        assert np.allclose(interp.env["C"].data, A @ A.T)
+
 
 class TestControlFlow:
     def test_if_else(self, interp):
