@@ -11,20 +11,24 @@ Public API::
     z.values()                  # selective evaluation: touches ~1 chunk
 """
 
-from . import chain, costs
+from . import chain, costs, passes
 from .arrays import RiotMatrix, RiotVector
+from .config import OptimizerConfig
 from .evaluator import Evaluator
 from .expr import (ArrayInput, Crossprod, Inverse, Map, MatMul, Node,
                    Range, Reduce, Scalar, Solve, Subscript,
                    SubscriptAssign, Transpose, count_nodes, render,
                    to_dot, walk)
+from .plan import PhysicalPlan
+from .planner import Planner
 from .rewrite import Rewriter, optimize
 from .session import RiotSession
 
 __all__ = [
     "ArrayInput", "Crossprod", "Evaluator", "Inverse", "Map", "MatMul",
-    "Node", "Range", "Reduce", "RiotMatrix", "RiotSession", "RiotVector",
+    "Node", "OptimizerConfig", "PhysicalPlan", "Planner", "Range",
+    "Reduce", "RiotMatrix", "RiotSession", "RiotVector",
     "Rewriter", "Scalar", "Solve", "Subscript", "SubscriptAssign",
-    "Transpose", "chain", "costs", "count_nodes", "optimize", "render",
-    "to_dot", "walk",
+    "Transpose", "chain", "costs", "count_nodes", "optimize", "passes",
+    "render", "to_dot", "walk",
 ]

@@ -1,0 +1,112 @@
+"""Optimizer configuration: one dataclass instead of seven flags.
+
+``OptimizerConfig`` replaces the ``Rewriter(enable_*)`` flag soup.  The
+``level`` sets the overall posture; every individual decision can still
+be overridden per pass:
+
+- **level 0** — no optimization at all.  DAGs are executed by the
+  evaluator's expression-tree dispatch exactly as written (the ablation
+  baseline of every benchmark).
+- **level 1** — logical rewriting only: constant folding, CSE,
+  subscript pushdown, transpose absorption and the inv-to-solve
+  rewrite run to fixpoint, but physical choices stay heuristic
+  (program-order chains, type-driven kernel dispatch, fuse epilogues
+  whenever legal).
+- **level 2** (default) — logical rewriting plus cost-based physical
+  planning: the planner enumerates kernel alternatives, chain orders
+  and fuse-vs-materialize per node and picks by the Appendix-A /
+  nnz-parameterized I/O models.
+
+``None`` for a per-pass override means "whatever the level implies".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Logical passes (run at level >= 1 unless individually disabled).
+LOGICAL_PASSES = ("fold", "pushdown", "solve_rewrite", "transpose",
+                  "cse")
+#: Cost-based physical decisions (made at level 2 unless disabled).
+PHYSICAL_CHOICES = ("chain_reorder", "kernel_select")
+
+
+@dataclass
+class OptimizerConfig:
+    """Optimization level plus per-pass overrides (``None`` = default).
+
+    ``fuse_epilogues`` is special: at level 1 fusion fires whenever it
+    is legal (the old heuristic); at level 2 the planner additionally
+    checks that the fused plan is model-cheaper than materializing the
+    product (it always is under the current models, but the
+    alternative is enumerated and shown by ``explain``).
+    """
+
+    level: int = 2
+    fold: bool | None = None
+    cse: bool | None = None
+    pushdown: bool | None = None
+    transpose: bool | None = None
+    solve_rewrite: bool | None = None
+    chain_reorder: bool | None = None
+    kernel_select: bool | None = None
+    fuse_epilogues: bool | None = None
+    max_passes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.level not in (0, 1, 2):
+            raise ValueError(
+                f"optimizer level must be 0, 1 or 2, got {self.level}")
+
+    # -- resolution ----------------------------------------------------
+    def pass_enabled(self, name: str) -> bool:
+        """Is a *logical* pass on under this config?"""
+        override = getattr(self, name)
+        if override is not None:
+            return bool(override)
+        return self.level >= 1
+
+    def choice_enabled(self, name: str) -> bool:
+        """Is a *cost-based physical* choice on under this config?"""
+        override = getattr(self, name)
+        if override is not None:
+            return bool(override)
+        return self.level >= 2
+
+    @property
+    def fusion_enabled(self) -> bool:
+        if self.fuse_epilogues is not None:
+            return bool(self.fuse_epilogues)
+        return self.level >= 1
+
+    @property
+    def plans(self) -> bool:
+        """Does this config route execution through a PhysicalPlan?
+
+        Level 0 keeps the evaluator's expression-tree dispatch — the
+        un-optimized fallback.
+        """
+        return self.level >= 1
+
+    def with_level(self, level: int) -> "OptimizerConfig":
+        return replace(self, level=level)
+
+    @classmethod
+    def from_legacy_flags(cls, enable_pushdown: bool = True,
+                          enable_chain_reorder: bool = True,
+                          enable_cse: bool = True,
+                          enable_fold: bool = True,
+                          enable_kernel_select: bool = True,
+                          enable_solve_rewrite: bool = True,
+                          enable_transpose_rewrite: bool = True,
+                          max_passes: int = 10) -> "OptimizerConfig":
+        """Map the old ``Rewriter(enable_*)`` kwargs onto a config."""
+        return cls(level=2,
+                   pushdown=enable_pushdown,
+                   chain_reorder=enable_chain_reorder,
+                   cse=enable_cse,
+                   fold=enable_fold,
+                   kernel_select=enable_kernel_select,
+                   solve_rewrite=enable_solve_rewrite,
+                   transpose=enable_transpose_rewrite,
+                   max_passes=max_passes)

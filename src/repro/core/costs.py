@@ -383,6 +383,67 @@ def inverse_io(n: float, memory: float, block: float,
             + n * n / block)
 
 
+def solve_op_io(n: float, nrhs: float, memory: float, block: float,
+                tile_side: float | None = None) -> float:
+    """I/O of the full ``solve(A, B)`` operator: one pivoted
+    factorization, one substitution sweep per memory-sized column
+    panel of the RHS, plus reading B and writing X once."""
+    tile = tile_side or _dense_tile_side(block)
+    if nrhs <= 1:
+        return (lu_io(n, memory, block, tile)
+                + solve_io(n, 1, memory, block, tile)
+                + 2.0 * n / block)
+    pw = lu_panel_width(n, memory, tile)
+    panels = math.ceil(nrhs / pw)
+    return (lu_io(n, memory, block, tile)
+            + panels * solve_io(n, pw, memory, block, tile)
+            + 2.0 * n * nrhs / block)
+
+
+def crossprod_epilogue_io(m: float, k: float, extra_inputs: float,
+                          memory: float, block: float,
+                          fused: bool = True) -> float:
+    """I/O of ``map(crossprod(A), C1..Ce)`` — an elementwise epilogue
+    over the symmetric product.
+
+    Fused, the panel shrinks to ``p = sqrt(M / (3 + e))`` (scaling the
+    operand-read term of :func:`crossprod_io` by ``sqrt(3 + e) /
+    sqrt(3)``), each extra operand is read once, and the kernel's
+    single write remains the only write.  Unfused, the raw product is
+    materialized and the elementwise pass re-reads it and writes the
+    final result.
+    """
+    if fused:
+        return (math.sqrt(3.0 + extra_inputs) * m * k * k
+                / (block * math.sqrt(memory))
+                + (1.0 + extra_inputs) * k * k / block)
+    return (crossprod_io(m, k, memory, block)
+            + (2.0 + extra_inputs) * k * k / block)
+
+
+# ----------------------------------------------------------------------
+# Streaming / access-path operators (physical-plan models)
+# ----------------------------------------------------------------------
+def stream_io(input_scalars: float, output_scalars: float,
+              block: float) -> float:
+    """One fused streaming pass: read every stored input once, write
+    the result once (the loop-fusion regime of §3)."""
+    return (input_scalars + output_scalars) / block
+
+
+def gather_io(n_src: float, k: float, block: float) -> float:
+    """Selective evaluation of ``x[s]`` with k selected elements: at
+    most one read per selected element, never more than a full scan,
+    plus writing the gathered vector."""
+    return min(math.ceil(n_src / block), k) + 2.0 * k / block
+
+
+def scatter_io(n: float, k: float, block: float) -> float:
+    """Positional ``b[s] <- v``: copy-on-write pass over the base plus
+    one random touch per scattered element (bounded by the base)."""
+    return 2.0 * n / block + min(math.ceil(n / block), k)
+
+
 # ----------------------------------------------------------------------
 # Chains
 # ----------------------------------------------------------------------

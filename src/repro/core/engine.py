@@ -79,11 +79,17 @@ class RiotNGEngine(Engine):
     name = "RIOT (next-gen)"
 
     def __init__(self, memory_bytes: int = 68 * 1024 * 1024,
-                 block_size: int = 8192, optimize: bool = True) -> None:
+                 block_size: int = 8192, optimize: bool = True,
+                 config=None) -> None:
+        """``config`` (an :class:`~repro.core.config.OptimizerConfig`)
+        overrides the boolean ``optimize`` switch: pass
+        ``OptimizerConfig(level=1)`` for logical rewriting without
+        cost-based planning, or per-pass overrides for ablations."""
         Engine.__init__(self)
         self.session = RiotSession(memory_bytes=memory_bytes,
                                    block_size=block_size,
-                                   optimize=optimize)
+                                   optimize=optimize,
+                                   config=config)
         self.generics = Generics()
         self._register_all()
 
@@ -148,6 +154,10 @@ class RiotNGEngine(Engine):
         g.set_method("crossprod", (NGMat, NGMat), self._crossprod)
         g.set_method("tcrossprod", (NGMat, NGMat), self._tcrossprod)
         g.set_method("reshape", (NGVec, RScalar, RScalar), self._reshape)
+        g.set_method("explain", (NGVec,),
+                     lambda v: self.session.explain(v.node))
+        g.set_method("explain", (NGMat,),
+                     lambda m: self.session.explain(m.node))
         g.set_method("print", (NGVec,), self._print_vector)
         g.set_method("print", (NGMat,), self._print_matrix)
         g.set_method("iterate", (NGVec,),

@@ -29,16 +29,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.linalg.matmul import crossprod_matmul, square_tile_matmul
+from repro.linalg.matmul import (bnlj_matmul, crossprod_matmul,
+                                 square_tile_matmul)
 from repro.storage import ArrayStore, TiledMatrix, TiledVector
 
 from .expr import (ArrayInput, BINARY_OPS, Crossprod, Inverse, Map,
                    MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
                    SubscriptAssign, TERNARY_OPS, Transpose, UNARY_OPS,
                    walk)
+from .plan import (BnljOp, CrossprodOp, FusedEpilogueOp, PhysOp,
+                   PhysicalPlan, SparseSpGEMMOp, SparseSpMMOp,
+                   TileMatMulOp)
 
 #: Chunks of lookahead announced to the buffer pool during streaming.
 STREAM_PREFETCH_CHUNKS = 16
+
+
+def streamable(node: Node) -> bool:
+    """Can this node be computed chunk-aligned from its children?"""
+    if isinstance(node, (Scalar, Range, ArrayInput)):
+        return True
+    if isinstance(node, Map):
+        return all(streamable(c) for c in node.children)
+    if isinstance(node, SubscriptAssign) and node.logical_mask:
+        return all(streamable(c) for c in node.children)
+    return False
+
+
+def collect_barriers(node: Node, barriers: list[Node],
+                     seen: set[int]) -> None:
+    """Find maximal non-streamable subtrees under a streaming region."""
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+    if streamable(node):
+        for c in node.children:
+            collect_barriers(c, barriers, seen)
+    else:
+        barriers.append(node)
 
 
 class Evaluator:
@@ -51,6 +79,10 @@ class Evaluator:
         self.memory_scalars = memory_scalars or (
             store.pool.capacity * store.scalars_per_block)
         self.fuse_epilogues = fuse_epilogues
+        #: True while executing a PhysicalPlan: fuse-vs-materialize was
+        #: decided by the planner, so the runtime fusion heuristic of
+        #: the tree-dispatch fallback must stay out of the way.
+        self._executing_plan = False
         self._parent_edges: dict[int, int] = {}
         # Sparse matrix -> its dense twin, so a sparse object consumed
         # by several dense-only contexts is converted (read fully +
@@ -86,6 +118,82 @@ class Evaluator:
             return self._force(node, memo)
         finally:
             self._densified_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Physical-plan execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: PhysicalPlan,
+                memo: dict[int, object] | None = None):
+        """Execute a :class:`PhysicalPlan` operator by operator.
+
+        Children run before their parents; results are memoized by
+        logical node, so shared subplans run once.  Around each
+        operator's own work the device-block counter is sampled and the
+        delta recorded as ``op.measured_io`` — the number
+        ``session.explain()`` prints next to the prediction.  (Writes
+        are charged to the operator that triggered the device transfer:
+        a dirty block evicted during a later operator counts there.
+        Totals are exact, per-op splits approximate.)
+        """
+        memo = memo if memo is not None else {}
+        for op in plan.ops():
+            op.measured_io = None
+        self._densified_cache.clear()
+        self._executing_plan = True
+        try:
+            result = self._exec_op(plan.root, memo, set())
+            plan.executed = True
+            return result
+        finally:
+            self._executing_plan = False
+            self._densified_cache.clear()
+
+    def _exec_op(self, op: PhysOp, memo: dict[int, object],
+                 done: set[int]):
+        if id(op) in done:
+            return memo[id(op.node)]
+        for c in op.children:
+            self._exec_op(c, memo, done)
+        before = self.store.device.stats.total
+        result = self._dispatch_op(op, memo)
+        op.measured_io = self.store.device.stats.total - before
+        done.add(id(op))
+        memo[id(op.node)] = result
+        return result
+
+    def _dispatch_op(self, op: PhysOp, memo: dict[int, object]):
+        """Run one operator's own work (children already in memo)."""
+        node = op.node
+        if isinstance(op, (TileMatMulOp, BnljOp)):
+            a = self._as_tiled_matrix(memo[id(node.children[0])])
+            b = self._as_tiled_matrix(memo[id(node.children[1])])
+            kernel = (bnlj_matmul if isinstance(op, BnljOp)
+                      else square_tile_matmul)
+            return kernel(self.store, a, b, self.memory_scalars,
+                          trans_a=node.trans_a, trans_b=node.trans_b)
+        if isinstance(op, SparseSpMMOp):
+            from repro.sparse import spmm
+            a = memo[id(node.children[0])]
+            b = self._densified(memo[id(node.children[1])])
+            return spmm(self.store, a, b, self.memory_scalars)
+        if isinstance(op, SparseSpGEMMOp):
+            from repro.sparse import spgemm
+            return spgemm(self.store, memo[id(node.children[0])],
+                          memo[id(node.children[1])])
+        if isinstance(op, CrossprodOp):
+            a = self._as_tiled_matrix(memo[id(node.children[0])])
+            return crossprod_matmul(self.store, a,
+                                    self.memory_scalars,
+                                    t_first=node.t_first)
+        if isinstance(op, FusedEpilogueOp):
+            return self._run_epilogue(node, op.barrier,
+                                      op.matrix_nodes,
+                                      op.scalar_nodes, memo)
+        # Everything else (leaves, streams, gathers, scatters,
+        # reductions, solves, inverses, transposes) executes through
+        # the tree machinery; its barriers are already memoized, so
+        # only this operator's own work happens here.
+        return self._force(node, memo)
 
     def _force(self, node: Node, memo: dict[int, object]):
         if id(node) in memo:
@@ -130,7 +238,8 @@ class Evaluator:
         if node.ndim == 1:
             return self._stream_vector(node, memo)
         if node.ndim == 2:
-            if self.fuse_epilogues and isinstance(node, Map):
+            if self.fuse_epilogues and not self._executing_plan \
+                    and isinstance(node, Map):
                 fused = self._try_fused_epilogue(node, memo)
                 if fused is not None:
                     return fused
@@ -271,29 +380,12 @@ class Evaluator:
         return out
 
     # ------------------------------------------------------------------
-    # Streamability analysis
+    # Streamability analysis lives in the module-level streamable() /
+    # collect_barriers() functions, shared with the planner.
     # ------------------------------------------------------------------
-    def _streamable(self, node: Node) -> bool:
-        """Can this node be computed chunk-aligned from its children?"""
-        if isinstance(node, (Scalar, Range, ArrayInput)):
-            return True
-        if isinstance(node, Map):
-            return all(self._streamable(c) for c in node.children)
-        if isinstance(node, SubscriptAssign) and node.logical_mask:
-            return all(self._streamable(c) for c in node.children)
-        return False
-
     def _collect_barriers(self, node: Node, barriers: list[Node],
                           seen: set[int]) -> None:
-        """Find maximal non-streamable subtrees under a streaming region."""
-        if id(node) in seen:
-            return
-        seen.add(id(node))
-        if self._streamable(node):
-            for c in node.children:
-                self._collect_barriers(c, barriers, seen)
-        else:
-            barriers.append(node)
+        collect_barriers(node, barriers, seen)
 
     # ------------------------------------------------------------------
     # Fused elementwise streaming
@@ -551,52 +643,8 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Fused matmul epilogues
     # ------------------------------------------------------------------
-    def _epilogue_region(self, node: Map, memo: dict[int, object]):
-        """Classify a matrix Map region for epilogue fusion.
-
-        Returns ``(barriers, matrices, scalars, unmemoized)`` — the
-        distinct MatMul/Crossprod barriers, the stored-matrix leaves
-        (inputs and already-memoized results), the scalar-valued
-        subtrees, and a map of region-internal parent-edge counts for
-        every node the fused evaluation would *not* memoize (the
-        barriers and interior Maps) — or ``None`` when the region
-        contains anything the per-submatrix epilogue evaluator cannot
-        handle.
-        """
-        barriers: list[Node] = []
-        matrices: list[Node] = []
-        scalars: list[Node] = []
-        unmemoized: dict[int, int] = {}
-        seen: set[int] = set()
-
-        def visit(n: Node) -> bool:
-            if (isinstance(n, (MatMul, Crossprod, Map)) and n.ndim == 2
-                    and id(n) not in memo):
-                unmemoized[id(n)] = unmemoized.get(id(n), 0) + 1
-            if id(n) in seen:
-                return True
-            seen.add(id(n))
-            if n.ndim == 0:
-                scalars.append(n)
-                return True
-            if n.ndim != 2:
-                return False
-            if id(n) in memo or isinstance(n, ArrayInput):
-                matrices.append(n)
-                return True
-            if isinstance(n, (MatMul, Crossprod)):
-                barriers.append(n)
-                return True
-            if isinstance(n, Map):
-                return all(visit(c) for c in n.children)
-            return False
-
-        if not all(visit(c) for c in node.children):
-            return None
-        return barriers, matrices, scalars, unmemoized
-
     def _try_fused_epilogue(self, node: Map, memo: dict[int, object]):
-        """Fuse an elementwise region into the product that feeds it.
+        """Runtime fuse-or-not for the tree-dispatch fallback.
 
         When the Map region is fed by exactly one MatMul/Crossprod that
         will run a dense kernel, the whole scalar expression tree is
@@ -604,19 +652,24 @@ class Evaluator:
         and written once: the raw product never exists on disk.
         Returns the result matrix, or ``None`` to fall back to the
         materialize-then-stream path (sparse plans, multiple barriers,
-        non-conforming shapes).
+        non-conforming shapes).  Plans built by the
+        :class:`~repro.core.planner.Planner` make this decision at
+        plan time instead, with both alternatives costed.
         """
-        region = self._epilogue_region(node, memo)
+        from .planner import classify_epilogue_region
+        region = classify_epilogue_region(
+            node, lambda n: isinstance(n, ArrayInput),
+            memo_ids=set(memo))
         if region is None:
             return None
-        barriers, matrix_nodes, scalar_nodes, unmemoized = region
+        barriers, matrix_nodes, scalar_nodes, region_edges = region
         if len(barriers) != 1:
             return None
         barrier = barriers[0]
         if barrier.shape != node.shape:
             return None
-        for nid, region_edges in unmemoized.items():
-            if region_edges < self._parent_edges.get(nid, 0):
+        for nid, edges in region_edges.items():
+            if edges < self._parent_edges.get(nid, 0):
                 # The product — or an interior Map on the way to it —
                 # has consumers outside this region; fusing (which
                 # memoizes neither) would make them recompute the
@@ -626,23 +679,40 @@ class Evaluator:
             if barrier.kernel == "sparse":
                 return None
             a = self._force(barrier.children[0], memo)
-            b = self._force(barrier.children[1], memo)
             from repro.sparse import SparseTiledMatrix
             if (barrier.kernel == "auto"
                     and not (barrier.trans_a or barrier.trans_b)
                     and isinstance(a, SparseTiledMatrix)):
                 return None  # SpMM/SpGEMM dispatch wins; no dense fusion
-            operands = (self._as_tiled_matrix(a),
-                        self._as_tiled_matrix(b))
-        else:
-            operands = (self._as_tiled_matrix(
-                self._force(barrier.children[0], memo)),)
-        inputs: dict[int, TiledMatrix] = {}
         for n in matrix_nodes:
             forced = self._as_tiled_matrix(self._force(n, memo))
             if forced.shape != node.shape:
                 return None
-            inputs[id(n)] = forced
+        return self._run_epilogue(node, barrier, matrix_nodes,
+                                  scalar_nodes, memo)
+
+    def _run_epilogue(self, node: Map, barrier: Node,
+                      matrix_nodes: list[Node],
+                      scalar_nodes: list[Node],
+                      memo: dict[int, object]) -> TiledMatrix:
+        """Run a fused epilogue region (legality already established).
+
+        Shared by the runtime heuristic above and by
+        :class:`~repro.core.plan.FusedEpilogueOp` execution; operand
+        and input forcing hits the memo when a plan pre-executed them.
+        """
+        if isinstance(barrier, MatMul):
+            operands = (
+                self._as_tiled_matrix(
+                    self._force(barrier.children[0], memo)),
+                self._as_tiled_matrix(
+                    self._force(barrier.children[1], memo)))
+        else:
+            operands = (self._as_tiled_matrix(
+                self._force(barrier.children[0], memo)),)
+        inputs: dict[int, TiledMatrix] = {
+            id(n): self._as_tiled_matrix(self._force(n, memo))
+            for n in matrix_nodes}
         values = {id(n): float(self._force(n, memo))
                   for n in scalar_nodes}
         fns = {**UNARY_OPS, **BINARY_OPS, **TERNARY_OPS}

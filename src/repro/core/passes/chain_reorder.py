@@ -1,0 +1,84 @@
+"""Matrix-chain collection and reordering (§5 rule 7, Appendix B).
+
+The chain helpers here are shared by the legacy :class:`Rewriter` shim
+(which reorders on the logical DAG, as the old monolith did) and by the
+physical planner (which treats the order as one of the enumerated,
+costed alternatives).  When any factor carries an estimated density
+below :data:`~repro.core.passes.sparsity.DENSE_THRESHOLD`, the
+nnz-weighted DP replaces the dense flop count, so e.g. a
+sparse-sparse-vector chain collapses the cheap sparse product first.
+"""
+
+from __future__ import annotations
+
+from .. import chain as chain_mod
+from ..expr import MatMul, Node
+from .base import Pass, PassContext
+from .sparsity import DENSE_THRESHOLD
+
+
+def collect_chain(node: Node, factors: list[Node]) -> None:
+    """Flatten a tree of unflagged MatMuls into its factor list.
+
+    A flagged MatMul is opaque to reordering (its operands are not
+    chain factors of the outer product) — treat it as a leaf.
+    """
+    if isinstance(node, MatMul) and not (node.trans_a or node.trans_b):
+        collect_chain(node.children[0], factors)
+        collect_chain(node.children[1], factors)
+    else:
+        factors.append(node)
+
+
+def chosen_order(factors: list[Node]) -> tuple:
+    """(order, rule-name) the DP picks for a factor list."""
+    dims = [factors[0].shape[0]] + [f.shape[1] for f in factors]
+    densities = [f.density for f in factors]
+    if min(densities) < DENSE_THRESHOLD:
+        return (chain_mod.optimal_order_sparse(dims, densities),
+                "chain-reorder-sparse")
+    return chain_mod.optimal_order(dims), "chain-reorder"
+
+
+def current_order(node: Node, factors: list[Node]):
+    """The parenthesization ``node`` already has, over ``factors``."""
+    index_of = {id(f): i for i, f in enumerate(factors)}
+
+    def build(n: Node):
+        if isinstance(n, MatMul) and id(n) not in index_of:
+            return (build(n.children[0]), build(n.children[1]))
+        return index_of[id(n)]
+
+    return build(node)
+
+
+def build_order(factors: list[Node], order) -> Node:
+    """Materialize a parenthesization as fresh MatMul nodes."""
+    if isinstance(order, int):
+        return factors[order]
+    return MatMul(build_order(factors, order[0]),
+                  build_order(factors, order[1]))
+
+
+class ChainReorderPass(Pass):
+    """Logical-DAG chain reordering (legacy Rewriter behaviour).
+
+    The cost-based planner performs the same search during lowering;
+    this pass exists for the deprecated ``Rewriter`` API and for
+    pipelines that want the reorder visible in the logical DAG.
+    """
+
+    name = "chain-reorder"
+
+    def rewrite(self, node: Node, ctx: PassContext) -> Node:
+        if not isinstance(node, MatMul) or node.trans_a or node.trans_b:
+            return node
+        factors: list[Node] = []
+        collect_chain(node, factors)
+        if len(factors) < 3:
+            return node
+        order, rule = chosen_order(factors)
+        if order == current_order(node, factors):
+            return node
+        ctx.record(rule)
+        return build_order(factors, order)

@@ -1,0 +1,43 @@
+"""Common-subexpression elimination by structural hashing (§5 rule 6).
+
+The two ``sqrt`` terms of Example 1 share their ``x`` and ``y`` scans.
+Keys come from :func:`repro.core.passes.signatures.canon_key`, the same
+helper fixpoint detection uses, so kernel hints, operand flags and
+``t_first`` can never be conflated (the bug the old split
+``_signature``/``_canon_key`` pair invited).
+"""
+
+from __future__ import annotations
+
+from ..expr import Node
+from .base import Pass, PassContext
+from .signatures import canon_key
+
+
+class CSEPass(Pass):
+    name = "cse"
+
+    def run(self, root: Node, ctx: PassContext) -> Node:
+        canon: dict[tuple, Node] = {}
+        mapping: dict[int, Node] = {}
+
+        def visit(node: Node) -> Node:
+            if id(node) in mapping:
+                return mapping[id(node)]
+            children = tuple(visit(c) for c in node.children)
+            if children != node.children:
+                node2 = node.with_children(children)
+            else:
+                node2 = node
+            key = canon_key(node2)
+            if key in canon:
+                result = canon[key]
+                if result is not node2:
+                    ctx.record("cse")
+            else:
+                canon[key] = node2
+                result = node2
+            mapping[id(node)] = result
+            return result
+
+        return visit(root)

@@ -1,0 +1,22 @@
+"""Constant folding over scalar subtrees (§5 rule 5)."""
+
+from __future__ import annotations
+
+from ..expr import (BINARY_OPS, Map, Node, Scalar, TERNARY_OPS,
+                    UNARY_OPS)
+from .base import Pass, PassContext
+
+
+class FoldPass(Pass):
+    """``Map`` over all-Scalar children collapses to one Scalar."""
+
+    name = "fold"
+
+    def rewrite(self, node: Node, ctx: PassContext) -> Node:
+        if isinstance(node, Map) and all(
+                isinstance(c, Scalar) for c in node.children):
+            fns = {**UNARY_OPS, **BINARY_OPS, **TERNARY_OPS}
+            value = fns[node.op](*(c.value for c in node.children))
+            ctx.record("constant-fold")
+            return Scalar(float(value))
+        return node

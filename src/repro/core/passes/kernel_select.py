@@ -1,0 +1,82 @@
+"""Sparse/dense kernel choice by the nnz-parameterized cost models
+(§5 rule 8).
+
+:func:`matmul_kernel_costs` is the single comparison both the legacy
+:class:`Rewriter` shim and the physical planner use: the matching
+sparse model (``spgemm_io`` for sparse x sparse, ``spmm_io`` for
+sparse x dense, each fed the operands' estimated nnz) against the
+dense Appendix-A model clamped at the trivial floor of reading both
+operands and writing the result once.
+"""
+
+from __future__ import annotations
+
+from ..costs import (DEFAULT_TILE_SIDE, spgemm_io, spmm_io,
+                     square_tile_matmul_io)
+from ..expr import MatMul, Node
+from .base import Pass, PassContext
+from .sparsity import sparse_stored, sparse_tile_side
+
+
+def clamped_dense_io(m: float, k: float, n: float, memory: float,
+                     block: float) -> float:
+    """Appendix-A cost, clamped at the one-pass floor.
+
+    The formula is asymptotic; at small sizes it drops below the
+    trivial floor of reading both operands and writing the result
+    once, so comparisons clamp it there.
+    """
+    return max(square_tile_matmul_io(m, k, n, memory, block),
+               (m * k + k * n + m * n) / block)
+
+
+def matmul_kernel_costs(node: MatMul, memory: float,
+                        block: float) -> dict[str, float] | None:
+    """``{"sparse": blocks, "dense": blocks}`` for an eligible ``%*%``.
+
+    Returns ``None`` when no sparse alternative exists: flagged
+    operands (the sparse kernels have no flagged variants) or a dense
+    left operand (no dense x sparse kernel exists; the evaluator
+    densifies the right operand either way).
+    """
+    if node.trans_a or node.trans_b:
+        return None
+    a, b = node.children
+    if not sparse_stored(a):
+        return None
+    m, k = a.shape
+    n = b.shape[1]
+    tile_side = sparse_tile_side(a) or DEFAULT_TILE_SIDE
+    if sparse_stored(b):
+        sparse_cost = spgemm_io(m, k, n, a.estimated_nnz,
+                                b.estimated_nnz, block,
+                                tile_side=tile_side)
+    else:
+        sparse_cost = spmm_io(m, k, n, a.estimated_nnz, memory, block,
+                              tile_side=tile_side)
+    return {"sparse": sparse_cost,
+            "dense": clamped_dense_io(m, k, n, memory, block)}
+
+
+class KernelSelectPass(Pass):
+    """Annotate eligible ``%*%`` nodes with the cheaper kernel.
+
+    Legacy-Rewriter behaviour: the verdict is recorded on the logical
+    node for the evaluator's type dispatch.  The planner makes the
+    same comparison (plus BNLJ and flagged alternatives) at lowering
+    time instead.
+    """
+
+    name = "kernel-select"
+
+    def rewrite(self, node: Node, ctx: PassContext) -> Node:
+        if not isinstance(node, MatMul) or node.kernel != "auto":
+            return node
+        costs = matmul_kernel_costs(node, ctx.memory_scalars,
+                                    ctx.block_scalars)
+        if costs is None:
+            return node
+        kernel = ("sparse" if costs["sparse"] < costs["dense"]
+                  else "dense")
+        ctx.record(f"kernel-select:{kernel}")
+        return MatMul(node.children[0], node.children[1], kernel=kernel)

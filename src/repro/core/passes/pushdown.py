@@ -1,0 +1,51 @@
+"""Subscript pushdown (§5 rules 1–4; the Figure-2 headline rewrite)."""
+
+from __future__ import annotations
+
+from ..expr import (Map, Node, Range, Scalar, Subscript,
+                    SubscriptAssign)
+from .base import Pass, PassContext
+
+
+class PushdownPass(Pass):
+    """Push subscripts through maps, deferred modification and ranges.
+
+    - ``f(x, y)[s] -> f(x[s], y[s])`` — only selected elements computed.
+    - ``(b with b[mask] <- v)[s] -> ifelse(mask[s], v, b[s])`` — the
+      Figure-2 rewrite: modifications and tests run on the selection.
+    - ``(lo:hi)[s]`` is index arithmetic, no data access at all.
+    - ``x[i][j] -> x[i[j]]`` — subscript composition.
+    """
+
+    name = "pushdown"
+
+    def rewrite(self, node: Node, ctx: PassContext) -> Node:
+        if not isinstance(node, Subscript):
+            return node
+        src, index = node.src, node.index
+        if isinstance(src, Map):
+            ctx.record(f"pushdown-map:{src.op}")
+            new_children = []
+            for c in src.children:
+                if c.shape == ():
+                    new_children.append(c)
+                else:
+                    new_children.append(Subscript(c, index))
+            return Map(src.op, *new_children)
+        if isinstance(src, SubscriptAssign) and src.logical_mask:
+            ctx.record("pushdown-assign")
+            mask_sel = Subscript(src.index, index)
+            base_sel = Subscript(src.base, index)
+            value = src.value
+            if value.shape != ():
+                value = Subscript(value, index)
+            return Map("ifelse", mask_sel, value, base_sel)
+        if isinstance(src, Range):
+            ctx.record("pushdown-range")
+            if src.lo == 1:
+                return index
+            return Map("+", index, Scalar(src.lo - 1))
+        if isinstance(src, Subscript):
+            ctx.record("pushdown-compose")
+            return Subscript(src.src, Subscript(src.index, index))
+        return node

@@ -1,0 +1,252 @@
+"""Physical plans: trees of executable operators with costed choices.
+
+The second stage of the optimizer.  The logical pass pipeline
+(:mod:`repro.core.passes`) rewrites the expression DAG; the planner
+(:mod:`repro.core.planner`) then lowers it to a :class:`PhysicalPlan` —
+a DAG of :class:`PhysOp` nodes, each naming the concrete kernel or
+access path that will run, the I/O the cost models predict for it, and
+the alternatives that were enumerated and rejected.  The evaluator
+executes plans op by op, recording the *measured* device blocks each
+operator triggered next to its prediction — which is exactly what
+``session.explain()`` prints.
+
+Every op keeps a reference to the logical node it computes; execution
+memoizes results by logical node, so shared subplans (CSE survivors)
+run once.
+"""
+
+from __future__ import annotations
+
+from .expr import Node
+
+
+class PhysOp:
+    """One physical operator.
+
+    ``predicted_io`` covers this operator's *own* work in device
+    blocks (reading its inputs, writing its output) — children are
+    costed by their own ops.  ``measured_io`` is filled in by the
+    evaluator: the device-block delta while this op ran.  Writes are
+    attributed to the operator that triggered the device transfer, so
+    a dirty block flushed during a later operator counts there; totals
+    are exact, per-op splits are approximate.
+
+    ``alternatives`` lists ``(label, predicted_io)`` pairs for the
+    candidate strategies the planner enumerated and rejected.
+    """
+
+    kind = "op"
+
+    def __init__(self, node: Node, children: tuple["PhysOp", ...] = (),
+                 predicted_io: float = 0.0, detail: str = "",
+                 alternatives: list[tuple[str, float]] | None = None
+                 ) -> None:
+        self.node = node
+        self.children = tuple(children)
+        self.predicted_io = float(predicted_io)
+        self.detail = detail
+        self.alternatives = list(alternatives or [])
+        self.measured_io: int | None = None
+
+    def label(self) -> str:
+        return self.kind + (f"[{self.detail}]" if self.detail else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.label()} ~{self.predicted_io:.0f} blk>"
+
+
+class LeafOp(PhysOp):
+    """A stored array: nothing to do, consumers read it."""
+
+    kind = "input"
+
+    def label(self) -> str:
+        name = getattr(self.node, "name", "")
+        return f"input:{name}" if name else "input"
+
+
+class ScalarOp(PhysOp):
+    kind = "const"
+
+    def label(self) -> str:
+        return f"const:{self.node.label()}"
+
+
+class RangeOp(PhysOp):
+    kind = "range"
+
+
+class MapOp(PhysOp):
+    """A fused elementwise streaming region (vector, scalar or
+    tile-aligned matrix).  Children are the region's barriers and
+    stored inputs; the interior applies the whole scalar expression
+    tree per chunk/tile."""
+
+    kind = "map"
+
+    def label(self) -> str:
+        return f"map:{self.node.label()}" + (
+            f"[{self.detail}]" if self.detail else "")
+
+
+class GatherOp(PhysOp):
+    kind = "gather"
+
+
+class ScatterOp(PhysOp):
+    kind = "scatter"
+
+
+class ReduceOp(PhysOp):
+    kind = "reduce"
+
+    def label(self) -> str:
+        return f"reduce:{self.node.op}"
+
+
+class TileMatMulOp(PhysOp):
+    """Dense Appendix-A square-tile multiply (flags transposed in
+    memory)."""
+
+    kind = "matmul.square"
+
+
+class BnljOp(PhysOp):
+    """The §3 block-nested-loop-join-inspired multiply."""
+
+    kind = "matmul.bnlj"
+
+
+class CrossprodOp(PhysOp):
+    """Symmetric ``t(A) %*% A`` — upper-triangular blocks only."""
+
+    kind = "crossprod"
+
+
+class SparseSpMMOp(PhysOp):
+    kind = "matmul.spmm"
+
+
+class SparseSpGEMMOp(PhysOp):
+    kind = "matmul.spgemm"
+
+
+class LUSolveOp(PhysOp):
+    """Pivoted out-of-core LU factorization + blocked substitution."""
+
+    kind = "solve.lu"
+
+
+class InverseOp(PhysOp):
+    kind = "inverse.lu"
+
+
+class TransposeOp(PhysOp):
+    """Explicit transpose materialization — the fallback disk pass the
+    operand flags normally delete."""
+
+    kind = "transpose.materialize"
+
+
+class FusedEpilogueOp(PhysOp):
+    """A product with its elementwise consumers fused in: the epilogue
+    is applied to each output submatrix while memory-resident, so the
+    raw product never reaches disk.
+
+    ``barrier`` is the MatMul/Crossprod logical node; ``matrix_nodes``
+    and ``scalar_nodes`` are the region's extra inputs (their ops are
+    among ``children``).
+    """
+
+    kind = "matmul+epilogue"
+
+    def __init__(self, node: Node, barrier: Node,
+                 matrix_nodes: list[Node], scalar_nodes: list[Node],
+                 **kwargs) -> None:
+        super().__init__(node, **kwargs)
+        self.barrier = barrier
+        self.matrix_nodes = list(matrix_nodes)
+        self.scalar_nodes = list(scalar_nodes)
+
+
+class PhysicalPlan:
+    """A lowered DAG: root operator plus bookkeeping for explain."""
+
+    def __init__(self, logical_root: Node, root: PhysOp,
+                 level: int) -> None:
+        self.logical_root = logical_root
+        self.root = root
+        self.level = level
+        self.executed = False
+
+    # -- traversal -----------------------------------------------------
+    def ops(self):
+        """Yield each distinct operator once, children first."""
+        seen: set[int] = set()
+
+        def visit(op: PhysOp):
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            for c in op.children:
+                yield from visit(c)
+            yield op
+
+        yield from visit(self.root)
+
+    @property
+    def total_predicted(self) -> float:
+        return sum(op.predicted_io for op in self.ops())
+
+    @property
+    def total_measured(self) -> int | None:
+        if not self.executed:
+            return None
+        return sum(op.measured_io or 0 for op in self.ops())
+
+    # -- rendering -----------------------------------------------------
+    def signature(self) -> str:
+        """Compact one-line structural fingerprint for golden tests:
+        operator kinds, details and tree shape — no cost numbers."""
+        seen: set[int] = set()
+
+        def visit(op: PhysOp) -> str:
+            if id(op) in seen and op.children:
+                return f"{op.label()}(shared)"
+            seen.add(id(op))
+            if not op.children:
+                return op.label()
+            inner = ", ".join(visit(c) for c in op.children)
+            return f"{op.label()}({inner})"
+
+        return visit(self.root)
+
+    def render(self) -> str:
+        """Indented operator tree with predicted (and, once executed,
+        measured) block I/O per operator."""
+        lines: list[str] = []
+        seen: set[int] = set()
+
+        def visit(op: PhysOp, indent: int) -> None:
+            pad = "  " * indent
+            label = f"{pad}{op.label()}"
+            if id(op) in seen and op.children:
+                lines.append(f"{label:<44} (shared)")
+                return
+            seen.add(id(op))
+            cost = f"predicted ~{op.predicted_io:.1f} blk"
+            if op.measured_io is not None:
+                cost += f" | measured {op.measured_io} blk"
+            lines.append(f"{label:<44} {cost}")
+            for alt, io in op.alternatives:
+                lines.append(f"{pad}  (rejected: {alt} "
+                             f"~{io:.1f} blk)")
+            for c in op.children:
+                visit(c, indent + 1)
+
+        visit(self.root, 0)
+        total = f"total predicted ~{self.total_predicted:.1f} blk"
+        if self.executed:
+            total += f" | measured {self.total_measured} blk"
+        lines.append(total)
+        return "\n".join(lines)

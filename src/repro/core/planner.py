@@ -1,0 +1,480 @@
+"""Cost-based physical planner: lowers logical DAGs to PhysicalPlans.
+
+Stage 2 of the optimizer.  After the logical pass pipeline has rewritten
+the expression DAG, the planner walks it bottom-up and, per node,
+**enumerates physical alternatives** — kernel choice (Appendix-A square
+tiles vs BNLJ vs SpMM/SpGEMM), matrix-chain order (the Appendix-B DP,
+nnz-weighted when any factor is sparse), and fuse-vs-materialize for
+elementwise epilogues — then picks by the I/O models of
+:mod:`repro.core.costs`.  Rejected alternatives stay on the chosen
+operator for ``session.explain()``.
+
+At optimizer level 1 the same lowering runs but with the old heuristic
+choices (program order, type-driven kernels, fuse-when-legal); at
+level 2 every choice is costed.  Level 0 never reaches the planner —
+the evaluator's expression-tree dispatch is the un-optimized fallback.
+"""
+
+from __future__ import annotations
+
+from .config import OptimizerConfig
+from .costs import (DEFAULT_TILE_SIDE, bnlj_matmul_io,
+                    crossprod_epilogue_io, crossprod_io, gather_io,
+                    inverse_io, matmul_epilogue_io, scatter_io,
+                    solve_op_io, spgemm_io, spmm_io, stream_io,
+                    transpose_materialize_io)
+from .evaluator import collect_barriers, streamable
+from .expr import (ArrayInput, Crossprod, Inverse, Map, MatMul, Node,
+                   Range, Reduce, Scalar, Solve, Subscript,
+                   SubscriptAssign, Transpose, walk)
+from .passes import (build_order, chosen_order, clamped_dense_io,
+                     collect_chain, current_order, matmul_kernel_costs,
+                     sparse_stored, sparse_tile_side)
+from .passes.base import bottom_up
+from .plan import (BnljOp, CrossprodOp, FusedEpilogueOp, GatherOp,
+                   InverseOp, LeafOp, LUSolveOp, MapOp, PhysOp,
+                   PhysicalPlan, RangeOp, ReduceOp, ScalarOp,
+                   ScatterOp, SparseSpGEMMOp, SparseSpMMOp,
+                   TileMatMulOp, TransposeOp)
+
+#: Prefer the Appendix-A schedule unless BNLJ wins decisively: the
+#: models are asymptotic, and at small sizes they agree to within
+#: rounding — a coin-flip switch to a different accumulation order
+#: would buy nothing and cost reproducibility.
+BNLJ_MARGIN = 0.9
+
+
+def classify_epilogue_region(node: Map, is_matrix_input,
+                             memo_ids: frozenset | set = frozenset()):
+    """Classify a matrix Map region for epilogue fusion.
+
+    Returns ``(barriers, matrices, scalars, region_edges)`` — the
+    distinct MatMul/Crossprod barriers, the materialized-matrix leaves,
+    the scalar-valued subtrees, and region-internal parent-edge counts
+    for every node a fused evaluation would *not* memoize (the barriers
+    and interior Maps) — or ``None`` when the region contains anything
+    the per-submatrix epilogue evaluator cannot handle.
+
+    ``is_matrix_input(n)`` decides whether an ndim-2 node counts as a
+    stored-matrix input: the evaluator passes "already memoized or an
+    ArrayInput" (runtime view); the planner passes "anything that is
+    not itself Map/MatMul/Crossprod" (it will schedule those nodes as
+    materialized child operators).
+    """
+    barriers: list[Node] = []
+    matrices: list[Node] = []
+    scalars: list[Node] = []
+    region_edges: dict[int, int] = {}
+    seen: set[int] = set()
+
+    def visit(n: Node) -> bool:
+        if (isinstance(n, (MatMul, Crossprod, Map)) and n.ndim == 2
+                and id(n) not in memo_ids):
+            region_edges[id(n)] = region_edges.get(id(n), 0) + 1
+        if id(n) in seen:
+            return True
+        seen.add(id(n))
+        if n.ndim == 0:
+            scalars.append(n)
+            return True
+        if n.ndim != 2:
+            return False
+        if id(n) in memo_ids or is_matrix_input(n):
+            matrices.append(n)
+            return True
+        if isinstance(n, (MatMul, Crossprod)):
+            barriers.append(n)
+            return True
+        if isinstance(n, Map):
+            return all(visit(c) for c in n.children)
+        return False
+
+    if not all(visit(c) for c in node.children):
+        return None
+    return barriers, matrices, scalars, region_edges
+
+
+def _barrier_fusable(barrier: Node) -> bool:
+    """Can this product run a dense kernel with an epilogue callback?"""
+    if isinstance(barrier, Crossprod):
+        return not sparse_stored(barrier.children[0])
+    if barrier.kernel == "sparse":
+        return False
+    if (barrier.kernel == "auto"
+            and not (barrier.trans_a or barrier.trans_b)
+            and sparse_stored(barrier.children[0])):
+        return False  # SpMM/SpGEMM dispatch wins; no dense fusion
+    return True
+
+
+class Planner:
+    """Lowers a (logically rewritten) DAG to a :class:`PhysicalPlan`."""
+
+    def __init__(self, config: OptimizerConfig,
+                 memory_scalars: int = 8 * 1024 * 1024,
+                 block_scalars: int = 1024) -> None:
+        self.config = config
+        self.memory_scalars = memory_scalars
+        self.block_scalars = block_scalars
+        self._memo: dict[int, PhysOp] = {}
+        self._edges: dict[int, int] = {}
+        #: id(chain head) -> {"order", "cur", "dims"} for every chain
+        #: the prepass reordered; consulted during lowering to
+        #: annotate the head operator with the decision.
+        self._reordered: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, root: Node) -> PhysicalPlan:
+        """Lower ``root``; choices are final once the plan is built."""
+        self._memo = {}
+        self._edges = {}
+        self._reordered = {}
+        if self.config.choice_enabled("chain_reorder"):
+            # Reorder whole chains on the logical DAG *before* any
+            # lowering: epilogue fusion then sees the DP-chosen top
+            # product (as the old monolith's rule order guaranteed),
+            # and every operator references nodes of one consistent
+            # DAG — no mid-lowering substitutions for execution memos
+            # to miss.
+            root = bottom_up(root, self._reorder_rule)
+        for n in walk(root):
+            for c in n.children:
+                self._edges[id(c)] = self._edges.get(id(c), 0) + 1
+        return PhysicalPlan(root, self._lower(root), self.config.level)
+
+    def _reorder_rule(self, node: Node) -> Node:
+        if not isinstance(node, MatMul) or node.trans_a or node.trans_b:
+            return node
+        factors: list[Node] = []
+        collect_chain(node, factors)
+        if len(factors) < 3:
+            return node
+        order, _rule = chosen_order(factors)
+        cur = current_order(node, factors)
+        if order == cur:
+            return node
+        head = build_order(factors, order)
+        self._reordered[id(head)] = {
+            "order": order, "cur": cur,
+            "dims": [factors[0].shape[0]]
+                    + [f.shape[1] for f in factors]}
+        return head
+
+    # ------------------------------------------------------------------
+    def _lower(self, node: Node) -> PhysOp:
+        if id(node) in self._memo:
+            return self._memo[id(node)]
+        op = self._lower_inner(node)
+        self._memo[id(node)] = op
+        return op
+
+    def _lower_inner(self, node: Node) -> PhysOp:
+        blk = self.block_scalars
+        if isinstance(node, ArrayInput):
+            return LeafOp(node)
+        if isinstance(node, Scalar):
+            return ScalarOp(node)
+        if isinstance(node, Range):
+            return RangeOp(node, predicted_io=node.size / blk)
+        if isinstance(node, MatMul):
+            return self._lower_matmul(node)
+        if isinstance(node, Crossprod):
+            return self._lower_crossprod(node)
+        if isinstance(node, Solve):
+            return self._lower_solve(node)
+        if isinstance(node, Inverse):
+            n = node.shape[0]
+            return InverseOp(
+                node, (self._lower(node.children[0]),),
+                predicted_io=inverse_io(n, self.memory_scalars, blk))
+        if isinstance(node, Transpose):
+            rows, cols = node.children[0].shape
+            return TransposeOp(
+                node, (self._lower(node.children[0]),),
+                predicted_io=transpose_materialize_io(rows, cols, blk))
+        if isinstance(node, Subscript):
+            return self._lower_subscript(node)
+        if isinstance(node, SubscriptAssign) and not node.logical_mask:
+            return ScatterOp(
+                node, tuple(self._lower(c) for c in node.children),
+                predicted_io=scatter_io(node.size,
+                                        node.index.size, blk))
+        if isinstance(node, Reduce):
+            return self._lower_reduce(node)
+        if node.ndim == 2 and isinstance(node, Map):
+            return self._lower_matrix_map(node)
+        if node.ndim == 1:
+            return self._lower_stream(node)
+        if node.ndim == 0 and isinstance(node, Map):
+            return MapOp(node,
+                         tuple(self._lower(c) for c in node.children),
+                         detail="scalar")
+        raise NotImplementedError(
+            f"cannot lower node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Streaming regions (vectors) and reductions
+    # ------------------------------------------------------------------
+    def _region_inputs(self, roots: list[Node]
+                       ) -> tuple[list[Node], list[Node], float]:
+        """(barriers, stored leaves, input scalars) of a stream region."""
+        barriers: list[Node] = []
+        seen: set[int] = set()
+        for r in roots:
+            collect_barriers(r, barriers, seen)
+        leaves: list[Node] = []
+        lseen: set[int] = set()
+
+        def gather_leaves(n: Node) -> None:
+            if id(n) in lseen or not streamable(n):
+                return
+            lseen.add(id(n))
+            if isinstance(n, ArrayInput):
+                if hasattr(n.data, "length"):  # TiledVector
+                    leaves.append(n)
+                return
+            for c in n.children:
+                gather_leaves(c)
+
+        for r in roots:
+            gather_leaves(r)
+        input_scalars = (sum(b.size for b in barriers)
+                         + sum(leaf.size for leaf in leaves))
+        return barriers, leaves, input_scalars
+
+    def _lower_stream(self, node: Node) -> MapOp:
+        barriers, leaves, input_scalars = self._region_inputs(
+            list(node.children))
+        children = tuple(self._lower(n) for n in barriers + leaves)
+        return MapOp(node, children,
+                     predicted_io=stream_io(input_scalars, node.size,
+                                            self.block_scalars),
+                     detail="stream")
+
+    def _lower_reduce(self, node: Reduce) -> ReduceOp:
+        child = node.children[0]
+        blk = self.block_scalars
+        if child.ndim == 2:
+            return ReduceOp(node, (self._lower(child),),
+                            predicted_io=child.size / blk)
+        if child.ndim == 0:
+            return ReduceOp(node, (self._lower(child),))
+        barriers, leaves, input_scalars = self._region_inputs([child])
+        children = tuple(self._lower(n) for n in barriers + leaves)
+        return ReduceOp(node, children,
+                        predicted_io=input_scalars / blk)
+
+    def _lower_subscript(self, node: Subscript) -> GatherOp:
+        children: list[PhysOp] = []
+        src, index = node.src, node.index
+        k = node.size
+        if isinstance(src, Range):
+            predicted = 2.0 * k / self.block_scalars
+        else:
+            children.append(self._lower(src))
+            predicted = gather_io(src.size, k, self.block_scalars)
+        if not isinstance(index, Range):
+            children.append(self._lower(index))
+            predicted += index.size / self.block_scalars
+        return GatherOp(node, tuple(children), predicted_io=predicted)
+
+    # ------------------------------------------------------------------
+    # Products: chain order and kernel enumeration
+    # ------------------------------------------------------------------
+    def _lower_matmul(self, node: MatMul) -> PhysOp:
+        op = self._lower_product(node)
+        self._annotate_reordered(op, node)
+        return op
+
+    def _annotate_reordered(self, op: PhysOp, head: Node) -> None:
+        """If ``head`` is a chain head the prepass reordered, record
+        the decision and the rejected program order on its operator."""
+        info = self._reordered.get(id(head))
+        if info is None:
+            return
+        from .chain import order_to_string
+        from .costs import chain_io
+        mem, blk = self.memory_scalars, self.block_scalars
+        program_io = chain_io(
+            info["dims"], info["cur"],
+            lambda m, l, n: clamped_dense_io(m, l, n, mem, blk))
+        op.detail = (op.detail + " " if op.detail else "") + \
+            f"order={order_to_string(info['order'])}"
+        op.alternatives.append(
+            (f"program-order {order_to_string(info['cur'])}",
+             program_io))
+
+    def _lower_product(self, node: MatMul) -> PhysOp:
+        a, b = node.children
+        a_op, b_op = self._lower(a), self._lower(b)
+        mem, blk = self.memory_scalars, self.block_scalars
+        sa = a.shape[::-1] if node.trans_a else a.shape
+        sb = b.shape[::-1] if node.trans_b else b.shape
+        m, k, n = sa[0], sa[1], sb[1]
+        tile_side = sparse_tile_side(a) or DEFAULT_TILE_SIDE
+        both_sparse = sparse_stored(a) and sparse_stored(b)
+
+        def sparse_op(alternatives=()):
+            if both_sparse:
+                return SparseSpGEMMOp(
+                    node, (a_op, b_op),
+                    predicted_io=spgemm_io(m, k, n, a.estimated_nnz,
+                                           b.estimated_nnz, blk,
+                                           tile_side=tile_side),
+                    alternatives=list(alternatives))
+            return SparseSpMMOp(
+                node, (a_op, b_op),
+                predicted_io=spmm_io(m, k, n, a.estimated_nnz, mem,
+                                     blk, tile_side=tile_side),
+                alternatives=list(alternatives))
+
+        if node.kernel == "sparse" and sparse_stored(a):
+            op = sparse_op()
+            op.detail = "pinned"
+            return op
+        # A "sparse" pin on operands that will not be sparse-stored
+        # falls through to dense lowering — the same graceful
+        # type-driven behaviour the evaluator's dispatch always had
+        # (there is no sparse kernel to run without a sparse operand).
+
+        dense_square = clamped_dense_io(m, k, n, mem, blk)
+        flags = []
+        if node.trans_a:
+            flags.append("t(a)")
+        if node.trans_b:
+            flags.append("t(b)")
+        detail = ",".join(flags)
+
+        def dense_op():
+            alternatives = []
+            if self.config.choice_enabled("kernel_select"):
+                bnlj = bnlj_matmul_io(m, k, n, mem, blk)
+                if bnlj < BNLJ_MARGIN * dense_square:
+                    return BnljOp(
+                        node, (a_op, b_op), predicted_io=bnlj,
+                        detail=detail,
+                        alternatives=[("square-tile", dense_square)])
+                alternatives.append(("bnlj", bnlj))
+            return TileMatMulOp(node, (a_op, b_op),
+                                predicted_io=dense_square,
+                                detail=detail,
+                                alternatives=alternatives)
+
+        if node.kernel == "dense":
+            op = dense_op()
+            op.detail = (op.detail + "," if op.detail else "") + \
+                "pinned"
+            return op
+
+        # kernel == "auto"
+        costs = matmul_kernel_costs(node, mem, blk)
+        if costs is not None and \
+                self.config.choice_enabled("kernel_select"):
+            if costs["sparse"] < costs["dense"]:
+                return sparse_op(
+                    alternatives=[("dense square-tile",
+                                   costs["dense"])])
+            op = dense_op()
+            op.alternatives.append(
+                ("sparse " + ("spgemm" if both_sparse else "spmm"),
+                 costs["sparse"]))
+            op.detail = (op.detail + "," if op.detail else "") + \
+                "densified"
+            return op
+        if costs is not None:
+            # Heuristic levels keep the evaluator's type dispatch:
+            # a sparse-stored left operand runs the sparse kernel.
+            return sparse_op()
+        return dense_op()
+
+    def _lower_crossprod(self, node: Crossprod) -> CrossprodOp:
+        a = node.children[0]
+        inner, k = a.shape if node.t_first else a.shape[::-1]
+        return CrossprodOp(
+            node, (self._lower(a),),
+            predicted_io=crossprod_io(inner, k, self.memory_scalars,
+                                      self.block_scalars),
+            detail="" if node.t_first else "tcrossprod")
+
+    def _lower_solve(self, node: Solve) -> LUSolveOp:
+        a, b = node.children
+        n = a.shape[0]
+        nrhs = 1 if node.ndim == 1 else node.shape[1]
+        return LUSolveOp(
+            node, (self._lower(a), self._lower(b)),
+            predicted_io=solve_op_io(n, nrhs, self.memory_scalars,
+                                     self.block_scalars),
+            detail=f"nrhs={nrhs}")
+
+    # ------------------------------------------------------------------
+    # Matrix elementwise regions: fuse-vs-materialize
+    # ------------------------------------------------------------------
+    def _lower_matrix_map(self, node: Map) -> PhysOp:
+        if self.config.fusion_enabled:
+            fused = self._try_fused(node)
+            if fused is not None:
+                return fused
+        children = tuple(self._lower(c) for c in node.children)
+        inputs = sum(c.size for c in node.children if c.ndim == 2)
+        return MapOp(node, children,
+                     predicted_io=stream_io(inputs, node.size,
+                                            self.block_scalars),
+                     detail="tile")
+
+    def _try_fused(self, node: Map) -> FusedEpilogueOp | None:
+        region = classify_epilogue_region(
+            node,
+            lambda n: not isinstance(n, (Map, MatMul, Crossprod)))
+        if region is None:
+            return None
+        barriers, matrices, scalars, region_edges = region
+        if len(barriers) != 1:
+            return None
+        barrier = barriers[0]
+        if barrier.shape != node.shape:
+            return None
+        if not _barrier_fusable(barrier):
+            return None
+        if any(mat.shape != node.shape for mat in matrices):
+            return None
+        for nid, edges in region_edges.items():
+            if edges < self._edges.get(nid, 0):
+                # The product — or an interior Map on the way to it —
+                # has consumers outside this region; fusing (which
+                # memoizes neither) would make them recompute it.
+                return None
+        mem, blk = self.memory_scalars, self.block_scalars
+        extra = len(matrices)
+        if isinstance(barrier, Crossprod):
+            a = barrier.children[0]
+            inner, k = (a.shape if barrier.t_first
+                        else a.shape[::-1])
+            fused_io = crossprod_epilogue_io(inner, k, extra, mem,
+                                             blk, fused=True)
+            unfused_io = crossprod_epilogue_io(inner, k, extra, mem,
+                                               blk, fused=False)
+            operand_ops = (self._lower(a),)
+        else:
+            a, b = barrier.children
+            sa = a.shape[::-1] if barrier.trans_a else a.shape
+            sb = b.shape[::-1] if barrier.trans_b else b.shape
+            m, l, n = sa[0], sa[1], sb[1]
+            fused_io = matmul_epilogue_io(m, l, n, extra, mem, blk,
+                                          fused=True)
+            unfused_io = matmul_epilogue_io(m, l, n, extra, mem, blk,
+                                            fused=False)
+            operand_ops = (self._lower(a), self._lower(b))
+        if self.config.level >= 2 and fused_io >= unfused_io:
+            return None  # enumerated, and materializing won
+        children = (operand_ops
+                    + tuple(self._lower(mat) for mat in matrices)
+                    + tuple(self._lower(s) for s in scalars))
+        op = FusedEpilogueOp(
+            node, barrier, matrices, scalars, children=children,
+            predicted_io=fused_io,
+            detail=barrier.label(),
+            alternatives=[("materialize+map", unfused_io)])
+        # A fused barrier that heads a reordered chain keeps the chain
+        # decision visible on the fused operator.
+        self._annotate_reordered(op, barrier)
+        return op

@@ -1,57 +1,34 @@
-"""Database-style rewrite rules over expression DAGs (§5, Figure 2).
+"""Deprecated: the monolithic ``Rewriter`` — now a thin shim.
 
-The optimizer applies transformation rules until fixpoint:
+The single 447-line rule loop this module used to hold became the
+two-stage optimizer: logical rewriting lives in :mod:`repro.core.passes`
+(fold, CSE, subscript pushdown, transpose absorption, inv-to-solve as
+independent, ordered, individually-testable passes) and the physical
+choices — kernel selection, chain order, fuse-vs-materialize — moved
+into the cost-based :mod:`repro.core.planner`.
 
-1. **Subscript pushdown through elementwise maps** — ``f(x, y)[s]``
-   becomes ``f(x[s], y[s])``: only the selected elements are ever computed.
-2. **Subscript pushdown through deferred modification** — the Figure-2
-   headline: ``(b with b[mask] <- v)[s]`` becomes
-   ``ifelse(mask[s], v, b[s])``, so "modifications to b (as well as tests of
-   whether an element of b should be modified) only need to be executed on
-   10 elements".
-3. **Subscript of a range** is index arithmetic, no data access at all.
-4. **Subscript composition** — ``x[i][j]`` becomes ``x[i[j]]``.
-5. **Constant folding** over scalar subtrees.
-6. **Common-subexpression elimination** by structural hashing (the two
-   ``sqrt`` terms of Example 1 share their ``x`` and ``y`` scans).
-7. **Matrix-chain reordering** — chains of ``%*%`` are re-parenthesized by
-   the dynamic program of Appendix B (see :mod:`repro.core.chain`).  When
-   any factor carries an estimated density below 1, the nnz-weighted DP
-   (:func:`repro.core.chain.optimal_order_sparse`) replaces the dense
-   flop count, so e.g. a sparse-sparse-vector chain collapses the cheap
-   sparse product first.
-8. **Sparse/dense kernel selection** — every ``%*%`` with a sparse-
-   estimated operand is annotated with the cheaper execution kernel by
-   comparing the nnz-parameterized ``spmm_io`` model against the dense
-   Appendix-A ``square_tile_matmul_io`` model.
-9. **Inverse elimination** — ``inv(A) %*% B`` becomes ``solve(A, B)``:
-   one pivoted factorization plus substitution instead of materializing
-   the n x n inverse and multiplying through it.
-10. **Transpose elimination** — transposes become *operand flags*, not
-    disk passes: ``t(t(A)) -> A``; ``t(A %*% B) -> MatMul(B, A, flags)``
-    (pushed through the product instead of materializing it);
-    ``t(A) %*% B -> MatMul(A, B, trans_a=True)`` (the flag reads A in
-    stored layout, transposing tiles in memory); and the symmetric
-    patterns ``t(A) %*% A`` / ``A %*% t(A)`` become :class:`Crossprod`,
-    whose kernel computes only the upper-triangular output blocks.
+``Rewriter`` is kept for one release so existing code and tests keep
+working: it runs the logical pipeline *plus* the legacy chain-reorder
+and kernel-select passes on the logical DAG, reproducing the old
+monolith's observable behaviour (including the ``applied`` rule log).
+New code should configure a session with
+:class:`~repro.core.config.OptimizerConfig` and inspect plans with
+``session.explain()`` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 
-from . import chain as chain_mod
-from .costs import spgemm_io, spmm_io, square_tile_matmul_io
-from .expr import (ArrayInput, BINARY_OPS, Crossprod, Inverse, Map,
-                   MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
-                   SubscriptAssign, Transpose, UNARY_OPS, walk)
-
-#: Densities at or above this are treated as dense (estimates are fuzzy;
-#: a 99.9%-full matrix gains nothing from CSR tiles).
-DENSE_THRESHOLD = 0.999
+from .config import OptimizerConfig
+from .expr import Node
+from .passes import (PassContext, build_pipeline, canon_key,
+                     dag_signature)
+from .passes.sparsity import DENSE_THRESHOLD  # noqa: F401  (re-export)
 
 
 class Rewriter:
-    """Applies rewrite rules bottom-up until fixpoint.
+    """Deprecated facade over the logical pass pipeline.
 
     ``memory_scalars`` and ``block_scalars`` parameterize the I/O cost
     models used by chain reordering and kernel selection; sessions pass
@@ -68,7 +45,15 @@ class Rewriter:
                  enable_transpose_rewrite: bool = True,
                  max_passes: int = 10,
                  memory_scalars: int = 8 * 1024 * 1024,
-                 block_scalars: int = 1024) -> None:
+                 block_scalars: int = 1024,
+                 _quiet: bool = False) -> None:
+        if not _quiet:
+            warnings.warn(
+                "Rewriter is deprecated: configure a RiotSession with "
+                "OptimizerConfig (core.config) and inspect plans with "
+                "session.explain(); the rule families live on as "
+                "repro.core.passes + repro.core.planner",
+                DeprecationWarning, stacklevel=2)
         self.enable_pushdown = enable_pushdown
         self.enable_chain_reorder = enable_chain_reorder
         self.enable_cse = enable_cse
@@ -81,367 +66,59 @@ class Rewriter:
         self.block_scalars = block_scalars
         self.applied: list[str] = []
 
+    @classmethod
+    def _from_config(cls, config: OptimizerConfig,
+                     memory_scalars: int,
+                     block_scalars: int) -> "Rewriter":
+        """Internal constructor (no deprecation noise) used by
+        RiotSession for the legacy ``session.optimize()`` path."""
+        return cls(
+            enable_pushdown=config.pass_enabled("pushdown"),
+            enable_chain_reorder=config.choice_enabled("chain_reorder"),
+            enable_cse=config.pass_enabled("cse"),
+            enable_fold=config.pass_enabled("fold"),
+            enable_kernel_select=config.choice_enabled("kernel_select"),
+            enable_solve_rewrite=config.pass_enabled("solve_rewrite"),
+            enable_transpose_rewrite=config.pass_enabled("transpose"),
+            max_passes=config.max_passes,
+            memory_scalars=memory_scalars,
+            block_scalars=block_scalars,
+            _quiet=True)
+
     # ------------------------------------------------------------------
     def optimize(self, root: Node) -> Node:
-        """Rewrite ``root`` and return the optimized DAG."""
-        self.applied = []
-        node = root
-        for _ in range(self.max_passes):
-            before = self._signature(node)
-            node = self._rewrite(node, {})
-            if self.enable_cse:
-                node = self._cse(node)
-            if self._signature(node) == before:
-                break
+        """Rewrite ``root`` and return the optimized DAG.
+
+        Flags are read at call time, so mutating ``enable_*`` between
+        calls keeps working like it did on the monolith.
+        """
+        config = OptimizerConfig.from_legacy_flags(
+            enable_pushdown=self.enable_pushdown,
+            enable_chain_reorder=self.enable_chain_reorder,
+            enable_cse=self.enable_cse,
+            enable_fold=self.enable_fold,
+            enable_kernel_select=self.enable_kernel_select,
+            enable_solve_rewrite=self.enable_solve_rewrite,
+            enable_transpose_rewrite=self.enable_transpose_rewrite,
+            max_passes=self.max_passes)
+        ctx = PassContext(memory_scalars=self.memory_scalars,
+                          block_scalars=self.block_scalars)
+        node = build_pipeline(config, legacy=True).run(root, ctx)
+        self.applied = ctx.applied
         return node
 
+    # Both identity helpers now come from one source of truth
+    # (core.passes.signatures), so CSE keys and fixpoint signatures can
+    # never disagree about kernel hints or operand flags again.
     @staticmethod
     def _signature(node: Node) -> tuple:
-        sig = []
-        ids: dict[int, int] = {}
-        for n in walk(node):
-            ids[id(n)] = len(ids)
-            sig.append((type(n).__name__, getattr(n, "op", None),
-                        getattr(n, "kernel", None),
-                        getattr(n, "trans_a", None),
-                        getattr(n, "trans_b", None),
-                        tuple(ids[id(c)] for c in n.children)))
-        return tuple(sig)
-
-    # ------------------------------------------------------------------
-    def _rewrite(self, node: Node, memo: dict[int, Node]) -> Node:
-        if id(node) in memo:
-            return memo[id(node)]
-        children = tuple(self._rewrite(c, memo) for c in node.children)
-        if children != node.children:
-            node = node.with_children(children)
-        node = self._apply_rules(node)
-        memo[id(node)] = node
-        return node
-
-    def _apply_rules(self, node: Node) -> Node:
-        if self.enable_fold:
-            folded = self._fold_constants(node)
-            if folded is not node:
-                self.applied.append("constant-fold")
-                return folded
-        if self.enable_pushdown and isinstance(node, Subscript):
-            pushed = self._push_subscript(node)
-            if pushed is not node:
-                return self._apply_rules(pushed)
-        if self.enable_solve_rewrite and isinstance(node, MatMul):
-            solved = self._inv_to_solve(node)
-            if solved is not node:
-                return self._apply_rules(solved)
-        if self.enable_transpose_rewrite and isinstance(node, Transpose):
-            pushed = self._push_transpose(node)
-            if pushed is not node:
-                return self._apply_rules(pushed)
-        if self.enable_chain_reorder and isinstance(node, MatMul):
-            reordered = self._reorder_chain(node)
-            if reordered is not node:
-                return reordered
-        if self.enable_transpose_rewrite and isinstance(node, MatMul):
-            absorbed = self._absorb_transpose(node)
-            if absorbed is not node:
-                return self._apply_rules(absorbed)
-        if self.enable_kernel_select and isinstance(node, MatMul):
-            selected = self._select_kernel(node)
-            if selected is not node:
-                return selected
-        return node
-
-    # -- rule: constant folding -----------------------------------------
-    def _fold_constants(self, node: Node) -> Node:
-        if isinstance(node, Map) and all(
-                isinstance(c, Scalar) for c in node.children):
-            from .expr import TERNARY_OPS
-            fns = {**UNARY_OPS, **BINARY_OPS, **TERNARY_OPS}
-            value = fns[node.op](*(c.value for c in node.children))
-            return Scalar(float(value))
-        return node
-
-    # -- rule: subscript pushdown -----------------------------------------
-    def _push_subscript(self, node: Subscript) -> Node:
-        src, index = node.src, node.index
-        if isinstance(src, Map):
-            self.applied.append(f"pushdown-map:{src.op}")
-            new_children = []
-            for c in src.children:
-                if c.shape == ():
-                    new_children.append(c)
-                else:
-                    new_children.append(Subscript(c, index))
-            return Map(src.op, *new_children)
-        if isinstance(src, SubscriptAssign) and src.logical_mask:
-            # Figure 2(a) -> 2(b): selection pushed through []<-.
-            self.applied.append("pushdown-assign")
-            mask_sel = Subscript(src.index, index)
-            base_sel = Subscript(src.base, index)
-            value = src.value
-            if value.shape != ():
-                value = Subscript(value, index)
-            return Map("ifelse", mask_sel, value, base_sel)
-        if isinstance(src, Range):
-            self.applied.append("pushdown-range")
-            if src.lo == 1:
-                return index
-            return Map("+", index, Scalar(src.lo - 1))
-        if isinstance(src, Subscript):
-            self.applied.append("pushdown-compose")
-            return Subscript(src.src, Subscript(src.index, index))
-        return node
-
-    # -- rule: inv(A) %*% B  ->  solve(A, B) ---------------------------------
-    def _inv_to_solve(self, node: MatMul) -> Node:
-        """Replace a multiply by an explicit inverse with a Solve node.
-
-        ``inv(A) %*% B`` and ``solve(A, B)`` are algebraically equal,
-        but the solve plan factors A once and substitutes, while the
-        inverse plan additionally materializes the n x n inverse and
-        runs a full out-of-core multiply — strictly more I/O
-        (:func:`repro.core.costs.inverse_io` vs ``lu_io + solve_io``).
-        The classic array-algebra rewrite a SQL host cannot express.
-        """
-        a, b = node.children
-        if isinstance(a, Inverse):
-            self.applied.append("inv-to-solve")
-            return Solve(a.children[0], b)
-        return node
-
-    # -- rule: transpose elimination ----------------------------------------
-    def _push_transpose(self, node: Transpose) -> Node:
-        """Eliminate a Transpose by algebra instead of a disk pass.
-
-        ``t(t(A))`` cancels; ``t`` of a symmetric :class:`Crossprod`
-        is the identity; ``t(A %*% B)`` swaps the operands and flips
-        their flags (``(AB)^T = B^T A^T``), pushing the transpose into
-        the product where it is free.  A transpose of a *stored* leaf
-        (or of a sparse plan) is left alone — the evaluator's explicit
-        materialization remains the fallback for forcing a bare ``t(A)``.
-        """
-        child = node.children[0]
-        if isinstance(child, Transpose):
-            self.applied.append("transpose-cancel")
-            return child.children[0]
-        if isinstance(child, Crossprod):
-            self.applied.append("transpose-symmetric")
-            return child
-        if isinstance(child, MatMul) and child.kernel != "sparse":
-            a, b = child.children
-            if self._sparse_stored(a) or self._sparse_stored(b):
-                return node
-            self.applied.append("transpose-push-matmul")
-            return MatMul(b, a, kernel=child.kernel,
-                          trans_a=not child.trans_b,
-                          trans_b=not child.trans_a)
-        return node
-
-    def _absorb_transpose(self, node: MatMul) -> Node:
-        """Fold Transpose children into operand flags, then recognize
-        the symmetric patterns.
-
-        ``t(A) %*% B`` becomes ``MatMul(A, B, trans_a=True)`` — A's
-        tiles are read in stored layout and transposed in memory, so
-        the transposed copy never exists on disk.  When both operands
-        are the *same* node and exactly one flag is set, the product is
-        symmetric and becomes :class:`Crossprod`.  Sparse-stored
-        operands keep their Transpose (the sparse kernels have no
-        flagged variants; densify-then-transpose stays the fallback).
-        """
-        a, b = node.children
-        ta, tb = node.trans_a, node.trans_b
-        changed = False
-        if isinstance(a, Transpose) and \
-                not self._sparse_stored(a.children[0]):
-            a, ta, changed = a.children[0], not ta, True
-        if isinstance(b, Transpose) and \
-                not self._sparse_stored(b.children[0]):
-            b, tb, changed = b.children[0], not tb, True
-        if changed:
-            self.applied.append("transpose-absorb")
-            return MatMul(a, b, kernel=node.kernel,
-                          trans_a=ta, trans_b=tb)
-        if a is b and ta != tb and not self._sparse_stored(a):
-            self.applied.append("crossprod")
-            return Crossprod(a, t_first=ta)
-        return node
-
-    # -- rule: matrix chain reordering ---------------------------------------
-    def _collect_chain(self, node: Node, factors: list[Node]) -> None:
-        # A flagged MatMul is opaque to reordering (its operands are
-        # not chain factors of the outer product) — treat it as a leaf.
-        if isinstance(node, MatMul) and not (node.trans_a or
-                                             node.trans_b):
-            self._collect_chain(node.children[0], factors)
-            self._collect_chain(node.children[1], factors)
-        else:
-            factors.append(node)
-
-    def _reorder_chain(self, node: MatMul) -> Node:
-        if node.trans_a or node.trans_b:
-            return node
-        factors: list[Node] = []
-        self._collect_chain(node, factors)
-        if len(factors) < 3:
-            return node
-        dims = [factors[0].shape[0]] + [f.shape[1] for f in factors]
-        densities = [f.density for f in factors]
-        if min(densities) < DENSE_THRESHOLD:
-            order = chain_mod.optimal_order_sparse(dims, densities)
-            rule = "chain-reorder-sparse"
-        else:
-            order = chain_mod.optimal_order(dims)
-            rule = "chain-reorder"
-        current = self._signature_order(node, factors)
-        if order == current:
-            return node
-        self.applied.append(rule)
-        return self._build_order(factors, order)
-
-    # -- rule: sparse/dense kernel selection -------------------------------
-    def _sparse_stored(self, node: Node) -> bool:
-        """Will forcing this node yield a *sparse-stored* matrix?
-
-        Estimated density and storage format are different things: a
-        SpMM result is dense-stored however sparse its values.  Sparse
-        storage arises from a sparse ArrayInput or from a SpGEMM
-        (sparse x sparse ``%*%`` not forced dense).  Kernel selection
-        runs bottom-up, so child MatMuls are already annotated here.
-        """
-        if isinstance(node, ArrayInput):
-            return hasattr(node.data, "tile_nnz")
-        if isinstance(node, MatMul) and node.kernel != "dense":
-            return (self._sparse_stored(node.children[0])
-                    and self._sparse_stored(node.children[1]))
-        return False
-
-    def _sparse_tile_side(self, node: Node) -> int | None:
-        """Tile side the forced sparse matrix will actually have.
-
-        A SpGEMM result inherits its row-tile side from the left
-        factor, so recursing left reaches the stored leaf.
-        """
-        if isinstance(node, ArrayInput):
-            tile_shape = getattr(node.data, "tile_shape", None)
-            return tile_shape[0] if tile_shape else None
-        if isinstance(node, MatMul):
-            return self._sparse_tile_side(node.children[0])
-        return None
-
-    def _select_kernel(self, node: MatMul) -> Node:
-        """Annotate a ``%*%`` with the cost-model-cheaper kernel.
-
-        Only fires when an operand will be sparse-stored: the matching
-        nnz-parameterized model (``spgemm_io`` for sparse x sparse,
-        ``spmm_io`` for sparse x dense, each fed the operands'
-        estimated nnz) is compared against the dense Appendix-A model
-        at this rewriter's memory/block setting, and the verdict is
-        recorded on the node for the evaluator.
-        """
-        if node.kernel != "auto":
-            return node
-        if node.trans_a or node.trans_b:
-            # Flags imply dense execution (tiles transposed in memory);
-            # the sparse kernels have no flagged variants.
-            return node
-        a, b = node.children
-        a_sp = self._sparse_stored(a)
-        b_sp = self._sparse_stored(b)
-        if not a_sp:
-            # No dense x sparse kernel exists; the evaluator densifies
-            # the right operand either way, so leave the node alone.
-            return node
-        m, k = a.shape
-        n = b.shape[1]
-        from .costs import DEFAULT_TILE_SIDE
-        tile_side = self._sparse_tile_side(a) or DEFAULT_TILE_SIDE
-        if b_sp:
-            sparse_cost = spgemm_io(m, k, n, a.estimated_nnz,
-                                    b.estimated_nnz, self.block_scalars,
-                                    tile_side=tile_side)
-        else:
-            sparse_cost = spmm_io(m, k, n, a.estimated_nnz,
-                                  self.memory_scalars,
-                                  self.block_scalars,
-                                  tile_side=tile_side)
-        # The Appendix-A formula is asymptotic; at small sizes it drops
-        # below the trivial floor of reading both operands and writing
-        # the result once, so clamp it there before comparing.
-        dense_cost = max(
-            square_tile_matmul_io(m, k, n, self.memory_scalars,
-                                  self.block_scalars),
-            (m * k + k * n + m * n) / self.block_scalars)
-        kernel = "sparse" if sparse_cost < dense_cost else "dense"
-        self.applied.append(f"kernel-select:{kernel}")
-        return MatMul(a, b, kernel=kernel)
-
-    def _signature_order(self, node: Node, factors: list[Node]):
-        index_of = {id(f): i for i, f in enumerate(factors)}
-
-        def build(n: Node):
-            if isinstance(n, MatMul) and id(n) not in index_of:
-                return (build(n.children[0]), build(n.children[1]))
-            return index_of[id(n)]
-        return build(node)
-
-    def _build_order(self, factors: list[Node], order) -> Node:
-        if isinstance(order, int):
-            return factors[order]
-        left = self._build_order(factors, order[0])
-        right = self._build_order(factors, order[1])
-        return MatMul(left, right)
-
-    # -- rule: common subexpression elimination -----------------------------
-    def _cse(self, root: Node) -> Node:
-        canon: dict[tuple, Node] = {}
-        mapping: dict[int, Node] = {}
-
-        def visit(node: Node) -> Node:
-            if id(node) in mapping:
-                return mapping[id(node)]
-            children = tuple(visit(c) for c in node.children)
-            if children != node.children:
-                node2 = node.with_children(children)
-            else:
-                node2 = node
-            key = self._canon_key(node2)
-            if key in canon:
-                result = canon[key]
-                if result is not node2:
-                    self.applied.append("cse")
-            else:
-                canon[key] = node2
-                result = node2
-            mapping[id(node)] = result
-            return result
-
-        return visit(root)
+        return dag_signature(node)
 
     @staticmethod
     def _canon_key(node: Node) -> tuple:
-        base: tuple
-        if isinstance(node, ArrayInput):
-            base = ("ArrayInput", id(node.data))
-        elif isinstance(node, Scalar):
-            base = ("Scalar", node.value)
-        elif isinstance(node, Range):
-            base = ("Range", node.lo, node.hi)
-        elif isinstance(node, Map):
-            base = ("Map", node.op)
-        elif isinstance(node, Reduce):
-            base = ("Reduce", node.op)
-        elif isinstance(node, SubscriptAssign):
-            base = ("SubscriptAssign", node.logical_mask)
-        elif isinstance(node, MatMul):
-            base = ("MatMul", node.kernel, node.trans_a, node.trans_b)
-        elif isinstance(node, Crossprod):
-            base = ("Crossprod", node.t_first)
-        else:
-            base = (type(node).__name__,)
-        return base + tuple(id(c) for c in node.children)
+        return canon_key(node)
 
 
 def optimize(root: Node, **kwargs) -> Node:
     """One-shot convenience: rewrite a DAG with default settings."""
-    return Rewriter(**kwargs).optimize(root)
+    return Rewriter(_quiet=True, **kwargs).optimize(root)

@@ -1,10 +1,19 @@
 """RiotSession: the public entry point to next-generation RIOT.
 
 A session owns the tile store (with its memory-capped buffer pool), the
-rewriter, the evaluator, and a cache of materialized results for named
+two-stage optimizer (logical pass pipeline + cost-based physical
+planner), the evaluator, and a cache of materialized results for named
 objects (§5's materialization policy: deferred evaluation needs selective
 materialization "otherwise RIOT may have to repeat the same computation
 across multiple complex expression DAGs").
+
+``force()`` runs the pipeline, lowers the logical DAG to a
+:class:`~repro.core.plan.PhysicalPlan` and executes it; at optimizer
+level 0 the evaluator's expression-tree dispatch runs the DAG as
+written instead (the un-optimized fallback every ablation benchmark
+measures against).  ``explain()`` renders the chosen plan with each
+operator's predicted block I/O — and, once forced, the measured blocks
+next to it.
 """
 
 from __future__ import annotations
@@ -14,9 +23,13 @@ import numpy as np
 from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
 
 from .arrays import RiotMatrix, RiotVector
+from .config import OptimizerConfig
 from .evaluator import Evaluator
 from .expr import ArrayInput, Crossprod, Inverse, MatMul, Node, Range, \
     Solve
+from .passes import PassContext, build_pipeline
+from .plan import PhysicalPlan
+from .planner import Planner
 from .rewrite import Rewriter
 
 
@@ -26,26 +39,35 @@ class RiotSession:
     def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  optimize: bool = True,
-                 policy: str = "lru") -> None:
+                 policy: str = "lru",
+                 config: OptimizerConfig | None = None) -> None:
         self.store = ArrayStore(memory_bytes=memory_bytes,
                                 block_size=block_size, policy=policy)
-        cost_env = {"memory_scalars": memory_bytes // 8,
-                    "block_scalars": block_size // 8}
-        self.rewriter = Rewriter(**cost_env) if optimize else Rewriter(
-            enable_pushdown=False, enable_chain_reorder=False,
-            enable_cse=False, enable_fold=False,
-            enable_kernel_select=False, enable_solve_rewrite=False,
-            enable_transpose_rewrite=False,
-            **cost_env)
-        self.optimize_enabled = optimize
+        self.config = config if config is not None else \
+            OptimizerConfig(level=2 if optimize else 0)
+        self.optimize_enabled = self.config.level > 0
+        self._memory_scalars = memory_bytes // 8
+        self._block_scalars = block_size // 8
+        # Legacy facade for session.optimize(); force() goes through
+        # the pass pipeline + planner instead.
+        self.rewriter = Rewriter._from_config(
+            self.config, memory_scalars=self._memory_scalars,
+            block_scalars=self._block_scalars)
+        self.pipeline = build_pipeline(self.config)
+        self.planner = Planner(self.config,
+                               memory_scalars=self._memory_scalars,
+                               block_scalars=self._block_scalars)
         self.evaluator = Evaluator(
             self.store,
-            memory_scalars=memory_bytes // 8,
-            fuse_epilogues=optimize)
+            memory_scalars=self._memory_scalars,
+            fuse_epilogues=self.config.fusion_enabled)
         # id -> (node, result).  The node rides along to pin its id:
         # a dict keyed on id() alone would hand a *new* DAG node that
         # recycled a collected node's address someone else's result.
         self._materialized: dict[int, tuple[Node, object]] = {}
+        # id -> (node, plan): explain() and force() share one plan per
+        # root, so measured I/O lands on the object explain() renders.
+        self._plans: dict[int, tuple[Node, PhysicalPlan]] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -144,7 +166,33 @@ class RiotSession:
     # Evaluation
     # ------------------------------------------------------------------
     def optimize(self, node: Node) -> Node:
+        """Legacy logical rewrite (deprecated Rewriter view).
+
+        Chain order and kernel hints show up on the returned DAG, as
+        the old monolithic rewriter produced them.  ``force()`` no
+        longer consumes this: it runs the pass pipeline and makes the
+        physical choices in the cost-based planner — use ``plan()`` /
+        ``explain()`` to see those.
+        """
         return self.rewriter.optimize(node)
+
+    def plan(self, obj) -> PhysicalPlan:
+        """The physical plan ``force()`` will (or did) execute.
+
+        Plans are cached per root node, so calling ``explain`` before
+        and after a ``force`` shows the same operator tree — first
+        with predictions only, then with measured blocks next to them.
+        """
+        node = obj.node if hasattr(obj, "node") else obj
+        cached = self._plans.get(id(node))
+        if cached is not None and cached[0] is node:
+            return cached[1]
+        ctx = PassContext(memory_scalars=self._memory_scalars,
+                          block_scalars=self._block_scalars)
+        logical = self.pipeline.run(node, ctx)
+        plan = self.planner.plan(logical)
+        self._plans[id(node)] = (node, plan)
+        return plan
 
     def force(self, obj):
         """Evaluate a handle's DAG; returns the stored array or scalar.
@@ -157,9 +205,10 @@ class RiotSession:
         cached = self._materialized.get(id(node))
         if cached is not None and cached[0] is node:
             return cached[1]
-        optimized = self.optimize(node)
-        memo: dict[int, object] = {}
-        result = self.evaluator.force(optimized, memo)
+        if self.config.plans:
+            result = self.evaluator.execute(self.plan(node))
+        else:
+            result = self.evaluator.force(node, {})
         self._materialized[id(node)] = (node, result)
         return result
 
@@ -181,9 +230,24 @@ class RiotSession:
         self.store.reset_stats()
 
     def explain(self, obj) -> str:
-        """Render the DAG before and after optimization (Figure 2 view)."""
+        """Render the optimizer's view of a DAG (Figure 2, upgraded).
+
+        Three sections: the DAG as written, the logically rewritten
+        DAG, and — at optimizer level >= 1 — the chosen physical plan
+        with per-operator predicted block I/O (plus measured blocks
+        once the handle has been forced) and the enumerated
+        alternatives each choice beat.
+        """
         from .expr import render
         node = obj.node if hasattr(obj, "node") else obj
-        optimized = self.optimize(node)
+        if not self.config.plans:
+            return ("-- original --\n" + render(node)
+                    + "\n-- optimized --\n" + render(node)
+                    + "\n-- physical plan --\n"
+                    + "(optimizer level 0: expression-tree dispatch, "
+                    "no plan)")
+        plan = self.plan(node)
         return ("-- original --\n" + render(node)
-                + "\n-- optimized --\n" + render(optimized))
+                + "\n-- optimized --\n" + render(plan.logical_root)
+                + f"\n-- physical plan (level {plan.level}) --\n"
+                + plan.render())

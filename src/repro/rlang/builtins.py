@@ -313,6 +313,24 @@ def _builtin_crossprod(interp, args, kwargs):
     return interp.generics.dispatch("%*%", tx, y)
 
 
+def _builtin_explain(interp, args, kwargs):
+    """RIOT's ``explain(x)``: print the optimizer's view of a deferred
+    object — the DAG as written, the logically rewritten DAG, and the
+    chosen physical plan with per-operator predicted (and, once
+    forced, measured) block I/O.
+
+    Only engines that defer computation register the generic; eager
+    engines have no plan to show and raise.
+    """
+    (x,) = args
+    if interp.generics.lookup("explain", (type(x),)):
+        text = interp.generics.dispatch("explain", x)
+        interp.emit(text)
+        return x
+    raise RError(
+        "explain() is only available on deferred-DAG engines")
+
+
 def _builtin_tcrossprod(interp, args, kwargs):
     """R's ``tcrossprod(x[, y])`` = ``x %*% t(y)`` (transpose-free on
     engines that register the generic, like ``crossprod``)."""
@@ -360,4 +378,5 @@ BUILTINS = {
     "solve": _builtin_solve,
     "crossprod": _builtin_crossprod,
     "tcrossprod": _builtin_tcrossprod,
+    "explain": _builtin_explain,
 }

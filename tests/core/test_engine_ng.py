@@ -174,3 +174,53 @@ class TestSessionCaching:
         text = ((x + 1.0)[1:5]).explain()
         assert "-- original --" in text
         assert "-- optimized --" in text
+
+
+class TestExplainBuiltin:
+    def test_rlang_explain_emits_physical_plan(self, engine, interp):
+        interp.run("a <- matrix(rnorm(64 * 48), 64, 48)\n"
+                   "b <- matrix(rnorm(48 * 32), 48, 32)\n"
+                   "p <- a %*% b\n"
+                   "explain(p)")
+        text = interp.output[-1]
+        assert "-- physical plan (level 2) --" in text
+        assert "matmul.square" in text
+        assert "predicted ~" in text
+
+    def test_rlang_explain_transpose_free_ols(self, engine, interp):
+        """The acceptance view from R: crossprod and the operand flag
+        appear in the plan without any user hints."""
+        interp.run("x <- matrix(rnorm(96 * 24), 96, 24)\n"
+                   "y <- matrix(rnorm(96 * 1), 96, 1)\n"
+                   "beta <- solve(t(x) %*% x, t(x) %*% y)\n"
+                   "explain(beta)")
+        text = interp.output[-1]
+        assert "solve.lu" in text
+        assert "crossprod" in text
+        assert "matmul.square[t(a)]" in text
+
+    def test_reference_engine_has_no_plan(self):
+        from repro.engines.plain_r import PlainREngine
+        from repro.rlang import Interpreter
+        from repro.rlang.values import RError
+        interp = Interpreter(PlainREngine(), seed=1)
+        with pytest.raises(RError):
+            interp.run("x <- matrix(rnorm(4), 2, 2)\nexplain(x)")
+
+
+class TestOptimizerConfigWiring:
+    def test_engine_accepts_config(self, rng):
+        from repro.core import OptimizerConfig
+        engine = RiotNGEngine(memory_bytes=4 * 1024 * 1024,
+                              config=OptimizerConfig(level=1))
+        assert engine.session.config.level == 1
+        interp = Interpreter(engine, seed=5)
+        interp.env["x"] = engine.make_vector(rng.standard_normal(100))
+        interp.run("z <- sqrt((x - 1)^2)")
+        got = engine.session.values(interp.env["z"].node)
+        assert got.shape == (100,)
+
+    def test_optimize_false_maps_to_level0(self):
+        engine = RiotNGEngine(memory_bytes=4 * 1024 * 1024,
+                              optimize=False)
+        assert engine.session.config.level == 0

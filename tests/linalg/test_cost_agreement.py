@@ -225,6 +225,85 @@ class TestEpilogueAgreement:
                                           BLOCK_SCALARS, fused=False)
 
 
+class TestPlannedWorkloadAgreement:
+    """The planner's *chosen* plan: summed per-operator predictions vs
+    measured ``IOStats`` totals on whole workloads (OLS, ridge, the
+    sparse chain) — the end-to-end version of the per-kernel checks
+    above.  No kernel hints anywhere; the plan is whatever the
+    cost-based search picks."""
+
+    MEM = 48 * 1024
+
+    def _run(self, build, mem_scalars=None):
+        from repro.core import RiotSession
+        s = RiotSession(memory_bytes=(mem_scalars or self.MEM) * 8,
+                        block_size=8192)
+        node = build(s)
+        plan = s.plan(node)
+        s.store.pool.clear()
+        s.reset_stats()
+        result = s.force(node)
+        s.store.flush()
+        return plan, s.io_stats.total, result, s
+
+    def test_ols_plan_predicts_measured_io(self, rng):
+        from repro.core import MatMul, Solve, Transpose
+        x_np = rng.standard_normal((512, 128))
+        y_np = rng.standard_normal((512, 1))
+
+        def build(s):
+            X = s.matrix(x_np, name="X")
+            y = s.matrix(y_np, name="y")
+            return Solve(MatMul(Transpose(X.node), X.node),
+                         MatMul(Transpose(X.node), y.node))
+
+        plan, measured, result, _ = self._run(build)
+        assert 0.5 * plan.total_predicted <= measured \
+            <= 2.0 * plan.total_predicted
+        beta = np.linalg.solve(x_np.T @ x_np, x_np.T @ y_np)
+        assert np.allclose(result.to_numpy(), beta, atol=1e-8)
+
+    def test_ridge_plan_predicts_measured_io(self, rng):
+        """Ridge: the normal matrix X'X + lambda I runs as a fused
+        crossprod epilogue; its model (``crossprod_epilogue_io``) must
+        track the measured blocks of the whole solve."""
+        from repro.core import MatMul, Solve, Transpose
+        x_np = rng.standard_normal((512, 128))
+        y_np = rng.standard_normal((512, 1))
+        lam = 0.1
+
+        def build(s):
+            X = s.matrix(x_np, name="X")
+            lam_eye = s.matrix(lam * np.eye(128), name="lamI")
+            y = s.matrix(y_np, name="y")
+            normal = X.crossprod() + lam_eye
+            rhs = MatMul(Transpose(X.node), y.node)
+            return Solve(normal.node, rhs)
+
+        plan, measured, result, _ = self._run(build)
+        from repro.core.plan import FusedEpilogueOp
+        assert any(isinstance(op, FusedEpilogueOp)
+                   for op in plan.ops())
+        assert 0.5 * plan.total_predicted <= measured \
+            <= 2.0 * plan.total_predicted
+        beta = np.linalg.solve(x_np.T @ x_np + lam * np.eye(128),
+                               x_np.T @ y_np)
+        assert np.allclose(result.to_numpy(), beta, atol=1e-8)
+
+    def test_sparse_chain_plan_predicts_measured_io(self):
+        def build(s):
+            A = s.random_sparse_matrix(512, 512, 0.005, seed=1)
+            B = s.random_sparse_matrix(512, 512, 0.005, seed=2)
+            v = s.matrix(np.random.default_rng(3)
+                         .standard_normal((512, 1)))
+            return ((A @ B) @ v).node
+
+        plan, measured, result, _ = self._run(build,
+                                              mem_scalars=24 * 1024)
+        assert 0.5 * plan.total_predicted <= measured \
+            <= 2.0 * plan.total_predicted
+
+
 class TestCrossAlgorithm:
     def test_square_beats_bnlj_when_model_says_so(self, rng):
         """At n large relative to memory, models and measurement agree on
