@@ -27,8 +27,11 @@ N = 256  # square matrix side
 
 
 def _column_walk_io(layout: str) -> IOStats:
-    """Read the matrix column by column with a 2-frame pool."""
-    store = ArrayStore(memory_bytes=2 * 8192, block_size=8192)
+    """Read the matrix column by column with a minimal 4-frame pool."""
+    # 4 blocks is the ArrayStore floor (it used to silently round a
+    # 2-block budget up to this); keep the pool at the minimum so
+    # misaligned tilings still thrash.
+    store = ArrayStore(memory_bytes=4 * 8192, block_size=8192)
     mat = store.create_matrix((N, N), layout=layout)
     mat.from_numpy(np.zeros((N, N)))
     store.pool.clear()
@@ -59,7 +62,8 @@ def test_ablation_tile_aspect_ratio(benchmark):
 
 def _sweep_seq_fraction(linearization: str, by: str) -> IOStats:
     """I/O of reading every tile in row or column order."""
-    store = ArrayStore(memory_bytes=2 * 8192, block_size=8192)
+    # minimum legal pool (see _column_walk_io)
+    store = ArrayStore(memory_bytes=4 * 8192, block_size=8192)
     mat = store.create_matrix((N, N), layout="square",
                               linearization=linearization)
     mat.from_numpy(np.zeros((N, N)))

@@ -32,7 +32,7 @@ from repro.core import RiotSession
 from repro.core.costs import (crossprod_io, transpose_materialize_io,
                               transposed_matmul_io)
 from repro.linalg import crossprod_matmul, square_tile_matmul
-from repro.storage import ArrayStore
+from repro.storage import ArrayStore, StorageConfig
 
 FAST = bool(os.environ.get("RIOT_BENCH_FAST"))
 
@@ -120,8 +120,9 @@ def test_fused_epilogue_writes_no_intermediate(benchmark):
     writes are the final output blocks — zero for the raw product."""
 
     def run():
-        session = RiotSession(memory_bytes=MEMORY_SCALARS * 8,
-                              block_size=8192)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=MEMORY_SCALARS * 8,
+                                  block_size=8192))
         rng = np.random.default_rng(31)
         x = session.matrix(rng.standard_normal((N_OBS, N_FEAT)))
         r = session.matrix(np.eye(N_FEAT))

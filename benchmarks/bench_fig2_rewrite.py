@@ -17,6 +17,7 @@ import numpy as np
 from conftest import record_io_stats
 
 from repro.core import RiotSession
+from repro.storage import StorageConfig
 
 N = 2_000_000
 MEMORY = 32 * 8192  # deliberately tiny pool: misses are visible
@@ -32,7 +33,8 @@ def _build(session: RiotSession, values: np.ndarray):
 def _measure(optimize: bool):
     rng = np.random.default_rng(42)
     values = rng.uniform(0.0, 20.0, N)
-    session = RiotSession(memory_bytes=MEMORY, optimize=optimize)
+    session = RiotSession(storage=StorageConfig(memory_bytes=MEMORY),
+                          optimize=optimize)
     first10 = _build(session, values)
     explain = first10.explain()
     session.store.flush()

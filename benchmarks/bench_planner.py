@@ -27,6 +27,7 @@ import numpy as np
 from conftest import record_io_stats
 
 from repro.core import MatMul, OptimizerConfig, RiotSession
+from repro.storage import StorageConfig
 
 FAST = bool(os.environ.get("RIOT_BENCH_FAST"))
 
@@ -40,7 +41,8 @@ POOL_BLOCKS = 48
 
 
 def _session(**cfg):
-    return RiotSession(memory_bytes=POOL_BLOCKS * 8192,
+    storage = StorageConfig(memory_bytes=POOL_BLOCKS * 8192)
+    return RiotSession(storage=storage,
                        config=OptimizerConfig(level=2, **cfg))
 
 

@@ -26,7 +26,7 @@ from conftest import record_io_stats
 from repro.core import RiotSession
 from repro.core.costs import inverse_io, lu_io, solve_io
 from repro.linalg import lu_decompose, lu_solve_factored
-from repro.storage import ArrayStore
+from repro.storage import ArrayStore, StorageConfig
 
 FAST = bool(os.environ.get("RIOT_BENCH_FAST"))
 
@@ -87,8 +87,10 @@ def test_inv_rewrite_beats_materialized_inverse(benchmark):
     n = SIDE
 
     def run(optimize: bool):
-        session = RiotSession(memory_bytes=MEMORY_SCALARS * 8,
-                              block_size=8192, optimize=optimize)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=MEMORY_SCALARS * 8,
+                                  block_size=8192),
+            optimize=optimize)
         rng = np.random.default_rng(23)
         a = session.matrix(rng.standard_normal((n, n)))
         b = session.matrix(rng.standard_normal((n, 1)))

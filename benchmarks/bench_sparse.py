@@ -31,7 +31,7 @@ from repro.core import RiotSession
 from repro.core.costs import spmv_io
 from repro.linalg import square_tile_matmul
 from repro.sparse import SparseTiledMatrix, spmv
-from repro.storage import ArrayStore
+from repro.storage import ArrayStore, StorageConfig
 
 FAST = bool(os.environ.get("RIOT_BENCH_FAST"))
 
@@ -153,8 +153,9 @@ def test_sparse_chain_order(benchmark):
     density = 0.005
 
     def run(optimize: bool):
-        session = RiotSession(memory_bytes=POOL_BLOCKS * 8192,
-                              optimize=optimize)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=POOL_BLOCKS * 8192),
+            optimize=optimize)
         A = session.random_sparse_matrix(n, n, density, seed=1)
         B = session.random_sparse_matrix(n, n, density, seed=2)
         v = session.matrix(

@@ -21,7 +21,44 @@ import json
 import sys
 from pathlib import Path
 
-from repro.storage import IOSTATS_SCHEMA_KEYS
+from repro.storage import BACKENDS, IO_SCHEMA_VERSION, \
+    IOSTATS_SCHEMA_KEYS
+
+
+def check_entry(where: str, bench: dict) -> list[str]:
+    """Schema-v2 violations for one benchmark entry.
+
+    Beyond the IOStats keys, every entry must *dual-report*: the
+    simulated block counters (``io``) plus which backend served them
+    (``backend``) and what the physical I/O cost in wall-clock
+    ``seconds`` — so a results file always answers both "how many
+    blocks" and "how long on this hardware".
+    """
+    problems: list[str] = []
+    extra = bench.get("extra_info", {})
+    io = extra.get("io")
+    if not isinstance(io, dict):
+        return [f"{where}: extra_info['io'] missing — record it "
+                f"with record_io_stats(benchmark, stats)"]
+    missing = [k for k in IOSTATS_SCHEMA_KEYS if k not in io]
+    if missing:
+        problems.append(
+            f"{where}: io dict missing schema keys {missing}")
+    elif io["schema_version"] != IO_SCHEMA_VERSION:
+        problems.append(
+            f"{where}: io schema_version {io['schema_version']!r}, "
+            f"expected {IO_SCHEMA_VERSION}")
+    backend = extra.get("backend")
+    if backend not in BACKENDS:
+        problems.append(
+            f"{where}: extra_info['backend'] is {backend!r}; "
+            f"dual-reporting requires one of {'|'.join(BACKENDS)}")
+    seconds = extra.get("seconds")
+    if not isinstance(seconds, (int, float)) or seconds < 0:
+        problems.append(
+            f"{where}: extra_info['seconds'] is {seconds!r}; "
+            f"dual-reporting requires a non-negative number")
+    return problems
 
 
 def check_file(path: Path) -> tuple[list[str], int]:
@@ -36,17 +73,7 @@ def check_file(path: Path) -> tuple[list[str], int]:
         problems.append(f"{path.name}: no benchmarks recorded")
     for bench in benchmarks:
         name = bench.get("name", "<unnamed>")
-        io = bench.get("extra_info", {}).get("io")
-        if not isinstance(io, dict):
-            problems.append(
-                f"{path.name}::{name}: extra_info['io'] missing — "
-                f"record it with record_io_stats(benchmark, stats)")
-            continue
-        missing = [k for k in IOSTATS_SCHEMA_KEYS if k not in io]
-        if missing:
-            problems.append(
-                f"{path.name}::{name}: io dict missing schema keys "
-                f"{missing}")
+        problems.extend(check_entry(f"{path.name}::{name}", bench))
     return problems, len(benchmarks)
 
 

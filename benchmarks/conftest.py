@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.storage import IOStats
+from repro.storage import BACKENDS, IOStats
 
 
-def record_io_stats(benchmark, stats: IOStats | None = None) -> None:
+def record_io_stats(benchmark, stats: IOStats | None = None, *,
+                    backend: str = "memory",
+                    seconds: float | None = None) -> None:
     """Attach I/O counters to ``extra_info`` under the shared schema.
 
     Every benchmark emits ``extra_info["io"] = IOStats.as_dict()`` —
@@ -22,8 +24,21 @@ def record_io_stats(benchmark, stats: IOStats | None = None) -> None:
     (``benchmarks/check_schema.py``).  Purely analytic benchmarks (the
     Figure-3 calculations) pass no stats and record an explicit
     all-zero IOStats rather than omitting the key.
+
+    Schema v2 dual-reports every entry: ``backend`` names the device
+    that served the blocks and ``seconds`` is the wall-clock the
+    device spent in physical reads+writes (defaulting to the stats'
+    own ``read_ns + write_ns``; 0.0 on the simulator, real time on the
+    file backends).
     """
-    benchmark.extra_info["io"] = (stats or IOStats()).as_dict()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} "
+                         f"(use one of {'|'.join(BACKENDS)})")
+    stats = stats or IOStats()
+    benchmark.extra_info["io"] = stats.as_dict()
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["seconds"] = (
+        stats.seconds if seconds is None else float(seconds))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -14,10 +14,12 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.core import RiotSession
+from repro.storage import StorageConfig
 
 
 def main() -> None:
-    session = RiotSession(memory_bytes=16 * 1024 * 1024)
+    session = RiotSession(
+        storage=StorageConfig(memory_bytes=16 * 1024 * 1024))
     n = 4_000_000
 
     rng = np.random.default_rng(0)

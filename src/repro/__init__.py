@@ -27,3 +27,27 @@ Subpackages
 """
 
 __version__ = "1.0.0"
+
+
+def open_session(url: str | None = None, memory: str | int | None = None,
+                 **kwargs):
+    """Open a :class:`~repro.core.RiotSession` from a storage URL.
+
+    ``url`` selects the backend: ``None``/``"memory://"`` for the
+    in-memory simulator, ``"file:///tmp/riot.db"`` (or a bare path)
+    for an mmap-backed page file, with query parameters such as
+    ``?mode=pread&fsync=1&block_size=8192`` for the other file knobs.
+    ``memory`` caps the buffer pool, as bytes or a string like
+    ``"64MiB"``.  Remaining keyword arguments go to ``RiotSession``
+    (``optimize=``, ``config=``)::
+
+        with repro.open_session("file:///tmp/riot.db",
+                                memory="64MiB") as s:
+            x = s.random_matrix(512, 512)
+            s.values(s.crossprod(x))
+    """
+    from repro.core import RiotSession
+    from repro.storage import StorageConfig
+
+    storage = StorageConfig.from_url(url, memory=memory)
+    return RiotSession(storage=storage, **kwargs)

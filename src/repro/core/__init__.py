@@ -3,8 +3,9 @@
 Public API::
 
     from repro.core import RiotSession
+    from repro.storage import StorageConfig
 
-    s = RiotSession(memory_bytes=64 << 20)
+    s = RiotSession(storage=StorageConfig(memory_bytes=64 << 20))
     x = s.random_vector(1 << 20, seed=1)
     d = ((x - 3.0) ** 2).sqrt()
     z = d[s.arange(1, 100)]     # deferred

@@ -20,7 +20,7 @@ from repro.engines.base import Engine
 from repro.rlang.generics import Generics
 from repro.rlang.reference import format_vector
 from repro.rlang.values import MissingIndex, RError, RScalar
-from repro.storage import IOStats, SimClock
+from repro.storage import IOStats, SimClock, StorageConfig
 
 from .expr import (ArrayInput, COMPARISON_OPS, Crossprod, Inverse, Map,
                    MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
@@ -80,14 +80,19 @@ class RiotNGEngine(Engine):
 
     def __init__(self, memory_bytes: int = 68 * 1024 * 1024,
                  block_size: int = 8192, optimize: bool = True,
-                 config=None) -> None:
+                 config=None, storage=None) -> None:
         """``config`` (an :class:`~repro.core.config.OptimizerConfig`)
         overrides the boolean ``optimize`` switch: pass
         ``OptimizerConfig(level=1)`` for logical rewriting without
-        cost-based planning, or per-pass overrides for ablations."""
+        cost-based planning, or per-pass overrides for ablations.
+        ``storage`` (a :class:`~repro.storage.StorageConfig`) selects
+        the backend/page file; ``memory_bytes``/``block_size`` are
+        ignored when it is given."""
         Engine.__init__(self)
-        self.session = RiotSession(memory_bytes=memory_bytes,
-                                   block_size=block_size,
+        if storage is None:
+            storage = StorageConfig(memory_bytes=memory_bytes,
+                                    block_size=block_size)
+        self.session = RiotSession(storage=storage,
                                    optimize=optimize,
                                    config=config)
         self.generics = Generics()

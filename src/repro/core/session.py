@@ -18,9 +18,11 @@ next to it.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.storage import ArrayStore, DEFAULT_BLOCK_SIZE, IOStats
+from repro.storage import ArrayStore, IOStats, StorageConfig
 
 from .arrays import RiotMatrix, RiotVector
 from .config import OptimizerConfig
@@ -32,22 +34,56 @@ from .plan import PhysicalPlan
 from .planner import Planner
 from .rewrite import Rewriter
 
+_UNSET = object()
+
 
 class RiotSession:
-    """Deferred, I/O-efficient array computing over a memory-capped store."""
+    """Deferred, I/O-efficient array computing over a memory-capped store.
 
-    def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
-                 block_size: int = DEFAULT_BLOCK_SIZE,
+    The storage contract — backend (in-memory simulator, ``mmap`` page
+    file, or ``pread`` page file), page-file path, buffer-pool budget,
+    block size, replacement policy, durability — is injected as one
+    :class:`~repro.storage.StorageConfig`::
+
+        RiotSession(storage=StorageConfig(backend="mmap",
+                                          path="/tmp/riot.db",
+                                          memory_bytes=64 << 20))
+
+    or through the URL convenience ``repro.open_session(...)``.  The
+    pre-PR-6 keyword soup (``memory_bytes``/``block_size``/``policy``)
+    still works but is deprecated.  Sessions on a file backend should
+    be closed (or used as a context manager) so dirty frames reach the
+    page file and temporary files are removed.
+    """
+
+    def __init__(self, memory_bytes=_UNSET, block_size=_UNSET,
                  optimize: bool = True,
-                 policy: str = "lru",
-                 config: OptimizerConfig | None = None) -> None:
-        self.store = ArrayStore(memory_bytes=memory_bytes,
-                                block_size=block_size, policy=policy)
+                 policy=_UNSET,
+                 config: OptimizerConfig | None = None,
+                 storage: StorageConfig | None = None) -> None:
+        legacy = {name: value for name, value in (
+            ("memory_bytes", memory_bytes), ("block_size", block_size),
+            ("policy", policy)) if value is not _UNSET}
+        if legacy:
+            if storage is not None:
+                raise TypeError(
+                    "pass storage=StorageConfig(...) or the legacy "
+                    f"keyword(s) {sorted(legacy)}, not both")
+            warnings.warn(
+                f"RiotSession({', '.join(sorted(legacy))}) is "
+                "deprecated: pass storage=StorageConfig(...) or use "
+                "repro.open_session(url, memory=...)",
+                DeprecationWarning, stacklevel=2)
+            storage = StorageConfig(**legacy)
+        elif storage is None:
+            storage = StorageConfig()
+        self.storage = storage
+        self.store = ArrayStore(storage=storage)
         self.config = config if config is not None else \
             OptimizerConfig(level=2 if optimize else 0)
         self.optimize_enabled = self.config.level > 0
-        self._memory_scalars = memory_bytes // 8
-        self._block_scalars = block_size // 8
+        self._memory_scalars = storage.memory_bytes // 8
+        self._block_scalars = storage.block_size // 8
         # Legacy facade for session.optimize(); force() goes through
         # the pass pipeline + planner instead.
         self.rewriter = Rewriter._from_config(
@@ -218,6 +254,40 @@ class RiotSession:
         if hasattr(result, "to_numpy"):
             return result.to_numpy()
         return result
+
+    # ------------------------------------------------------------------
+    # Persistence & lifecycle
+    # ------------------------------------------------------------------
+    def open_vector(self, name: str) -> RiotVector:
+        """Handle for a named vector already in the session's store —
+        either created this session or persisted in the page file a
+        file-backed session reopened."""
+        stored = self.store.open_vector(name)
+        return RiotVector(self, ArrayInput(stored, name=stored.name))
+
+    def open_matrix(self, name: str) -> RiotMatrix:
+        """Handle for a named matrix already in the session's store."""
+        stored = self.store.open_matrix(name)
+        return RiotMatrix(self, ArrayInput(stored, name=stored.name))
+
+    def stored_names(self) -> list[str]:
+        """Names of arrays reachable in the store (live + persisted)."""
+        return self.store.stored_names()
+
+    def close(self) -> None:
+        """Flush dirty frames and release the backing device.
+
+        On a file backend with an explicit path this persists the
+        array manifest for a later ``open_session``; unnamed temporary
+        page files are deleted.  Idempotent.
+        """
+        self.store.close()
+
+    def __enter__(self) -> "RiotSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Accounting

@@ -13,8 +13,8 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.storage import (BlockDevice, BufferPool, DEFAULT_BLOCK_SIZE,
-                           IOStats, PageFile)
+from repro.storage import (BufferPool, DEFAULT_BLOCK_SIZE, IOStats,
+                           PageFile, StorageConfig, create_device)
 
 from .btree import BPlusTree, KeyCodec
 from .catalog import Catalog, TableIndex
@@ -28,13 +28,28 @@ from .table import HeapTable
 class Database:
     """An embedded relational engine with exact I/O accounting."""
 
-    def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
-                 block_size: int = DEFAULT_BLOCK_SIZE,
+    def __init__(self, memory_bytes: int | None = None,
+                 block_size: int | None = None,
                  work_mem_bytes: int | None = None,
-                 policy: str = "lru", name: str = "riotdb") -> None:
-        self.device = BlockDevice(block_size=block_size, name=name)
+                 policy: str | None = None, name: str = "riotdb",
+                 storage: StorageConfig | None = None) -> None:
+        """``storage`` injects the full storage contract (backend, page
+        file path, budget); the classic keyword arguments override its
+        corresponding fields and default to the in-memory simulator."""
+        if storage is None:
+            storage = StorageConfig()
+        overrides = {k: v for k, v in (
+            ("memory_bytes", memory_bytes), ("block_size", block_size),
+            ("policy", policy)) if v is not None}
+        if overrides:
+            storage = storage.with_options(**overrides)
+        self.storage = storage
+        memory_bytes = storage.memory_bytes
+        block_size = storage.block_size
+        self.device = create_device(storage, name=name)
         capacity = max(8, memory_bytes // block_size)
-        self.pool = BufferPool(self.device, capacity, policy=policy)
+        self.pool = BufferPool(self.device, capacity,
+                               policy=storage.policy)
         self.catalog = Catalog()
         # Operators get a quarter of memory as working space by default,
         # mirroring a sort/join buffer configuration.

@@ -107,10 +107,13 @@ class DBEngineBase(Engine):
     MATERIALIZE_ON_ASSIGN = False
 
     def __init__(self, memory_bytes: int = 68 * 1024 * 1024,
-                 block_size: int = 8192) -> None:
+                 block_size: int = 8192, storage=None) -> None:
         Engine.__init__(self)
-        self.db = Database(memory_bytes=memory_bytes,
-                           block_size=block_size, name=self.name)
+        if storage is None:
+            self.db = Database(memory_bytes=memory_bytes,
+                               block_size=block_size, name=self.name)
+        else:
+            self.db = Database(storage=storage, name=self.name)
         self.generics = Generics()
         self._counter = 0
         self._register_all()

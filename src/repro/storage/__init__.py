@@ -9,9 +9,11 @@ I/O comparisons (Figure 1(a), Figure 3) exact here.
 """
 
 from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE,
-                           IOSTATS_SCHEMA_KEYS, IOStats,
+                           IO_SCHEMA_VERSION, IOSTATS_SCHEMA_KEYS, IOStats,
                            SCALARS_PER_BLOCK, SimClock, coalesce_runs)
 from .buffer_pool import BufferPool, ClockPolicy, LRUPolicy, make_policy
+from .config import (BACKENDS, StorageConfig, create_device, parse_memory)
+from .file_device import FileBlockDevice
 from .io_scheduler import IOScheduler
 from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
                             ZOrder, linearization_names, make_linearization)
@@ -21,14 +23,17 @@ from .tile_store import (ArrayStore, TiledMatrix, TiledVector,
 
 __all__ = [
     "ArrayStore",
+    "BACKENDS",
     "BlockDevice",
     "BufferPool",
     "ClockPolicy",
     "ColMajor",
     "DEFAULT_BLOCK_SIZE",
+    "FileBlockDevice",
     "Hilbert",
     "IOScheduler",
     "IOSTATS_SCHEMA_KEYS",
+    "IO_SCHEMA_VERSION",
     "IOStats",
     "Linearization",
     "LRUPolicy",
@@ -36,12 +41,15 @@ __all__ = [
     "RowMajor",
     "SCALARS_PER_BLOCK",
     "SimClock",
+    "StorageConfig",
     "TiledMatrix",
     "TiledVector",
     "ZOrder",
     "coalesce_runs",
+    "create_device",
     "linearization_names",
     "make_linearization",
     "make_policy",
+    "parse_memory",
     "tile_shape_for_layout",
 ]

@@ -1,10 +1,15 @@
-"""Simulated block device with exact I/O accounting.
+"""Block devices with exact I/O accounting.
 
 Everything in this repository that touches "disk" does so through a
-:class:`BlockDevice`.  The device stores fixed-size blocks in memory (this is
-a simulator, not a persistence layer) and keeps precise counters of how many
-blocks were read and written, classified as *sequential* or *random* based on
-the distance from the previously accessed block.
+:class:`BlockDevice`.  The base device stores fixed-size blocks in memory
+and keeps precise counters of how many blocks were read and written,
+classified as *sequential* or *random* based on the distance from the
+previously accessed block.  :class:`~repro.storage.file_device.
+FileBlockDevice` subclasses it to move the same blocks through a real
+page file on disk (``mmap`` or ``os.pread``/``os.pwrite``); all
+accounting, run coalescing, and classification live here in the base, so
+every backend reports **identical simulated block counts** for the same
+access sequence — only the wall-clock and syscall counters differ.
 
 This is the reproduction's substitute for the paper's DTrace measurements:
 instead of sampling a live Solaris kernel, every subsystem (the virtual-memory
@@ -16,6 +21,7 @@ exact and reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +53,21 @@ class IOStats:
       ``reads`` — prefetching changes call shape, never block totals.
     - ``readahead_hits``: buffer-pool hits served from a frame that a
       prefetch brought in.
+
+    The backend-era counters (schema v2) record what the blocks *cost*
+    on the device actually serving them:
+
+    - ``read_ns``/``write_ns``: wall-clock nanoseconds spent inside the
+      backend's physical read/write primitives.  On the in-memory
+      backend this is memcpy time; on a file backend it includes the
+      page cache and, with ``fsync``, the disk.
+    - ``bytes_read``/``bytes_written``: bytes transferred (blocks times
+      block size — the byte axis the TritanDB-style compressed-storage
+      follow-on will decouple from block counts).
+    - ``syscalls``: real I/O system calls issued (``pread``/``pwrite``/
+      ``fsync``/``msync``).  Zero on the memory backend; on the
+      ``pread`` backend this is the number the scheduler's coalescing
+      visibly shrinks.
     """
 
     seq_reads: int = 0
@@ -58,6 +79,11 @@ class IOStats:
     coalesced_ios: int = 0
     prefetched: int = 0
     readahead_hits: int = 0
+    read_ns: int = 0
+    write_ns: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    syscalls: int = 0
 
     @property
     def reads(self) -> int:
@@ -76,25 +102,36 @@ class IOStats:
         """Device operations issued (coalesced runs count once)."""
         return self.read_calls + self.write_calls
 
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds spent in the backend's I/O primitives."""
+        return (self.read_ns + self.write_ns) / 1e9
+
     def bytes_total(self, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
         return self.total * block_size
 
     def mb_total(self, block_size: int = DEFAULT_BLOCK_SIZE) -> float:
         return self.bytes_total(block_size) / (1024.0 * 1024.0)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         """Counters plus derived totals under the shared JSON schema.
 
         Every ``benchmarks/bench_*.py`` emits this exact shape in its
         ``extra_info["io"]`` so the CI artifact job can validate and
         aggregate results uniformly (see ``benchmarks/check_schema.py``
-        and ``IOSTATS_SCHEMA_KEYS``).
+        and ``IOSTATS_SCHEMA_KEYS``).  Schema v2 added the wall-clock
+        and byte counters plus the self-describing ``schema_version``
+        key, so one JSON shape carries both the simulated block counts
+        and the measured backend seconds (the dual report).
         """
-        out = {f: int(getattr(self, f)) for f in _IOSTAT_FIELDS}
+        out: dict[str, int | float] = {
+            f: int(getattr(self, f)) for f in _IOSTAT_FIELDS}
         out["reads"] = self.reads
         out["writes"] = self.writes
         out["total"] = self.total
         out["calls"] = self.calls
+        out["seconds"] = round(self.seconds, 9)
+        out["schema_version"] = IO_SCHEMA_VERSION
         return out
 
     def snapshot(self) -> "IOStats":
@@ -120,12 +157,20 @@ class IOStats:
 
 _IOSTAT_FIELDS = ("seq_reads", "rand_reads", "seq_writes", "rand_writes",
                   "read_calls", "write_calls", "coalesced_ios",
-                  "prefetched", "readahead_hits")
+                  "prefetched", "readahead_hits", "read_ns", "write_ns",
+                  "bytes_read", "bytes_written", "syscalls")
+
+#: Version of the shared benchmark io schema.  v1 carried block and call
+#: counters only; v2 added wall-clock (``read_ns``/``write_ns``/
+#: ``seconds``), byte, and ``syscalls`` counters so every benchmark
+#: dual-reports simulated blocks *and* real-backend seconds.
+IO_SCHEMA_VERSION = 2
 
 #: Keys every benchmark's ``extra_info["io"]`` must carry — the shared
 #: JSON schema of the CI benchmark artifacts.
 IOSTATS_SCHEMA_KEYS = _IOSTAT_FIELDS + ("reads", "writes", "total",
-                                        "calls")
+                                        "calls", "seconds",
+                                        "schema_version")
 
 
 def coalesce_runs(block_ids: list[int]) -> list[tuple[int, int]]:
@@ -152,7 +197,19 @@ class BlockDevice:
     accessed block, and *random* otherwise.  This matches how the paper
     distinguishes MySQL's "mostly bulky and sequential" I/O from the random
     page faults plain R suffers under virtual-memory thrashing.
+
+    All physical storage flows through four overridable primitives —
+    :meth:`_read_run`, :meth:`_write_run`, :meth:`_discard_run`, and
+    :meth:`_sync_backend` — while classification, run accounting, and
+    timing stay here.  A subclass that only overrides the primitives
+    (``FileBlockDevice``) therefore produces bit-identical data and
+    identical simulated block counts; what changes is where the bytes
+    live and what ``read_ns``/``write_ns``/``syscalls`` record.
     """
+
+    #: Identifier recorded in benchmark dual reports ("memory", "mmap",
+    #: "pread").
+    backend = "memory"
 
     def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
                  name: str = "disk") -> None:
@@ -182,8 +239,7 @@ class BlockDevice:
 
     def free(self, block_id: int, n_blocks: int = 1) -> None:
         """Drop stored contents for a block range (no I/O is charged)."""
-        for bid in range(block_id, block_id + n_blocks):
-            self._blocks.pop(bid, None)
+        self._discard_run(block_id, n_blocks)
 
     @property
     def allocated_blocks(self) -> int:
@@ -193,6 +249,55 @@ class BlockDevice:
     def resident_blocks(self) -> int:
         """Blocks that have actually been written at least once."""
         return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Physical storage primitives (overridden by file backends)
+    # ------------------------------------------------------------------
+    def _read_run(self, first: int, length: int) -> list[np.ndarray]:
+        """Materialize ``length`` consecutive blocks as writable arrays."""
+        return [self._fetch(first + k) for k in range(length)]
+
+    def _write_run(self, first: int, bufs: list[np.ndarray]) -> None:
+        """Persist consecutive blocks (each buffer is one full block)."""
+        for k, buf in enumerate(bufs):
+            self._blocks[first + k] = buf.copy()
+
+    def _discard_run(self, first: int, length: int) -> None:
+        for bid in range(first, first + length):
+            self._blocks.pop(bid, None)
+
+    def _sync_backend(self) -> None:
+        """Make written blocks durable (no-op for the memory backend)."""
+
+    # ------------------------------------------------------------------
+    # Timed wrappers: every physical transfer is clocked and sized here,
+    # so the wall-clock/byte counters mean the same thing on every
+    # backend.
+    # ------------------------------------------------------------------
+    def _timed_read(self, first: int, length: int) -> list[np.ndarray]:
+        t0 = time.perf_counter_ns()
+        out = self._read_run(first, length)
+        self.stats.read_ns += time.perf_counter_ns() - t0
+        self.stats.bytes_read += length * self.block_size
+        return out
+
+    def _timed_write(self, first: int, bufs: list[np.ndarray]) -> None:
+        t0 = time.perf_counter_ns()
+        self._write_run(first, bufs)
+        self.stats.write_ns += time.perf_counter_ns() - t0
+        self.stats.bytes_written += len(bufs) * self.block_size
+
+    # ------------------------------------------------------------------
+    # Durability / lifecycle (meaningful on file backends)
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush written blocks to stable storage."""
+        t0 = time.perf_counter_ns()
+        self._sync_backend()
+        self.stats.write_ns += time.perf_counter_ns() - t0
+
+    def close(self) -> None:
+        """Release backend resources.  The memory backend keeps nothing."""
 
     # ------------------------------------------------------------------
     # I/O
@@ -216,7 +321,7 @@ class BlockDevice:
         else:
             self.stats.rand_reads += 1
         self.stats.read_calls += 1
-        return self._fetch(block_id)
+        return self._timed_read(block_id, 1)[0]
 
     def read_blocks(self, block_ids: list[int]) -> list[np.ndarray]:
         """Read many blocks, coalescing adjacent ids into single I/Os.
@@ -239,7 +344,7 @@ class BlockDevice:
             self.stats.read_calls += 1
             self.stats.coalesced_ios += length - 1
             self._last_accessed = first + length - 1
-            out.extend(self._fetch(first + k) for k in range(length))
+            out.extend(self._timed_read(first, length))
         return out
 
     def write_block(self, block_id: int, data: np.ndarray) -> None:
@@ -251,7 +356,7 @@ class BlockDevice:
         else:
             self.stats.rand_writes += 1
         self.stats.write_calls += 1
-        self._blocks[block_id] = buf.copy()
+        self._timed_write(block_id, [buf])
 
     def write_blocks(self, items: list[tuple[int, np.ndarray]]) -> None:
         """Write many blocks, coalescing adjacent ids into single I/Os.
@@ -272,8 +377,8 @@ class BlockDevice:
             self.stats.write_calls += 1
             self.stats.coalesced_ios += length - 1
             self._last_accessed = first + length - 1
-            for k in range(length):
-                self._blocks[first + k] = bufs[first + k].copy()
+            self._timed_write(first,
+                              [bufs[first + k] for k in range(length)])
 
     def _fetch(self, block_id: int) -> np.ndarray:
         block = self._blocks.get(block_id)

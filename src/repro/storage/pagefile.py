@@ -28,6 +28,25 @@ class PageFile:
         self._extent_free: list[int] = []
         self._freed_pages: list[int] = []
 
+    @classmethod
+    def attach(cls, device: BlockDevice, name: str,
+               page_to_block: list[int]) -> "PageFile":
+        """Reconstruct a file from a persisted page->block mapping.
+
+        This is the reopen path for file-backed devices: the tile
+        store's manifest records each array's page map, and attaching
+        re-addresses the already-written device blocks without
+        allocating or transferring anything.
+        """
+        file = cls(device, name=name)
+        file._page_to_block = [int(b) for b in page_to_block]
+        return file
+
+    @property
+    def page_map(self) -> list[int]:
+        """The persisted form: device block backing each page, in order."""
+        return list(self._page_to_block)
+
     # ------------------------------------------------------------------
     @property
     def num_pages(self) -> int:

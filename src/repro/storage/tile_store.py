@@ -91,6 +91,18 @@ class TiledVector:
         self.file = PageFile(store.device, name=name)
         self.file.allocate_pages(self.num_chunks)
 
+    @classmethod
+    def _attach(cls, store: "ArrayStore", name: str,
+                entry: dict) -> "TiledVector":
+        """Rebind a persisted vector (manifest entry) without I/O."""
+        vec = cls.__new__(cls)
+        vec.store = store
+        vec.name = name
+        vec.length = int(entry["length"])
+        vec.chunk = int(entry["chunk"])
+        vec.file = PageFile.attach(store.device, name, entry["pages"])
+        return vec
+
     # ------------------------------------------------------------------
     @property
     def num_chunks(self) -> int:
@@ -264,6 +276,25 @@ class TiledMatrix:
         self.file.allocate_pages(
             self.grid[0] * self.grid[1] * self.pages_per_tile)
 
+    @classmethod
+    def _attach(cls, store: "ArrayStore", name: str,
+                entry: dict) -> "TiledMatrix":
+        """Rebind a persisted matrix (manifest entry) without I/O."""
+        mat = cls.__new__(cls)
+        mat.store = store
+        mat.name = name
+        mat.shape = tuple(int(d) for d in entry["shape"])
+        mat.tile_shape = tuple(int(d) for d in entry["tile_shape"])
+        mat.grid = (-(-mat.shape[0] // mat.tile_shape[0]),
+                    -(-mat.shape[1] // mat.tile_shape[1]))
+        mat.linearization = make_linearization(
+            entry["linearization"], mat.grid[0], mat.grid[1])
+        th, tw = mat.tile_shape
+        mat.pages_per_tile = -(-th * tw * _FLOAT_BYTES
+                               // store.device.block_size)
+        mat.file = PageFile.attach(store.device, name, entry["pages"])
+        return mat
+
     # ------------------------------------------------------------------
     def tile_bounds(self, ti: int, tj: int) -> tuple[int, int, int, int]:
         """Return (row_lo, row_hi, col_lo, col_hi) of tile (ti, tj)."""
@@ -411,20 +442,58 @@ class TiledMatrix:
                 f"order={self.linearization.name})")
 
 
-class ArrayStore:
-    """Factory and shared context (device + buffer pool) for tiled arrays."""
+#: Minimum buffer-pool capacity in blocks.  Below this the store cannot
+#: hold one tile plus working frames, and every cost model's streaming
+#: assumption breaks.
+MIN_POOL_BLOCKS = 4
 
-    def __init__(self, memory_bytes: int = 64 * 1024 * 1024,
-                 block_size: int = DEFAULT_BLOCK_SIZE,
-                 policy: str = "lru", name: str = "riot-store",
-                 scheduler: bool = True,
-                 readahead_window: int = 0) -> None:
-        capacity = max(4, memory_bytes // block_size)
-        self.device = BlockDevice(block_size=block_size, name=name)
-        self.pool = BufferPool(self.device, capacity, policy=policy,
-                               readahead_window=readahead_window)
-        self.pool.scheduler.enabled = scheduler
+
+class ArrayStore:
+    """Factory and shared context (device + buffer pool) for tiled arrays.
+
+    Construct either from a :class:`~repro.storage.config.StorageConfig`
+    (``ArrayStore(storage=StorageConfig(backend="mmap", ...))``) or from
+    the classic keyword arguments, which describe the in-memory backend.
+    The device always comes from
+    :func:`~repro.storage.config.create_device` — the store never
+    hard-codes a device class, so the same code runs against the
+    simulator or a real page file.
+    """
+
+    def __init__(self, memory_bytes: int | None = None,
+                 block_size: int | None = None,
+                 policy: str | None = None, name: str = "riot-store",
+                 scheduler: bool | None = None,
+                 readahead_window: int | None = None,
+                 storage: "StorageConfig | None" = None,
+                 device: BlockDevice | None = None) -> None:
+        from .config import StorageConfig, create_device
+        if storage is None:
+            storage = StorageConfig()
+        overrides = {k: v for k, v in (
+            ("memory_bytes", memory_bytes), ("block_size", block_size),
+            ("policy", policy), ("scheduler", scheduler),
+            ("readahead_window", readahead_window)) if v is not None}
+        if overrides:
+            storage = storage.with_options(**overrides)
+        self.storage = storage
+        capacity = storage.memory_bytes // storage.block_size
+        if capacity < MIN_POOL_BLOCKS:
+            raise ValueError(
+                f"memory budget of {storage.memory_bytes} bytes holds "
+                f"only {capacity} block(s) of {storage.block_size} "
+                f"bytes; the tile store needs at least "
+                f"{MIN_POOL_BLOCKS} blocks "
+                f"({MIN_POOL_BLOCKS * storage.block_size} bytes)")
+        self.device = device if device is not None else \
+            create_device(storage, name=name)
+        self.pool = BufferPool(self.device, capacity,
+                               policy=storage.policy,
+                               readahead_window=storage.readahead_window)
+        self.pool.scheduler.enabled = storage.scheduler
         self._counter = 0
+        self._arrays: dict[str, TiledVector | TiledMatrix] = {}
+        self._closed = False
 
     @property
     def scalars_per_block(self) -> int:
@@ -434,12 +503,17 @@ class ArrayStore:
         self._counter += 1
         return f"{prefix}_{self._counter}"
 
+    def _register(self, array: "TiledVector | TiledMatrix"):
+        self._arrays[array.name] = array
+        return array
+
     # ------------------------------------------------------------------
     def create_vector(self, length: int, chunk: int | None = None,
                       name: str | None = None) -> TiledVector:
         chunk = chunk or self.scalars_per_block
-        return TiledVector(self, name or self._fresh_name("vec"),
-                           length, chunk)
+        return self._register(
+            TiledVector(self, name or self._fresh_name("vec"),
+                        length, chunk))
 
     def vector_from_numpy(self, values: np.ndarray,
                           name: str | None = None) -> TiledVector:
@@ -454,8 +528,9 @@ class ArrayStore:
         if tile_shape is None:
             tile_shape = tile_shape_for_layout(
                 layout or "square", shape, self.scalars_per_block)
-        return TiledMatrix(self, name or self._fresh_name("mat"),
-                           shape, tile_shape, linearization)
+        return self._register(
+            TiledMatrix(self, name or self._fresh_name("mat"),
+                        shape, tile_shape, linearization))
 
     def matrix_from_numpy(self, values: np.ndarray,
                           layout: str = "square",
@@ -467,6 +542,66 @@ class ArrayStore:
         return mat.from_numpy(vals)
 
     # ------------------------------------------------------------------
+    # Persistence: on a file-backed device, the store writes its array
+    # directory (shape, tiling, linearization, page map) into the
+    # device manifest so a later session can reattach every array.
+    # ------------------------------------------------------------------
+    def _build_manifest(self) -> dict:
+        entries: dict[str, dict] = {}
+        for name, arr in self._arrays.items():
+            if not arr.file.num_pages:
+                continue  # dropped
+            if isinstance(arr, TiledVector):
+                entries[name] = {
+                    "kind": "vector", "length": arr.length,
+                    "chunk": arr.chunk, "pages": arr.file.page_map}
+            else:
+                entries[name] = {
+                    "kind": "matrix", "shape": list(arr.shape),
+                    "tile_shape": list(arr.tile_shape),
+                    "linearization": arr.linearization.name,
+                    "pages": arr.file.page_map}
+        return entries
+
+    def stored_names(self) -> list[str]:
+        """Array names reachable in this store (live + persisted)."""
+        names = set(self._arrays)
+        names.update(getattr(self.device, "manifest", {}))
+        return sorted(names)
+
+    def _manifest_entry(self, name: str, kind: str) -> dict:
+        entry = getattr(self.device, "manifest", {}).get(name)
+        if entry is None:
+            raise KeyError(
+                f"no stored array named {name!r} in this page file "
+                f"(have {sorted(getattr(self.device, 'manifest', {}))})")
+        if entry["kind"] != kind:
+            raise KeyError(
+                f"stored array {name!r} is a {entry['kind']}, "
+                f"not a {kind}")
+        return entry
+
+    def open_vector(self, name: str) -> TiledVector:
+        """Reattach a vector persisted by an earlier session."""
+        if name in self._arrays:
+            arr = self._arrays[name]
+            if not isinstance(arr, TiledVector):
+                raise KeyError(f"{name!r} is not a vector")
+            return arr
+        entry = self._manifest_entry(name, "vector")
+        return self._register(TiledVector._attach(self, name, entry))
+
+    def open_matrix(self, name: str) -> TiledMatrix:
+        """Reattach a matrix persisted by an earlier session."""
+        if name in self._arrays:
+            arr = self._arrays[name]
+            if not isinstance(arr, TiledMatrix):
+                raise KeyError(f"{name!r} is not a matrix")
+            return arr
+        entry = self._manifest_entry(name, "matrix")
+        return self._register(TiledMatrix._attach(self, name, entry))
+
+    # ------------------------------------------------------------------
     def io_stats(self):
         return self.device.stats
 
@@ -476,3 +611,24 @@ class ArrayStore:
 
     def flush(self) -> None:
         self.pool.flush_all()
+        if self.storage.fsync:
+            self.device.sync()
+
+    def close(self) -> None:
+        """Flush dirty frames, persist the array directory, release the
+        device.  Idempotent; after close the store must not be used."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.flush_all()
+        if hasattr(self.device, "manifest"):
+            manifest = dict(self.device.manifest)
+            manifest.update(self._build_manifest())
+            self.device.manifest = manifest
+        self.device.close()
+
+    def __enter__(self) -> "ArrayStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

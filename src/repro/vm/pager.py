@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.storage import BlockDevice, DEFAULT_BLOCK_SIZE, IOStats
+from repro.storage import (DEFAULT_BLOCK_SIZE, IOStats, StorageConfig,
+                           create_device)
 
 
 @dataclass
@@ -38,7 +39,8 @@ class Pager:
 
     def __init__(self, memory_bytes: int,
                  page_size: int = DEFAULT_BLOCK_SIZE,
-                 readahead_pages: int = 0) -> None:
+                 readahead_pages: int = 0,
+                 swap_storage: StorageConfig | None = None) -> None:
         """``readahead_pages > 0`` turns on batched swap-in for
         :meth:`touch_range`: the range's swapped-out pages are read in
         windows of that many pages through
@@ -46,6 +48,10 @@ class Pager:
         blocks coalesce into single device calls.  Swap traffic *totals*
         are unchanged — this models OS swap readahead, and defaults to
         off so the paper's thrashing figures keep their access pattern.
+
+        ``swap_storage`` selects the device backing swap space (memory
+        simulator by default; a file backend makes swap thrashing cost
+        real seconds).  Its block size is forced to ``page_size``.
         """
         if memory_bytes < page_size:
             raise ValueError(
@@ -56,7 +62,9 @@ class Pager:
         self.page_size = page_size
         self.capacity_pages = memory_bytes // page_size
         self.readahead_pages = readahead_pages
-        self.swap = BlockDevice(block_size=page_size, name="swap")
+        swap_config = (swap_storage or StorageConfig()).with_options(
+            block_size=page_size)
+        self.swap = create_device(swap_config, name="swap")
         self._resident: OrderedDict[int, None] = OrderedDict()
         self._pages: dict[int, PageState] = {}
         self._swapin_ready: set[int] = set()

@@ -60,7 +60,8 @@ def generate_problem(n_obs: int, n_feat: int, noise: float = 0.01,
 
 def ols_out_of_core(problem: RegressionProblem,
                     memory_scalars: int = 96 * 1024,
-                    block_size: int = 8192) -> tuple[np.ndarray, object]:
+                    block_size: int = 8192,
+                    storage=None) -> tuple[np.ndarray, object]:
     """Solve the normal equations on a memory-capped tile store.
 
     Returns ``(beta_hat, io_stats)``.  X'X runs the symmetric
@@ -70,9 +71,18 @@ def ols_out_of_core(problem: RegressionProblem,
     of the design matrix ever touches the disk.  The final system goes
     through the pivoted :func:`repro.linalg.lu_solve`, so the design
     needs no conditioning tricks.
+
+    ``storage`` (a :class:`~repro.storage.StorageConfig`) selects the
+    backing device — a file backend makes the same block traffic cost
+    real seconds; ``memory_scalars``/``block_size`` are derived from it
+    when given.
     """
-    store = ArrayStore(memory_bytes=memory_scalars * 8,
-                       block_size=block_size)
+    if storage is not None:
+        memory_scalars = storage.memory_bytes // 8
+        store = ArrayStore(storage=storage)
+    else:
+        store = ArrayStore(memory_bytes=memory_scalars * 8,
+                           block_size=block_size)
     x = store.matrix_from_numpy(problem.x, layout="square", name="X")
     y = store.matrix_from_numpy(problem.y.reshape(-1, 1),
                                 layout="square", name="y")

@@ -158,7 +158,9 @@ class TestSemantics:
 class TestSessionCaching:
     def test_repeated_force_cached(self, rng):
         from repro.core import RiotSession
-        session = RiotSession(memory_bytes=2 * 1024 * 1024)
+        from repro.storage import StorageConfig
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=2 * 1024 * 1024))
         x = session.vector(rng.standard_normal(100_000))
         d = (x - 1.0) ** 2.0
         d.force()
@@ -169,7 +171,9 @@ class TestSessionCaching:
 
     def test_explain_shows_both_dags(self, rng):
         from repro.core import RiotSession
-        session = RiotSession(memory_bytes=1 << 20)
+        from repro.storage import StorageConfig
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=1 << 20))
         x = session.vector(rng.standard_normal(1000))
         text = ((x + 1.0)[1:5]).explain()
         assert "-- original --" in text

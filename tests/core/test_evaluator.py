@@ -6,11 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import RiotSession
+from repro.storage import StorageConfig
 
 
 @pytest.fixture
 def session():
-    return RiotSession(memory_bytes=2 * 1024 * 1024)
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=2 * 1024 * 1024))
 
 
 class TestStreaming:
@@ -23,7 +25,8 @@ class TestStreaming:
 
     def test_fusion_writes_no_intermediates(self, rng):
         """A 6-op expression must write only the result's chunks."""
-        session = RiotSession(memory_bytes=64 * 8192)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=64 * 8192))
         n = 200_000
         x = rng.standard_normal(n)
         y = rng.standard_normal(n)
@@ -78,7 +81,8 @@ class TestSubscripts:
 
     def test_selective_evaluation_io(self, rng):
         """d[s].values() touches ~|s| chunks, not the whole vector."""
-        session = RiotSession(memory_bytes=32 * 8192)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=32 * 8192))
         n = 1_000_000
         x = rng.standard_normal(n)
         y = rng.standard_normal(n)
@@ -97,7 +101,8 @@ class TestSubscripts:
 
     def test_no_rewrite_forces_full_vector(self, rng):
         """With optimization off, d[s] costs a full materialization."""
-        session = RiotSession(memory_bytes=32 * 8192, optimize=False)
+        session = RiotSession(storage=StorageConfig(
+            memory_bytes=32 * 8192), optimize=False)
         n = 500_000
         x = rng.standard_normal(n)
         v = session.vector(x)
@@ -158,7 +163,8 @@ class TestReductions:
         assert v.mean() == pytest.approx(x.mean())
 
     def test_reduction_of_expression_materializes_nothing(self, rng):
-        session = RiotSession(memory_bytes=32 * 8192)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=32 * 8192))
         n = 500_000
         x = rng.standard_normal(n)
         v = session.vector(x)
@@ -217,7 +223,8 @@ class TestDensifiedCache:
         """The sparse->dense twin cache must not grow without bound
         across a session: it lives only for the duration of one
         evaluation, so no densified operand outlives its force()."""
-        session = RiotSession(memory_bytes=4 << 20)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=4 << 20))
         evaluator = session.evaluator
         for seed in range(4):
             a = session.random_sparse_matrix(96, 96, 0.01, seed=seed)
@@ -228,7 +235,8 @@ class TestDensifiedCache:
 
     def test_densify_still_memoized_within_one_force(self, rng):
         """One DAG using a sparse operand twice converts it once."""
-        session = RiotSession(memory_bytes=4 << 20)
+        session = RiotSession(
+            storage=StorageConfig(memory_bytes=4 << 20))
         a = session.random_sparse_matrix(128, 128, 0.02, seed=3)
         dense = session.matrix(rng.standard_normal((128, 128)))
         expr = (a + dense) * (a + 0.0)
@@ -243,7 +251,8 @@ class TestDensifiedCache:
        st.sampled_from(["+", "-", "*", "sqrtabs", "pow2"]))
 @settings(max_examples=40, deadline=None)
 def test_streaming_matches_numpy(xs, op):
-    session = RiotSession(memory_bytes=1 << 20)
+    session = RiotSession(
+        storage=StorageConfig(memory_bytes=1 << 20))
     arr = np.asarray(xs)
     v = session.vector(arr)
     if op == "+":

@@ -12,11 +12,14 @@ import numpy as np
 
 from repro.core import (MatMul, OptimizerConfig, RiotSession, Solve,
                         Transpose)
+from repro.storage import StorageConfig
 
 
 def session(mem_scalars=96 * 1024, level=2):
-    return RiotSession(memory_bytes=mem_scalars * 8, block_size=8192,
-                       config=OptimizerConfig(level=level))
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=mem_scalars * 8,
+                              block_size=8192),
+        config=OptimizerConfig(level=level))
 
 
 def rng():

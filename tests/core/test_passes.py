@@ -185,8 +185,10 @@ class TestBuildPipeline:
 class TestSparsityAnalysis:
     def test_storage_map_marks_sparse_leaves_and_spgemm(self):
         from repro.core import RiotSession
+        from repro.storage import StorageConfig
         from repro.core.passes import sparse_stored, storage_map
-        s = RiotSession(memory_bytes=4 * 1024 * 1024)
+        s = RiotSession(
+            storage=StorageConfig(memory_bytes=4 * 1024 * 1024))
         A = s.random_sparse_matrix(128, 128, 0.02, seed=1)
         B = s.random_sparse_matrix(128, 128, 0.02, seed=2)
         D = s.matrix(np.zeros((128, 128)))
@@ -204,8 +206,10 @@ class TestSparsityAnalysis:
 
     def test_dense_pin_breaks_sparse_storage(self):
         from repro.core import RiotSession
+        from repro.storage import StorageConfig
         from repro.core.passes import sparse_stored
-        s = RiotSession(memory_bytes=4 * 1024 * 1024)
+        s = RiotSession(
+            storage=StorageConfig(memory_bytes=4 * 1024 * 1024))
         A = s.random_sparse_matrix(128, 128, 0.02, seed=1)
         B = s.random_sparse_matrix(128, 128, 0.02, seed=2)
         assert sparse_stored(MatMul(A.node, B.node))

@@ -15,11 +15,13 @@ from repro.core import (Map, MatMul, OptimizerConfig, RiotSession,
 from repro.core.plan import (CrossprodOp, FusedEpilogueOp, LeafOp,
                              LUSolveOp, MapOp, SparseSpGEMMOp,
                              SparseSpMMOp, TileMatMulOp)
+from repro.storage import StorageConfig
 
 
 def session(level=2, mem=4 * 1024 * 1024, **cfg):
-    return RiotSession(memory_bytes=mem, block_size=8192,
-                       config=OptimizerConfig(level=level, **cfg))
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=mem, block_size=8192),
+        config=OptimizerConfig(level=level, **cfg))
 
 
 def ops_of(plan, kind):
@@ -260,7 +262,8 @@ class TestAcceptanceSparseChain:
                          .standard_normal((n, 1)))
             return ((A @ B) @ v).node
 
-        s = RiotSession(memory_bytes=24 * 8192)
+        s = RiotSession(
+            storage=StorageConfig(memory_bytes=24 * 8192))
         node = build(s)
         plan = s.plan(node)
         assert isinstance(plan.root, SparseSpMMOp)
@@ -272,7 +275,8 @@ class TestAcceptanceSparseChain:
         s.store.flush()
         planned = s.io_stats.total
 
-        legacy = RiotSession(memory_bytes=24 * 8192)
+        legacy = RiotSession(
+            storage=StorageConfig(memory_bytes=24 * 8192))
         legacy_node = build(legacy)
         optimized = legacy.optimize(legacy_node)  # PR-2 rewriter path
         legacy.store.pool.clear()

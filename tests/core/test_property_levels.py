@@ -34,14 +34,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Map, MatMul, OptimizerConfig, RiotSession
+from repro.storage import StorageConfig
 
 LEVELS = (0, 1, 2)
 MEM = 4 * 1024 * 1024
 
 
 def make_session(level):
-    return RiotSession(memory_bytes=MEM, block_size=8192,
-                       config=OptimizerConfig(level=level))
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=MEM, block_size=8192),
+        config=OptimizerConfig(level=level))
 
 
 def values_at_level(build, level):

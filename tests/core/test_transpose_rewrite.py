@@ -12,11 +12,13 @@ from hypothesis import strategies as st
 
 from repro.core import (Crossprod, Map, MatMul, RiotSession, Transpose,
                         walk)
+from repro.storage import StorageConfig
 
 
 def make_session(optimize=True, mem=4 * 1024 * 1024):
-    return RiotSession(memory_bytes=mem, block_size=8192,
-                       optimize=optimize)
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=mem, block_size=8192),
+        optimize=optimize)
 
 
 def no_transpose(node):

@@ -16,7 +16,7 @@ from repro.core.costs import (bnlj_matmul_io, crossprod_io, lu_io,
                               transposed_matmul_io)
 from repro.linalg import (bnlj_matmul, crossprod_matmul, lu_decompose,
                           lu_solve_factored, square_tile_matmul)
-from repro.storage import ArrayStore
+from repro.storage import ArrayStore, StorageConfig
 
 BLOCK_SCALARS = 1024
 
@@ -177,8 +177,8 @@ class TestTransposeMaterializeAgreement:
         from repro.core import RiotSession
         from repro.core.costs import transpose_materialize_io
         m, n = 512, 256
-        session = RiotSession(memory_bytes=48 * 1024 * 8,
-                              block_size=8192)
+        session = RiotSession(storage=StorageConfig(
+            memory_bytes=48 * 1024 * 8, block_size=8192))
         a_np = rng.standard_normal((m, n))
         a = session.matrix(a_np)
         session.store.pool.clear()
@@ -236,8 +236,9 @@ class TestPlannedWorkloadAgreement:
 
     def _run(self, build, mem_scalars=None):
         from repro.core import RiotSession
-        s = RiotSession(memory_bytes=(mem_scalars or self.MEM) * 8,
-                        block_size=8192)
+        s = RiotSession(storage=StorageConfig(
+            memory_bytes=(mem_scalars or self.MEM) * 8,
+            block_size=8192))
         node = build(s)
         plan = s.plan(node)
         s.store.pool.clear()

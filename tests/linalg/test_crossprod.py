@@ -257,7 +257,9 @@ class TestEpilogue:
         a_np = rng.standard_normal((100, 60))
         b_np = rng.standard_normal((60, 80))
         c_np = rng.standard_normal((100, 80))
-        store = make_store(mem=3 * 32 * 32)  # force 32-wide panels
+        # 4-block floor for the pool; the kernel's own budget of
+        # 3*32*32 scalars still forces 32-wide panels.
+        store = make_store(mem=4 * 32 * 32)
         c = store.matrix_from_numpy(c_np)
 
         def epilogue(r0, c0, block):
@@ -275,7 +277,9 @@ class TestEpilogue:
         non-symmetric epilogues stay correct."""
         a_np = rng.standard_normal((64, 60))
         c_np = rng.standard_normal((60, 60))
-        store = make_store(mem=3 * 32 * 32)  # force 32-wide panels
+        # 4-block floor for the pool; the kernel's own budget of
+        # 3*32*32 scalars still forces 32-wide panels.
+        store = make_store(mem=4 * 32 * 32)
         c = store.matrix_from_numpy(c_np)
 
         def epilogue(r0, c0, block):

@@ -15,11 +15,13 @@ from repro.core import (Inverse, MatMul, RiotSession, Rewriter, Solve,
                         walk)
 from repro.core.engine import RiotNGEngine
 from repro.rlang import Interpreter, NumpyEngine, RError
+from repro.storage import StorageConfig
 
 
 @pytest.fixture
 def session():
-    return RiotSession(memory_bytes=64 * 8192 * 8, block_size=8192)
+    return RiotSession(storage=StorageConfig(
+        memory_bytes=64 * 8192 * 8, block_size=8192))
 
 
 def node_types(node):
@@ -68,7 +70,8 @@ class TestRewrite:
 
     def test_rewrite_can_be_disabled(self, rng):
         rewriter = Rewriter(enable_solve_rewrite=False)
-        store_session = RiotSession(memory_bytes=2 << 20)
+        store_session = RiotSession(
+            storage=StorageConfig(memory_bytes=2 << 20))
         a = store_session.matrix(rng.standard_normal((8, 8)))
         b = store_session.matrix(rng.standard_normal((8, 1)))
         opt = rewriter.optimize(MatMul(Inverse(a.node), b.node))
@@ -114,8 +117,8 @@ class TestEvaluation:
         b_np = rng.standard_normal((n, 1))
         results = {}
         for optimize in (True, False):
-            s = RiotSession(memory_bytes=64 * 8192 * 8,
-                            optimize=optimize)
+            s = RiotSession(storage=StorageConfig(
+                memory_bytes=64 * 8192 * 8), optimize=optimize)
             plan = s.matrix(a_np).inv() @ s.matrix(b_np)
             results[optimize] = plan.values()
         assert np.allclose(results[True], results[False], atol=1e-8)
@@ -149,7 +152,8 @@ class TestEvaluation:
         time, never held in full (n x n) alongside the factor."""
         n = 128
         mem_scalars = 3 * n * 32  # the minimum pivot-panel budget
-        s = RiotSession(memory_bytes=mem_scalars * 8, block_size=8192)
+        s = RiotSession(storage=StorageConfig(
+            memory_bytes=mem_scalars * 8, block_size=8192))
         rng_local = np.random.default_rng(9)
         a_np = rng_local.standard_normal((n, n))
         b_np = rng_local.standard_normal((n, n))

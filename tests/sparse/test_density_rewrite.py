@@ -9,11 +9,13 @@ from repro.core.expr import (ArrayInput, Map, MatMul, Scalar, Subscript,
                              SubscriptAssign, Range, Transpose)
 from repro.core.rewrite import Rewriter
 from repro.sparse import SparseTiledMatrix
+from repro.storage import StorageConfig
 
 
 @pytest.fixture
 def session():
-    return RiotSession(memory_bytes=8 * 1024 * 1024)
+    return RiotSession(
+        storage=StorageConfig(memory_bytes=8 * 1024 * 1024))
 
 
 def _sparse_input(session, m, n, density, seed=0):
@@ -190,7 +192,8 @@ class TestEndToEnd:
         density = 0.005
 
         def run(optimize):
-            s = RiotSession(memory_bytes=24 * 8192, optimize=optimize)
+            s = RiotSession(storage=StorageConfig(
+                memory_bytes=24 * 8192), optimize=optimize)
             A = s.random_sparse_matrix(n, n, density, seed=1)
             B = s.random_sparse_matrix(n, n, density, seed=2)
             v = s.matrix(np.random.default_rng(3)
