@@ -169,6 +169,7 @@ def test_block_size_sweep_mmap_vs_pread(benchmark):
 
     def sweep():
         rows = {}
+        pools = {}
         n = OLS_MEM * 4  # scalars; 8x the pool at 8 KiB blocks
         data = np.arange(n, dtype=np.float64)
         for backend in ("mmap", "pread"):
@@ -181,17 +182,19 @@ def test_block_size_sweep_mmap_vs_pread(benchmark):
                 store.reset_stats()
                 assert np.array_equal(vec.to_numpy(), data)
                 rows[backend, bs] = store.device.stats.snapshot()
+                pools[backend, bs] = store.pool.stats.snapshot()
                 store.close()
-        return rows
+        return rows, pools
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows, pools = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\ncold vector scan, by backend and block size:")
     for (backend, bs), stats in rows.items():
         print(f"  {backend:6s} bs={bs:6d} reads={stats.reads:6d} "
               f"syscalls={stats.syscalls:5d} "
               f"bytes_read={stats.bytes_read:>10d} "
               f"seconds={stats.seconds:.4f}")
-    record_io_stats(benchmark, rows["pread", 8192], backend="pread")
+    record_io_stats(benchmark, rows["pread", 8192], backend="pread",
+                    pool=pools["pread", 8192])
     for (backend, bs), stats in rows.items():
         benchmark.extra_info[f"io_{backend}_{bs}"] = stats.as_dict()
     for bs in sizes:

@@ -70,8 +70,9 @@ def _measure(session, node):
     result = session.force(node)
     session.store.flush()
     stats = session.io_stats.snapshot()
+    pool = session.store.pool.stats.snapshot()
     arr = result.to_numpy()
-    return plan, stats, arr
+    return plan, stats, pool, arr
 
 
 def test_cost_picked_vs_forced_worst(benchmark):
@@ -80,16 +81,16 @@ def test_cost_picked_vs_forced_worst(benchmark):
         A, B, C = _leaves(s)
         return _measure(s, ((A @ B) @ C).node)
 
-    picked_plan, picked_stats, picked_vals = benchmark.pedantic(
-        run_picked, rounds=1, iterations=1)
+    picked_plan, picked_stats, picked_pool, picked_vals = \
+        benchmark.pedantic(run_picked, rounds=1, iterations=1)
 
     worst_session = _session(chain_reorder=False)
     A, B, C = _leaves(worst_session)
     worst_node = MatMul(
         MatMul(A.node, B.node, kernel="dense"), C.node,
         kernel="dense")
-    worst_plan, worst_stats, worst_vals = _measure(worst_session,
-                                                   worst_node)
+    worst_plan, worst_stats, _, worst_vals = _measure(worst_session,
+                                                      worst_node)
 
     print(f"\nmixed chain (A B) C, n={N}, density={DENSITY}, "
           f"panel={PANEL}:")
@@ -101,7 +102,7 @@ def test_cost_picked_vs_forced_worst(benchmark):
               f"{stats.total:9d}")
     print("  chosen plan: " + picked_plan.signature())
 
-    record_io_stats(benchmark, picked_stats)
+    record_io_stats(benchmark, picked_stats, pool=picked_pool)
     benchmark.extra_info["io_forced_worst"] = worst_stats.as_dict()
     benchmark.extra_info["predicted_blocks"] = round(
         picked_plan.total_predicted)
@@ -135,7 +136,8 @@ def test_explain_reports_predicted_and_measured(benchmark):
         return s, handle, s.io_stats.snapshot()
 
     s, handle, stats = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_io_stats(benchmark, stats)
+    record_io_stats(benchmark, stats,
+                    pool=s.store.pool.stats.snapshot())
     text = s.explain(handle)
     print("\n" + text)
     assert "-- physical plan (level 2) --" in text

@@ -50,7 +50,8 @@ def _scan_workload(enabled: bool):
     store.pool.clear()
     store.reset_stats()
     result = vec.to_numpy()
-    return store.device.stats.snapshot(), result
+    return store.device.stats.snapshot(), store.pool.stats.snapshot(), \
+        result
 
 
 def _chain_workload(enabled: bool):
@@ -63,7 +64,8 @@ def _chain_workload(enabled: bool):
     store.reset_stats()
     out = multiply_chain(store, mats, mem)
     store.flush()
-    return store.device.stats.snapshot(), out.to_numpy()
+    return store.device.stats.snapshot(), store.pool.stats.snapshot(), \
+        out.to_numpy()
 
 
 def _fused_map_workload(enabled: bool):
@@ -81,7 +83,8 @@ def _fused_map_workload(enabled: bool):
                Map("*", ArrayInput(y, "y"), ArrayInput(z, "z")))
     out = Evaluator(store).force(expr)
     result = out.to_numpy()
-    return store.device.stats.snapshot(), result
+    return store.device.stats.snapshot(), store.pool.stats.snapshot(), \
+        result
 
 
 WORKLOADS = {
@@ -96,9 +99,9 @@ REQUIRED_REDUCTION = {"cold-scan": 0.25, "chain-matmul": 0.25,
 
 
 def _compare(name: str):
-    on, result_on = WORKLOADS[name](True)
-    off, result_off = WORKLOADS[name](False)
-    return {"name": name, "on": on, "off": off,
+    on, pool_on, result_on = WORKLOADS[name](True)
+    off, _, result_off = WORKLOADS[name](False)
+    return {"name": name, "on": on, "off": off, "pool_on": pool_on,
             "result_on": result_on, "result_off": result_off}
 
 
@@ -109,7 +112,7 @@ def _report(benchmark, row: dict) -> None:
           f"on {on.read_calls} calls ({reduction:.1%} fewer; "
           f"{on.prefetched} prefetched, {on.coalesced_ios} coalesced, "
           f"{on.readahead_hits} readahead hits)")
-    record_io_stats(benchmark, on)
+    record_io_stats(benchmark, on, pool=row["pool_on"])
     benchmark.extra_info["io_scheduler_off"] = off.as_dict()
     benchmark.extra_info["reduction"] = round(reduction, 4)
     # Contract: same blocks, same bytes, same bits — fewer calls.
@@ -150,11 +153,13 @@ def test_readahead_window_sweep(benchmark):
             # Demand reads, no hints: readahead must detect the run.
             for ci in range(vec.num_chunks):
                 vec.read_chunk(ci)
-            rows[window] = store.device.stats.snapshot()
+            rows[window] = (store.device.stats.snapshot(),
+                            store.pool.stats.snapshot())
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    record_io_stats(benchmark, rows[16])
+    rows_pools = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = {w: st for w, (st, _) in rows_pools.items()}
+    record_io_stats(benchmark, rows[16], pool=rows_pools[16][1])
     print("\nreadahead window sweep (pure demand scan):")
     for window, st in rows.items():
         print(f"  window={window:3d}  reads={st.reads:5d} "

@@ -132,10 +132,11 @@ def test_sparse_io_tracks_model(benchmark):
         store.reset_stats()
         spmv(store, a, vec)
         store.flush()
-        return store.device.stats.snapshot(), a.nnz
+        return (store.device.stats.snapshot(),
+                store.pool.stats.snapshot(), a.nnz)
 
-    stats, nnz = benchmark.pedantic(measure, rounds=1, iterations=1)
-    record_io_stats(benchmark, stats)
+    stats, pool, nnz = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_io_stats(benchmark, stats, pool=pool)
     model = spmv_io(SIDE, SIDE, nnz, 1024)
     ratio = stats.total / model
     print(f"\nspmv n={SIDE} density={density}: measured={stats.total} "
@@ -164,12 +165,13 @@ def test_sparse_chain_order(benchmark):
         session.store.pool.clear()  # cold start: measure real I/O
         session.reset_stats()
         values = chain.values()
-        return session.io_stats.snapshot(), values
+        return (session.io_stats.snapshot(),
+                session.store.pool.stats.snapshot(), values)
 
-    opt_stats, opt_values = benchmark.pedantic(
+    opt_stats, opt_pool, opt_values = benchmark.pedantic(
         run, args=(True,), rounds=1, iterations=1)
-    raw_stats, raw_values = run(False)
-    record_io_stats(benchmark, opt_stats)
+    raw_stats, _, raw_values = run(False)
+    record_io_stats(benchmark, opt_stats, pool=opt_pool)
     benchmark.extra_info["io_left_deep"] = raw_stats.as_dict()
     print(f"\nsparse chain n={n}, density={density}: "
           f"left-deep={raw_stats.total} blocks, "

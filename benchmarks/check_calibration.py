@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Validate the profiled-workload artifacts; fail CI on model drift.
+
+``benchmarks/profile_smoke.py`` leaves two files in the results
+directory; this script is the gate that reads them back:
+
+- ``trace.json`` must be a well-formed Chrome trace-event file: a
+  ``traceEvents`` list of complete (``ph == "X"``) events with
+  non-negative microsecond timestamps/durations, at least one event in
+  each of the ``op``, ``optimizer`` and ``kernel`` categories, and no
+  dropped spans.
+- ``calibration.json`` must carry the
+  :data:`repro.obs.CALIBRATION_SCHEMA_VERSION` shape, and **every
+  exercised cost model's median measured/predicted ratio must sit
+  inside the validated band** (the report's own ``ok`` flag, recomputed
+  here from the raw ratios rather than trusted).
+
+Exit status is non-zero on any violation, failing the bench-smoke job.
+
+Usage::
+
+    python benchmarks/check_calibration.py bench-results/
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro.obs import CALIBRATION_SCHEMA_VERSION
+
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+REQUIRED_CATEGORIES = ("op", "optimizer", "kernel")
+
+
+def check_trace(path: Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable trace JSON ({exc})"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path.name}: no traceEvents — was the tracer "
+                f"recording during the profiled run?"]
+    cats = set()
+    for i, ev in enumerate(events):
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in ev]
+        if missing:
+            problems.append(
+                f"{path.name}: event {i} missing keys {missing}")
+            continue
+        if ev["ph"] != "X":
+            problems.append(
+                f"{path.name}: event {i} phase {ev['ph']!r}, expected "
+                f"complete events ('X')")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            problems.append(
+                f"{path.name}: event {i} has negative ts/dur")
+        cats.add(ev["cat"])
+    for cat in REQUIRED_CATEGORIES:
+        if cat not in cats:
+            problems.append(
+                f"{path.name}: no {cat!r}-category spans — the "
+                f"profiled run should cross the session, optimizer "
+                f"and kernel layers")
+    dropped = data.get("otherData", {}).get("spans_dropped", 0)
+    if dropped:
+        problems.append(
+            f"{path.name}: {dropped} spans dropped — raise the tracer "
+            f"capacity for the profiled workload")
+    return problems
+
+
+def check_calibration(path: Path) -> tuple[list[str], list[str]]:
+    """Violations plus one summary line per model."""
+    problems: list[str] = []
+    summary: list[str] = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable calibration JSON ({exc})"], []
+    if data.get("schema_version") != CALIBRATION_SCHEMA_VERSION:
+        problems.append(
+            f"{path.name}: schema_version "
+            f"{data.get('schema_version')!r}, expected "
+            f"{CALIBRATION_SCHEMA_VERSION}")
+        return problems, summary
+    band = data.get("band", [])
+    if (not isinstance(band, list) or len(band) != 2
+            or not band[0] < band[1]):
+        problems.append(f"{path.name}: malformed band {band!r}")
+        return problems, summary
+    models = data.get("models", {})
+    if not models:
+        problems.append(
+            f"{path.name}: no cost models exercised — the profiled "
+            f"workload must execute a planned DAG")
+    for name in sorted(models):
+        entry = models[name]
+        ratios = entry.get("ratios", [])
+        if not ratios:
+            summary.append(f"  {name}: no band-checkable samples "
+                           f"({entry.get('n_skipped', 0)} skipped)")
+            continue
+        med = statistics.median(ratios)
+        summary.append(
+            f"  {name}: median ratio {med:.3f} "
+            f"({len(ratios)} samples)")
+        if not band[0] <= med <= band[1]:
+            problems.append(
+                f"{path.name}: {name} median measured/predicted ratio "
+                f"{med:.3f} outside [{band[0]}, {band[1]}] — the cost "
+                f"model has drifted from the measured kernel")
+    return problems, summary
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    results_dir = Path(argv[1])
+    problems = check_trace(results_dir / "trace.json")
+    calib_problems, summary = check_calibration(
+        results_dir / "calibration.json")
+    problems += calib_problems
+    if summary:
+        print("calibration (measured/predicted blocks):")
+        print("\n".join(summary))
+    if problems:
+        print(f"\n{len(problems)} calibration/trace violation(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\ntrace and calibration artifacts ok: every exercised "
+          "cost model is inside the validated band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

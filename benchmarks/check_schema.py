@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.storage import BACKENDS, IO_SCHEMA_VERSION, \
-    IOSTATS_SCHEMA_KEYS
+    IOSTATS_SCHEMA_KEYS, POOL_SCHEMA_KEYS
 
 
 def check_entry(where: str, bench: dict) -> list[str]:
@@ -58,6 +58,20 @@ def check_entry(where: str, bench: dict) -> list[str]:
         problems.append(
             f"{where}: extra_info['seconds'] is {seconds!r}; "
             f"dual-reporting requires a non-negative number")
+    # The pool section is optional (analytic benchmarks have no pool),
+    # but when present it must be the exact PoolStats.as_dict() shape.
+    pool = extra.get("pool")
+    if pool is not None:
+        if not isinstance(pool, dict):
+            problems.append(
+                f"{where}: extra_info['pool'] is {type(pool).__name__}, "
+                f"expected the PoolStats.as_dict() mapping")
+        else:
+            missing = [k for k in sorted(POOL_SCHEMA_KEYS)
+                       if k not in pool]
+            if missing:
+                problems.append(
+                    f"{where}: pool dict missing schema keys {missing}")
     return problems
 
 
@@ -68,7 +82,11 @@ def check_file(path: Path) -> tuple[list[str], int]:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path.name}: unreadable benchmark JSON ({exc})"], 0
-    benchmarks = data.get("benchmarks", [])
+    if "benchmarks" not in data:
+        # Not a pytest-benchmark file: the results dir also collects
+        # other artifacts (Chrome traces, calibration reports).
+        return [], -1
+    benchmarks = data["benchmarks"]
     if not benchmarks:
         problems.append(f"{path.name}: no benchmarks recorded")
     for bench in benchmarks:
@@ -88,12 +106,19 @@ def main(argv: list[str]) -> int:
         return 1
     problems: list[str] = []
     checked = 0
+    bench_files = 0
     for path in files:
         file_problems, n = check_file(path)
         problems.extend(file_problems)
-        if not file_problems:
+        if n < 0:
+            print(f"skipped: {path.name} (not a pytest-benchmark file)")
+        elif not file_problems:
             checked += n
+            bench_files += 1
             print(f"ok: {path.name} ({n} benchmarks)")
+    if bench_files == 0 and not problems:
+        print(f"no pytest-benchmark JSON files found in {results_dir}")
+        return 1
     if problems:
         print(f"\n{len(problems)} schema violation(s):")
         for problem in problems:

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.storage import BACKENDS, IOStats
+from repro.storage import BACKENDS, IOStats, PoolStats
 
 
 def record_io_stats(benchmark, stats: IOStats | None = None, *,
                     backend: str = "memory",
-                    seconds: float | None = None) -> None:
+                    seconds: float | None = None,
+                    pool: PoolStats | None = None) -> None:
     """Attach I/O counters to ``extra_info`` under the shared schema.
 
     Every benchmark emits ``extra_info["io"] = IOStats.as_dict()`` —
@@ -29,7 +30,10 @@ def record_io_stats(benchmark, stats: IOStats | None = None, *,
     that served the blocks and ``seconds`` is the wall-clock the
     device spent in physical reads+writes (defaulting to the stats'
     own ``read_ns + write_ns``; 0.0 on the simulator, real time on the
-    file backends).
+    file backends).  ``pool`` (when the workload ran through a buffer
+    pool) adds ``extra_info["pool"] = PoolStats.as_dict()`` so results
+    answer "how many of those block requests even reached the device";
+    analytic entries omit the section rather than faking zeros.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r} "
@@ -39,6 +43,8 @@ def record_io_stats(benchmark, stats: IOStats | None = None, *,
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["seconds"] = (
         stats.seconds if seconds is None else float(seconds))
+    if pool is not None:
+        benchmark.extra_info["pool"] = pool.as_dict()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

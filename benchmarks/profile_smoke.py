@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Profile one OLS workload under the tracer; emit CI artifacts.
+
+The CI bench-smoke job runs this after the benchmark sweep::
+
+    python benchmarks/profile_smoke.py bench-results/
+
+It executes the paper's hint-free OLS normal equations
+``solve(t(X) X, t(X) y)`` cold through the level-2 planner with span
+recording on, then writes two artifacts into the output directory:
+
+- ``trace.json`` — the run as Chrome trace events (open in Perfetto or
+  ``chrome://tracing``): one slice per physical operator, optimizer
+  pass, and kernel panel, with I/O and pool deltas in ``args``.
+- ``calibration.json`` — the machine-readable
+  :class:`repro.obs.CalibrationReport`: per cost model, the measured /
+  predicted block ratios of every executed operator.
+
+``benchmarks/check_calibration.py`` validates both files and fails CI
+when any exercised model's median ratio leaves the validated
+[0.5, 2.0] band — the drift alarm for the analytic cost models.
+
+The workload regime matters: X is 512 x 256 against a 48 K-scalar
+(48-block) pool, so every operator genuinely runs out of core.  With a
+pool that holds the operands, measured I/O collapses and the ratios
+say nothing about the models.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import OptimizerConfig, RiotSession
+from repro.core.expr import MatMul, Solve, Transpose
+from repro.storage import StorageConfig
+
+N_OBS = 512
+N_FEAT = 256
+POOL_SCALARS = 48 * 1024  # 48 blocks of 1024 scalars: out-of-core
+
+
+def build_ols(session: RiotSession):
+    """The normal equations as the user writes them — no hints."""
+    rng = np.random.default_rng(17)
+    x = session.matrix(rng.standard_normal((N_OBS, N_FEAT)), name="X")
+    y = session.matrix(rng.standard_normal((N_OBS, 1)), name="y")
+    return Solve(MatMul(Transpose(x.node), x.node),
+                 MatMul(Transpose(x.node), y.node))
+
+
+def profile(out_dir: Path, backend: str = "memory") -> int:
+    session = RiotSession(
+        storage=StorageConfig(backend=backend,
+                              memory_bytes=POOL_SCALARS * 8),
+        config=OptimizerConfig(level=2))
+    with session:
+        node = build_ols(session)
+        text = session.explain(node, analyze=True)
+        print(text)
+        session.tracer.export_chrome(out_dir / "trace.json")
+        report = session.calibration_report(node)
+        report.to_json(out_dir / "calibration.json")
+    n_spans = len(session.tracer)
+    print(f"\nwrote {out_dir / 'trace.json'} ({n_spans} spans) and "
+          f"{out_dir / 'calibration.json'} "
+          f"({len(report.models)} models, ok={report.ok})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    out_dir = Path(argv[1])
+    out_dir.mkdir(parents=True, exist_ok=True)
+    backend = argv[2] if len(argv) == 3 else "memory"
+    return profile(out_dir, backend)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

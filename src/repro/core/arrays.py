@@ -148,8 +148,8 @@ class _Deferred:
         """Force and return the result as a numpy array."""
         return self.session.values(self.node)
 
-    def explain(self) -> str:
-        return self.session.explain(self.node)
+    def explain(self, analyze: bool = False) -> str:
+        return self.session.explain(self.node, analyze=analyze)
 
     def _wrap(self, node: Node):
         raise NotImplementedError

@@ -163,6 +163,12 @@ class RiotNGEngine(Engine):
                      lambda v: self.session.explain(v.node))
         g.set_method("explain", (NGMat,),
                      lambda m: self.session.explain(m.node))
+        g.set_method("explain_analyze", (NGVec,),
+                     lambda v: self.session.explain(v.node,
+                                                    analyze=True))
+        g.set_method("explain_analyze", (NGMat,),
+                     lambda m: self.session.explain(m.node,
+                                                    analyze=True))
         g.set_method("print", (NGVec,), self._print_vector)
         g.set_method("print", (NGMat,), self._print_matrix)
         g.set_method("iterate", (NGVec,),

@@ -23,13 +23,17 @@ class PassContext:
     ``applied`` collects human-readable rule names in firing order (the
     old ``Rewriter.applied`` contract); ``memory_scalars`` and
     ``block_scalars`` parameterize any cost-model-consulting pass so
-    its verdicts match the store the plan will run on.
+    its verdicts match the store the plan will run on.  ``tracer``
+    (optional, defaults to a shared disabled one) lets the pipeline
+    attribute optimizer wall-clock per pass.
     """
 
     def __init__(self, memory_scalars: int = 8 * 1024 * 1024,
-                 block_scalars: int = 1024) -> None:
+                 block_scalars: int = 1024, tracer=None) -> None:
+        from repro.obs.tracer import NULL_TRACER
         self.memory_scalars = memory_scalars
         self.block_scalars = block_scalars
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.applied: list[str] = []
 
     def record(self, rule: str) -> None:
@@ -101,10 +105,19 @@ class Pipeline:
 
     def run(self, root: Node, ctx: PassContext) -> Node:
         node = root
-        for _ in range(self.max_passes):
-            before = dag_signature(node)
-            for p in self.passes:
-                node = p.run(node, ctx)
-            if dag_signature(node) == before:
-                break
+        with ctx.tracer.span("pipeline", cat="optimizer"):
+            for sweep in range(self.max_passes):
+                before = dag_signature(node)
+                for p in self.passes:
+                    n_before = len(ctx.applied)
+                    with ctx.tracer.span(f"pass:{p.name}",
+                                         cat="optimizer", sweep=sweep):
+                        node = p.run(node, ctx)
+                    if ctx.tracer.enabled:
+                        span = ctx.tracer.last_span()
+                        if span is not None:
+                            span.args["fired"] = \
+                                len(ctx.applied) - n_before
+                if dag_signature(node) == before:
+                    break
         return node

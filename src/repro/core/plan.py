@@ -33,9 +33,22 @@ class PhysOp:
 
     ``alternatives`` lists ``(label, predicted_io)`` pairs for the
     candidate strategies the planner enumerated and rejected.
+
+    ``cost_model`` names the :mod:`repro.core.costs` model that priced
+    this operator (``None`` for leaves/constants) — the grouping key of
+    :class:`repro.obs.CalibrationReport`.  ``cost_inputs`` carries the
+    model's inputs (dimensions, tile counts, nnz, trans flags) so a
+    drifted prediction is diagnosable from the explain transcript
+    alone.  After execution the evaluator fills the full measurement
+    trio: ``measured`` (an ``IOStats`` delta: blocks split seq/rand,
+    bytes, syscalls, read/write ns), ``pool_measured`` (a ``PoolStats``
+    delta) and ``wall_ns``; ``measured_io`` stays the plain block total
+    for backward compatibility.
     """
 
     kind = "op"
+    #: Name of the repro.core.costs model behind predicted_io, or None.
+    cost_model: str | None = None
 
     def __init__(self, node: Node, children: tuple["PhysOp", ...] = (),
                  predicted_io: float = 0.0, detail: str = "",
@@ -46,7 +59,11 @@ class PhysOp:
         self.predicted_io = float(predicted_io)
         self.detail = detail
         self.alternatives = list(alternatives or [])
+        self.cost_inputs: dict[str, object] = {}
         self.measured_io: int | None = None
+        self.measured = None       # IOStats delta once executed
+        self.pool_measured = None  # PoolStats delta once executed
+        self.wall_ns: int | None = None
 
     def label(self) -> str:
         return self.kind + (f"[{self.detail}]" if self.detail else "")
@@ -74,6 +91,7 @@ class ScalarOp(PhysOp):
 
 class RangeOp(PhysOp):
     kind = "range"
+    cost_model = "stream_io"
 
 
 class MapOp(PhysOp):
@@ -83,6 +101,7 @@ class MapOp(PhysOp):
     tree per chunk/tile."""
 
     kind = "map"
+    cost_model = "stream_io"
 
     def label(self) -> str:
         return f"map:{self.node.label()}" + (
@@ -91,14 +110,17 @@ class MapOp(PhysOp):
 
 class GatherOp(PhysOp):
     kind = "gather"
+    cost_model = "gather_io"
 
 
 class ScatterOp(PhysOp):
     kind = "scatter"
+    cost_model = "scatter_io"
 
 
 class ReduceOp(PhysOp):
     kind = "reduce"
+    cost_model = "stream_io"
 
     def label(self) -> str:
         return f"reduce:{self.node.op}"
@@ -109,36 +131,43 @@ class TileMatMulOp(PhysOp):
     memory)."""
 
     kind = "matmul.square"
+    cost_model = "matmul_io"
 
 
 class BnljOp(PhysOp):
     """The §3 block-nested-loop-join-inspired multiply."""
 
     kind = "matmul.bnlj"
+    cost_model = "bnlj_io"
 
 
 class CrossprodOp(PhysOp):
     """Symmetric ``t(A) %*% A`` — upper-triangular blocks only."""
 
     kind = "crossprod"
+    cost_model = "crossprod_io"
 
 
 class SparseSpMMOp(PhysOp):
     kind = "matmul.spmm"
+    cost_model = "spmm_io"
 
 
 class SparseSpGEMMOp(PhysOp):
     kind = "matmul.spgemm"
+    cost_model = "spgemm_io"
 
 
 class LUSolveOp(PhysOp):
     """Pivoted out-of-core LU factorization + blocked substitution."""
 
     kind = "solve.lu"
+    cost_model = "solve_io"
 
 
 class InverseOp(PhysOp):
     kind = "inverse.lu"
+    cost_model = "inverse_io"
 
 
 class TransposeOp(PhysOp):
@@ -146,6 +175,7 @@ class TransposeOp(PhysOp):
     operand flags normally delete."""
 
     kind = "transpose.materialize"
+    cost_model = "transpose_io"
 
 
 class FusedEpilogueOp(PhysOp):
@@ -159,6 +189,7 @@ class FusedEpilogueOp(PhysOp):
     """
 
     kind = "matmul+epilogue"
+    cost_model = "matmul_epilogue_io"  # planner overrides per instance
 
     def __init__(self, node: Node, barrier: Node,
                  matrix_nodes: list[Node], scalar_nodes: list[Node],
@@ -221,9 +252,18 @@ class PhysicalPlan:
 
         return visit(self.root)
 
-    def render(self) -> str:
+    def render(self, analyze: bool = False,
+               band: tuple[float, float] = (0.5, 2.0)) -> str:
         """Indented operator tree with predicted (and, once executed,
-        measured) block I/O per operator."""
+        measured) block I/O per operator.
+
+        With ``analyze=True`` (after executing under the tracer) each
+        measured operator additionally prints its full I/O delta
+        (bytes, syscalls, read/write time), the buffer-pool behavior it
+        triggered, wall-clock seconds, and the measured/predicted
+        ratio — flagged with ``!!`` when it leaves ``band``, the
+        0.5–2.0x range the cost models are validated against.
+        """
         lines: list[str] = []
         seen: set[int] = set()
 
@@ -238,6 +278,13 @@ class PhysicalPlan:
             if op.measured_io is not None:
                 cost += f" | measured {op.measured_io} blk"
             lines.append(f"{label:<44} {cost}")
+            if op.cost_inputs:
+                inputs = " ".join(f"{k}={v}" for k, v
+                                  in sorted(op.cost_inputs.items()))
+                model = op.cost_model or "?"
+                lines.append(f"{pad}  (cost: {model} {inputs})")
+            if analyze and op.measured_io is not None:
+                self._render_measurement(lines, pad, op, band)
             for alt, io in op.alternatives:
                 lines.append(f"{pad}  (rejected: {alt} "
                              f"~{io:.1f} blk)")
@@ -250,3 +297,33 @@ class PhysicalPlan:
             total += f" | measured {self.total_measured} blk"
         lines.append(total)
         return "\n".join(lines)
+
+    @staticmethod
+    def _render_measurement(lines: list[str], pad: str, op: PhysOp,
+                            band: tuple[float, float]) -> None:
+        """Append the EXPLAIN ANALYZE detail lines for one operator."""
+        io = op.measured
+        if io is not None and io.total:
+            lines.append(
+                f"{pad}  io: {io.reads} rd / {io.writes} wr blk, "
+                f"{io.bytes_read + io.bytes_written} bytes, "
+                f"{io.syscalls} syscalls, "
+                f"{io.seconds * 1e3:.3f} ms device")
+        pool = op.pool_measured
+        if pool is not None and pool.accesses:
+            line = (f"{pad}  pool: {pool.hits} hits / "
+                    f"{pool.misses} misses")
+            if pool.prefetched:
+                line += (f", {pool.prefetched} prefetched "
+                         f"({pool.readahead_hits} hit, "
+                         f"{pool.prefetch_wasted} wasted)")
+            lines.append(line)
+        if op.wall_ns is not None:
+            wall = f"{pad}  wall: {op.wall_ns / 1e6:.3f} ms"
+            if op.predicted_io > 0 and op.measured_io is not None:
+                ratio = op.measured_io / op.predicted_io
+                wall += f" | ratio {ratio:.2f}"
+                if not band[0] <= ratio <= band[1]:
+                    wall += (f" !! outside [{band[0]}, {band[1]}] "
+                             f"validated band")
+            lines.append(wall)

@@ -184,14 +184,18 @@ class Planner:
             return self._lower_solve(node)
         if isinstance(node, Inverse):
             n = node.shape[0]
-            return InverseOp(
+            op = InverseOp(
                 node, (self._lower(node.children[0]),),
                 predicted_io=inverse_io(n, self.memory_scalars, blk))
+            op.cost_inputs = {"n": n}
+            return op
         if isinstance(node, Transpose):
             rows, cols = node.children[0].shape
-            return TransposeOp(
+            op = TransposeOp(
                 node, (self._lower(node.children[0]),),
                 predicted_io=transpose_materialize_io(rows, cols, blk))
+            op.cost_inputs = {"rows": rows, "cols": cols}
+            return op
         if isinstance(node, Subscript):
             return self._lower_subscript(node)
         if isinstance(node, SubscriptAssign) and not node.logical_mask:
@@ -315,18 +319,31 @@ class Planner:
         both_sparse = sparse_stored(a) and sparse_stored(b)
 
         def sparse_op(alternatives=()):
+            # nnz and tile geometry go on the op: sparse predictions
+            # are nnz-driven, so a drifted estimate must be visible in
+            # the explain transcript, not just the final number.
             if both_sparse:
-                return SparseSpGEMMOp(
+                op = SparseSpGEMMOp(
                     node, (a_op, b_op),
                     predicted_io=spgemm_io(m, k, n, a.estimated_nnz,
                                            b.estimated_nnz, blk,
                                            tile_side=tile_side),
                     alternatives=list(alternatives))
-            return SparseSpMMOp(
+                op.cost_inputs = {
+                    "m": m, "k": k, "n": n,
+                    "nnz_a": a.estimated_nnz,
+                    "nnz_b": b.estimated_nnz,
+                    "tile_side": tile_side}
+                return op
+            op = SparseSpMMOp(
                 node, (a_op, b_op),
                 predicted_io=spmm_io(m, k, n, a.estimated_nnz, mem,
                                      blk, tile_side=tile_side),
                 alternatives=list(alternatives))
+            op.cost_inputs = {
+                "m": m, "k": k, "n": n,
+                "nnz_a": a.estimated_nnz, "tile_side": tile_side}
+            return op
 
         if node.kernel == "sparse" and sparse_stored(a):
             op = sparse_op()
@@ -345,20 +362,28 @@ class Planner:
             flags.append("t(b)")
         detail = ",".join(flags)
 
+        dense_inputs = {"m": m, "k": k, "n": n,
+                        "trans_a": node.trans_a,
+                        "trans_b": node.trans_b}
+
         def dense_op():
             alternatives = []
             if self.config.choice_enabled("kernel_select"):
                 bnlj = bnlj_matmul_io(m, k, n, mem, blk)
                 if bnlj < BNLJ_MARGIN * dense_square:
-                    return BnljOp(
+                    op = BnljOp(
                         node, (a_op, b_op), predicted_io=bnlj,
                         detail=detail,
                         alternatives=[("square-tile", dense_square)])
+                    op.cost_inputs = dict(dense_inputs)
+                    return op
                 alternatives.append(("bnlj", bnlj))
-            return TileMatMulOp(node, (a_op, b_op),
-                                predicted_io=dense_square,
-                                detail=detail,
-                                alternatives=alternatives)
+            op = TileMatMulOp(node, (a_op, b_op),
+                              predicted_io=dense_square,
+                              detail=detail,
+                              alternatives=alternatives)
+            op.cost_inputs = dict(dense_inputs)
+            return op
 
         if node.kernel == "dense":
             op = dense_op()
@@ -390,21 +415,26 @@ class Planner:
     def _lower_crossprod(self, node: Crossprod) -> CrossprodOp:
         a = node.children[0]
         inner, k = a.shape if node.t_first else a.shape[::-1]
-        return CrossprodOp(
+        op = CrossprodOp(
             node, (self._lower(a),),
             predicted_io=crossprod_io(inner, k, self.memory_scalars,
                                       self.block_scalars),
             detail="" if node.t_first else "tcrossprod")
+        op.cost_inputs = {"inner": inner, "k": k,
+                          "t_first": node.t_first}
+        return op
 
     def _lower_solve(self, node: Solve) -> LUSolveOp:
         a, b = node.children
         n = a.shape[0]
         nrhs = 1 if node.ndim == 1 else node.shape[1]
-        return LUSolveOp(
+        op = LUSolveOp(
             node, (self._lower(a), self._lower(b)),
             predicted_io=solve_op_io(n, nrhs, self.memory_scalars,
                                      self.block_scalars),
             detail=f"nrhs={nrhs}")
+        op.cost_inputs = {"n": n, "nrhs": nrhs}
+        return op
 
     # ------------------------------------------------------------------
     # Matrix elementwise regions: fuse-vs-materialize
@@ -454,6 +484,8 @@ class Planner:
             unfused_io = crossprod_epilogue_io(inner, k, extra, mem,
                                                blk, fused=False)
             operand_ops = (self._lower(a),)
+            model = "crossprod_epilogue_io"
+            cost_inputs = {"inner": inner, "k": k, "extra": extra}
         else:
             a, b = barrier.children
             sa = a.shape[::-1] if barrier.trans_a else a.shape
@@ -464,6 +496,10 @@ class Planner:
             unfused_io = matmul_epilogue_io(m, l, n, extra, mem, blk,
                                             fused=False)
             operand_ops = (self._lower(a), self._lower(b))
+            model = "matmul_epilogue_io"
+            cost_inputs = {"m": m, "k": l, "n": n, "extra": extra,
+                           "trans_a": barrier.trans_a,
+                           "trans_b": barrier.trans_b}
         if self.config.level >= 2 and fused_io >= unfused_io:
             return None  # enumerated, and materializing won
         children = (operand_ops
@@ -474,6 +510,8 @@ class Planner:
             predicted_io=fused_io,
             detail=barrier.label(),
             alternatives=[("materialize+map", unfused_io)])
+        op.cost_model = model
+        op.cost_inputs = cost_inputs
         # A fused barrier that heads a reordered chain keeps the chain
         # decision visible on the fused operator.
         self._annotate_reordered(op, barrier)

@@ -22,6 +22,7 @@ import warnings
 
 import numpy as np
 
+from repro.obs import CalibrationReport, MetricsRegistry
 from repro.storage import ArrayStore, IOStats, StorageConfig
 
 from .arrays import RiotMatrix, RiotVector
@@ -97,6 +98,19 @@ class RiotSession:
             self.store,
             memory_scalars=self._memory_scalars,
             fuse_epilogues=self.config.fusion_enabled)
+        # Observability: the store's tracer plus a registry of live
+        # counter sources, all exported by session.metrics.snapshot().
+        # Sources are lambdas so they track the *current* stats objects
+        # across reset_stats() / device swaps.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_source(
+            "io", lambda: self.store.device.stats.as_dict())
+        self.metrics.register_source(
+            "pool", lambda: self.store.pool.stats.as_dict())
+        self.metrics.register_source(
+            "scheduler",
+            lambda: self.store.pool.scheduler.stats.as_dict())
+        self.metrics.register_source("tracer", self._tracer_health)
         # id -> (node, result).  The node rides along to pin its id:
         # a dict keyed on id() alone would hand a *new* DAG node that
         # recycled a collected node's address someone else's result.
@@ -224,9 +238,11 @@ class RiotSession:
         if cached is not None and cached[0] is node:
             return cached[1]
         ctx = PassContext(memory_scalars=self._memory_scalars,
-                          block_scalars=self._block_scalars)
+                          block_scalars=self._block_scalars,
+                          tracer=self.tracer)
         logical = self.pipeline.run(node, ctx)
-        plan = self.planner.plan(logical)
+        with self.tracer.span("planner", cat="optimizer"):
+            plan = self.planner.plan(logical)
         self._plans[id(node)] = (node, plan)
         return plan
 
@@ -296,10 +312,21 @@ class RiotSession:
     def io_stats(self) -> IOStats:
         return self.store.device.stats
 
+    @property
+    def tracer(self):
+        """The store's span tracer (off by default; see repro.obs)."""
+        return self.store.tracer
+
+    def _tracer_health(self) -> dict:
+        t = self.tracer
+        return {"enabled": t.enabled, "spans": len(t),
+                "spans_opened": t.spans_opened,
+                "spans_dropped": t.spans_dropped}
+
     def reset_stats(self) -> None:
         self.store.reset_stats()
 
-    def explain(self, obj) -> str:
+    def explain(self, obj, analyze: bool = False) -> str:
         """Render the optimizer's view of a DAG (Figure 2, upgraded).
 
         Three sections: the DAG as written, the logically rewritten
@@ -307,17 +334,100 @@ class RiotSession:
         with per-operator predicted block I/O (plus measured blocks
         once the handle has been forced) and the enumerated
         alternatives each choice beat.
+
+        ``analyze=True`` executes the plan under the tracer first
+        (EXPLAIN ANALYZE): every operator then also shows its measured
+        I/O delta (blocks, bytes, syscalls, device time), buffer-pool
+        behavior, wall-clock, and the measured/predicted ratio —
+        flagged when it leaves the validated 0.5–2.0x band — followed
+        by a per-cost-model calibration summary.
         """
         from .expr import render
         node = obj.node if hasattr(obj, "node") else obj
         if not self.config.plans:
-            return ("-- original --\n" + render(node)
+            text = ("-- original --\n" + render(node)
                     + "\n-- optimized --\n" + render(node)
                     + "\n-- physical plan --\n"
                     + "(optimizer level 0: expression-tree dispatch, "
                     "no plan)")
-        plan = self.plan(node)
-        return ("-- original --\n" + render(node)
+            if analyze:
+                text += ("\n(analyze requires optimizer level >= 1: "
+                         "there is no plan to measure)")
+            return text
+        if analyze:
+            # Plan inside the recording window too, so the trace shows
+            # the optimizer passes next to the execution spans (a
+            # cached plan contributes no optimizer spans — it did not
+            # run again).
+            with self.tracer.recording():
+                plan = self.plan(node)
+                self.evaluator.execute(plan, cold=True)
+        else:
+            plan = self.plan(node)
+        text = ("-- original --\n" + render(node)
                 + "\n-- optimized --\n" + render(plan.logical_root)
                 + f"\n-- physical plan (level {plan.level}) --\n"
-                + plan.render())
+                + plan.render(analyze=analyze))
+        if analyze:
+            text += "\n" + self._render_analyze_summary(plan)
+        return text
+
+    def _render_analyze_summary(self, plan: PhysicalPlan) -> str:
+        """The trailing EXPLAIN ANALYZE section: session-level totals
+        plus the per-cost-model calibration verdicts."""
+        # Per-op measurements are exclusive of children (the evaluator
+        # snapshots after the children ran), so summing them yields the
+        # run's exact totals.
+        io = IOStats()
+        pool_hits = pool_misses = 0
+        wall_ns = 0
+        for op in plan.ops():
+            if op.measured is not None:
+                io = io.merged(op.measured)
+            if op.pool_measured is not None:
+                pool_hits += op.pool_measured.hits
+                pool_misses += op.pool_measured.misses
+            wall_ns += op.wall_ns or 0
+        lines = [f"-- analyze (backend={self.storage.backend}) --",
+                 f"execution: {io.reads} blk read, {io.writes} blk "
+                 f"written, {io.syscalls} syscalls, "
+                 f"{io.seconds:.6f} s device, "
+                 f"{wall_ns / 1e9:.6f} s wall",
+                 f"pool: {pool_hits} hits / {pool_misses} misses"]
+        report = CalibrationReport()
+        report.add_plan(plan)
+        for name in sorted(report.models):
+            entry = report.models[name]
+            med = entry.median_ratio
+            if med is None:
+                verdict = (f"no band-checkable samples "
+                           f"({entry.n_skipped} below noise floor)")
+            else:
+                ok = entry.in_band(report.band)
+                verdict = (f"median ratio {med:.3f} over "
+                           f"{len(entry.ratios)} op(s) "
+                           + ("ok" if ok else
+                              f"!! outside [{report.band[0]}, "
+                              f"{report.band[1]}]"))
+            lines.append(f"calibration: {name}: {verdict}")
+        return "\n".join(lines)
+
+    def calibration_report(self, obj=None) -> CalibrationReport:
+        """Machine-readable cost-model drift report.
+
+        With ``obj``, covers that handle's (executed) plan; without,
+        aggregates every plan this session has executed.  Run
+        ``explain(obj, analyze=True)`` or ``force(obj)`` first so
+        there are measurements to aggregate.
+        """
+        report = CalibrationReport()
+        if obj is not None:
+            node = obj.node if hasattr(obj, "node") else obj
+            plan = self.plan(node)
+            if plan.executed:
+                report.add_plan(plan)
+            return report
+        for _node, plan in self._plans.values():
+            if plan.executed:
+                report.add_plan(plan)
+        return report

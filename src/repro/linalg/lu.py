@@ -142,40 +142,43 @@ def lu_decompose(store: ArrayStore, a: TiledMatrix,
     try:
         for k0 in range(0, n, p):
             k1 = min(k0 + p, n)
-            # 1. Tall-panel factorization with row interchanges.
-            store.pool.prefetch(out.submatrix_blocks(k0, n, k0, k1))
-            panel = out.read_submatrix(k0, n, k0, k1)
-            piv = _panel_lu(panel, k0)
-            out.write_submatrix(k0, k0, panel)
-            _apply_swaps(perm[k0:n], piv)
-            l_kk = np.tril(panel[: k1 - k0], -1) + np.eye(k1 - k0)
-            # 2. Apply the interchanges out-of-core: the already-
-            # factored left blocks get the swaps alone, trailing strips
-            # fuse the swaps with the triangular solve for U's row panel.
-            strips = [(j0, min(j0 + p, k0), False)
-                      for j0 in range(0, k0, p)]
-            strips += [(j0, min(j0 + p, n), True)
-                       for j0 in range(k1, n, p)]
-            for j0, j1, trailing in strips:
-                store.pool.prefetch(out.submatrix_blocks(k0, n, j0, j1))
-                strip = out.read_submatrix(k0, n, j0, j1)
-                _apply_swaps(strip, piv)
-                if trailing:
-                    strip[: k1 - k0] = np.linalg.solve(l_kk,
-                                                       strip[: k1 - k0])
-                out.write_submatrix(k0, j0, strip)
-            # 3. Trailing update: A[i, j] -= L[i, k] @ U[k, j].
-            for i0 in range(k1, n, p):
-                i1 = min(i0 + p, n)
-                l_ik = out.read_submatrix(i0, i1, k0, k1)
-                for j0 in range(k1, n, p):
-                    j1 = min(j0 + p, n)
+            with store.tracer.span("lu:panel", cat="kernel", k0=k0, p=p):
+                # 1. Tall-panel factorization with row interchanges.
+                store.pool.prefetch(out.submatrix_blocks(k0, n, k0, k1))
+                panel = out.read_submatrix(k0, n, k0, k1)
+                piv = _panel_lu(panel, k0)
+                out.write_submatrix(k0, k0, panel)
+                _apply_swaps(perm[k0:n], piv)
+                l_kk = np.tril(panel[: k1 - k0], -1) + np.eye(k1 - k0)
+                # 2. Apply the interchanges out-of-core: the already-
+                # factored left blocks get the swaps alone, trailing
+                # strips fuse the swaps with the triangular solve for
+                # U's row panel.
+                strips = [(j0, min(j0 + p, k0), False)
+                          for j0 in range(0, k0, p)]
+                strips += [(j0, min(j0 + p, n), True)
+                           for j0 in range(k1, n, p)]
+                for j0, j1, trailing in strips:
                     store.pool.prefetch(
-                        out.submatrix_blocks(k0, k1, j0, j1)
-                        + out.submatrix_blocks(i0, i1, j0, j1))
-                    u_kj = out.read_submatrix(k0, k1, j0, j1)
-                    block = out.read_submatrix(i0, i1, j0, j1)
-                    out.write_submatrix(i0, j0, block - l_ik @ u_kj)
+                        out.submatrix_blocks(k0, n, j0, j1))
+                    strip = out.read_submatrix(k0, n, j0, j1)
+                    _apply_swaps(strip, piv)
+                    if trailing:
+                        strip[: k1 - k0] = np.linalg.solve(
+                            l_kk, strip[: k1 - k0])
+                    out.write_submatrix(k0, j0, strip)
+                # 3. Trailing update: A[i, j] -= L[i, k] @ U[k, j].
+                for i0 in range(k1, n, p):
+                    i1 = min(i0 + p, n)
+                    l_ik = out.read_submatrix(i0, i1, k0, k1)
+                    for j0 in range(k1, n, p):
+                        j1 = min(j0 + p, n)
+                        store.pool.prefetch(
+                            out.submatrix_blocks(k0, k1, j0, j1)
+                            + out.submatrix_blocks(i0, i1, j0, j1))
+                        u_kj = out.read_submatrix(k0, k1, j0, j1)
+                        block = out.read_submatrix(i0, i1, j0, j1)
+                        out.write_submatrix(i0, j0, block - l_ik @ u_kj)
     except SingularMatrixError:
         # A singular input is a catchable, retryable condition: free
         # the half-built working factor instead of leaking its pages.

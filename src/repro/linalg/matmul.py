@@ -124,22 +124,24 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
         i1 = min(i0 + p, m)
         for j0 in range(0, n, p):
             j1 = min(j0 + p, n)
-            acc = np.zeros((i1 - i0, j1 - j0))
-            for k0 in range(0, l, p):
-                k1 = min(k0 + p, l)
-                if hinting:
-                    # Announce the step's full footprint — both operand
-                    # submatrices at once — so the scheduler turns the
-                    # tile misses into a handful of coalesced reads.
-                    store.pool.prefetch(
-                        _operand_blocks(a, i0, i1, k0, k1, trans_a)
-                        + _operand_blocks(b, k0, k1, j0, j1, trans_b))
-                a_sub = _read_operand(a, i0, i1, k0, k1, trans_a)
-                b_sub = _read_operand(b, k0, k1, j0, j1, trans_b)
-                acc += a_sub @ b_sub
-            if epilogue is not None:
-                acc = epilogue(i0, j0, acc)
-            out.write_submatrix(i0, j0, acc)
+            with store.tracer.span("matmul:panel", cat="kernel",
+                                   i0=i0, j0=j0, p=p):
+                acc = np.zeros((i1 - i0, j1 - j0))
+                for k0 in range(0, l, p):
+                    k1 = min(k0 + p, l)
+                    if hinting:
+                        # Announce the step's full footprint — both operand
+                        # submatrices at once — so the scheduler turns the
+                        # tile misses into a handful of coalesced reads.
+                        store.pool.prefetch(
+                            _operand_blocks(a, i0, i1, k0, k1, trans_a)
+                            + _operand_blocks(b, k0, k1, j0, j1, trans_b))
+                    a_sub = _read_operand(a, i0, i1, k0, k1, trans_a)
+                    b_sub = _read_operand(b, k0, k1, j0, j1, trans_b)
+                    acc += a_sub @ b_sub
+                if epilogue is not None:
+                    acc = epilogue(i0, j0, acc)
+                out.write_submatrix(i0, j0, acc)
     return out
 
 
@@ -175,26 +177,28 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
         i1 = min(i0 + p, k)
         for j0 in range(i0, k, p):
             j1 = min(j0 + p, k)
-            acc = np.zeros((i1 - i0, j1 - j0))
-            for r0 in range(0, inner, p):
-                r1 = min(r0 + p, inner)
-                if hinting:
-                    blocks = _operand_blocks(a, r0, r1, i0, i1,
-                                             not t_first)
-                    if j0 != i0:
-                        blocks = blocks + _operand_blocks(
-                            a, r0, r1, j0, j1, not t_first)
-                    store.pool.prefetch(blocks)
-                left = _read_operand(a, r0, r1, i0, i1, not t_first)
-                right = (left if j0 == i0 else
-                         _read_operand(a, r0, r1, j0, j1, not t_first))
-                acc += left.T @ right
-            block = acc if epilogue is None else epilogue(i0, j0, acc)
-            out.write_submatrix(i0, j0, block)
-            if j0 != i0:
-                mirror = (acc.T if epilogue is None
-                          else epilogue(j0, i0, acc.T))
-                out.write_submatrix(j0, i0, mirror)
+            with store.tracer.span("crossprod:panel", cat="kernel",
+                                   i0=i0, j0=j0, p=p):
+                acc = np.zeros((i1 - i0, j1 - j0))
+                for r0 in range(0, inner, p):
+                    r1 = min(r0 + p, inner)
+                    if hinting:
+                        blocks = _operand_blocks(a, r0, r1, i0, i1,
+                                                 not t_first)
+                        if j0 != i0:
+                            blocks = blocks + _operand_blocks(
+                                a, r0, r1, j0, j1, not t_first)
+                        store.pool.prefetch(blocks)
+                    left = _read_operand(a, r0, r1, i0, i1, not t_first)
+                    right = (left if j0 == i0 else
+                             _read_operand(a, r0, r1, j0, j1, not t_first))
+                    acc += left.T @ right
+                block = acc if epilogue is None else epilogue(i0, j0, acc)
+                out.write_submatrix(i0, j0, block)
+                if j0 != i0:
+                    mirror = (acc.T if epilogue is None
+                              else epilogue(j0, i0, acc.T))
+                    out.write_submatrix(j0, i0, mirror)
     return out
 
 
@@ -229,22 +233,24 @@ def bnlj_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     hinting = a.store is store and b.store is store
     for r0 in range(0, n1, q):
         r1 = min(r0 + q, n1)
-        if hinting:
-            store.pool.prefetch(
-                _operand_blocks(a, r0, r1, 0, n2, trans_a))
-        a_rows = _read_operand(a, r0, r1, 0, n2, trans_a)
-        t_rows = np.zeros((r1 - r0, n3))
-        # Scan B one column-block at a time (a block of columns costs the
-        # same I/O as one column when B uses column tiles).
-        col_step = max(1, b.tile_shape[0] if trans_b else b.tile_shape[1])
-        for c0 in range(0, n3, col_step):
-            c1 = min(c0 + col_step, n3)
+        with store.tracer.span("bnlj:chunk", cat="kernel", r0=r0, q=q):
             if hinting:
                 store.pool.prefetch(
-                    _operand_blocks(b, 0, n2, c0, c1, trans_b))
-            b_cols = _read_operand(b, 0, n2, c0, c1, trans_b)
-            t_rows[:, c0:c1] = a_rows @ b_cols
-        out.write_submatrix(r0, 0, t_rows)
+                    _operand_blocks(a, r0, r1, 0, n2, trans_a))
+            a_rows = _read_operand(a, r0, r1, 0, n2, trans_a)
+            t_rows = np.zeros((r1 - r0, n3))
+            # Scan B one column-block at a time (a block of columns costs
+            # the same I/O as one column when B uses column tiles).
+            col_step = max(1,
+                           b.tile_shape[0] if trans_b else b.tile_shape[1])
+            for c0 in range(0, n3, col_step):
+                c1 = min(c0 + col_step, n3)
+                if hinting:
+                    store.pool.prefetch(
+                        _operand_blocks(b, 0, n2, c0, c1, trans_b))
+                b_cols = _read_operand(b, 0, n2, c0, c1, trans_b)
+                t_rows[:, c0:c1] = a_rows @ b_cols
+            out.write_submatrix(r0, 0, t_rows)
     return out
 
 

@@ -1,0 +1,152 @@
+"""Cost-model drift detection: measured/predicted ratios per model.
+
+The repo's cost models (:mod:`repro.core.costs`) are validated to agree
+with measured block counts within 0.5–2.0×.  That band is asserted in
+tests for a handful of workloads; this module makes it a first-class,
+machine-readable artifact of *any* executed plan: a
+:class:`CalibrationReport` groups every measured operator by the cost
+model that priced it and aggregates the measured/predicted ratio, so
+drift in one model (say ``spmm_io`` after a kernel change) is visible,
+attributable, and CI-checkable (``benchmarks/check_calibration.py``).
+
+Plans are duck-typed — anything iterable whose items expose
+``predicted_io``, ``measured_io``, ``cost_model``, and ``label()``
+works — so this module imports nothing from :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+
+#: The validated agreement band for measured/predicted block ratios,
+#: matching tests/linalg/test_cost_agreement.py.
+CALIBRATION_BAND = (0.5, 2.0)
+
+#: Ops predicted to cost fewer blocks than this are recorded but not
+#: band-checked: at 1–3 blocks a single extra metadata read doubles the
+#: ratio, which is noise, not model drift.
+MIN_PREDICTED_BLOCKS = 4
+
+#: Version of the JSON shape produced by CalibrationReport.as_dict().
+CALIBRATION_SCHEMA_VERSION = 1
+
+
+class ModelCalibration:
+    """Aggregated measured/predicted evidence for one cost model."""
+
+    __slots__ = ("model", "ratios", "n_ops", "n_skipped",
+                 "predicted_blocks", "measured_blocks")
+
+    def __init__(self, model: str) -> None:
+        self.model = model
+        self.ratios: list[float] = []
+        self.n_ops = 0
+        self.n_skipped = 0
+        self.predicted_blocks = 0
+        self.measured_blocks = 0
+
+    def add(self, predicted: int, measured: int,
+            min_predicted: int) -> None:
+        self.n_ops += 1
+        self.predicted_blocks += predicted
+        self.measured_blocks += measured
+        if predicted < min_predicted:
+            self.n_skipped += 1
+            return
+        self.ratios.append(measured / predicted)
+
+    @property
+    def median_ratio(self) -> float | None:
+        return statistics.median(self.ratios) if self.ratios else None
+
+    def in_band(self, band=CALIBRATION_BAND) -> bool:
+        """True when the median ratio sits inside the band.
+
+        Models with no band-checkable samples (every op under the
+        noise floor) pass vacuously — absence of evidence is reported
+        via ``n_skipped``, not as a violation.
+        """
+        med = self.median_ratio
+        return med is None or band[0] <= med <= band[1]
+
+    def as_dict(self) -> dict:
+        med = self.median_ratio
+        return {
+            "model": self.model,
+            "n_ops": self.n_ops,
+            "n_skipped": self.n_skipped,
+            "predicted_blocks": self.predicted_blocks,
+            "measured_blocks": self.measured_blocks,
+            "ratios": [round(r, 6) for r in self.ratios],
+            "median_ratio": None if med is None else round(med, 6),
+        }
+
+
+class CalibrationReport:
+    """Per-cost-model drift report over one or more executed plans."""
+
+    def __init__(self, band=CALIBRATION_BAND,
+                 min_predicted: int = MIN_PREDICTED_BLOCKS) -> None:
+        self.band = (float(band[0]), float(band[1]))
+        self.min_predicted = min_predicted
+        self.models: dict[str, ModelCalibration] = {}
+
+    def add_op(self, op) -> bool:
+        """Record one executed operator; True when it contributed.
+
+        Ops without a cost model (leaves, constants) or never executed
+        (``measured_io is None``) are ignored.
+        """
+        model = getattr(op, "cost_model", None)
+        if model is None or op.measured_io is None:
+            return False
+        entry = self.models.get(model)
+        if entry is None:
+            entry = self.models[model] = ModelCalibration(model)
+        entry.add(op.predicted_io, op.measured_io, self.min_predicted)
+        return True
+
+    def add_plan(self, plan) -> int:
+        """Record every executed op of a physical plan; returns count."""
+        return sum(1 for op in plan.ops() if self.add_op(op))
+
+    def violations(self) -> list[str]:
+        """Human-readable list of models whose median left the band."""
+        out = []
+        for name in sorted(self.models):
+            entry = self.models[name]
+            if not entry.in_band(self.band):
+                out.append(
+                    f"{name}: median measured/predicted ratio "
+                    f"{entry.median_ratio:.3f} outside "
+                    f"[{self.band[0]}, {self.band[1]}] "
+                    f"({len(entry.ratios)} samples)")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": CALIBRATION_SCHEMA_VERSION,
+            "band": list(self.band),
+            "min_predicted_blocks": self.min_predicted,
+            "ok": self.ok,
+            "violations": self.violations(),
+            "models": {name: self.models[name].as_dict()
+                       for name in sorted(self.models)},
+        }
+
+    def to_json(self, path=None) -> str:
+        text = json.dumps(self.as_dict(), indent=2)
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else "DRIFT"
+        return (f"CalibrationReport({status}, "
+                f"{len(self.models)} models)")

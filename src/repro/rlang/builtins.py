@@ -314,17 +314,24 @@ def _builtin_crossprod(interp, args, kwargs):
 
 
 def _builtin_explain(interp, args, kwargs):
-    """RIOT's ``explain(x)``: print the optimizer's view of a deferred
-    object — the DAG as written, the logically rewritten DAG, and the
-    chosen physical plan with per-operator predicted (and, once
-    forced, measured) block I/O.
+    """RIOT's ``explain(x[, analyze])``: print the optimizer's view of
+    a deferred object — the DAG as written, the logically rewritten
+    DAG, and the chosen physical plan with per-operator predicted
+    (and, once forced, measured) block I/O.  With ``analyze=TRUE`` the
+    plan is executed under the tracer first and every operator also
+    shows measured bytes/syscalls, pool behavior, wall-clock, and its
+    measured/predicted calibration ratio (EXPLAIN ANALYZE).
 
-    Only engines that defer computation register the generic; eager
+    Only engines that defer computation register the generics; eager
     engines have no plan to show and raise.
     """
-    (x,) = args
-    if interp.generics.lookup("explain", (type(x),)):
-        text = interp.generics.dispatch("explain", x)
+    x = args[0]
+    flag = args[1] if len(args) > 1 else kwargs.get("analyze")
+    analyze = (flag.truthy() if isinstance(flag, RScalar)
+               else bool(flag)) if flag is not None else False
+    generic = "explain_analyze" if analyze else "explain"
+    if interp.generics.lookup(generic, (type(x),)):
+        text = interp.generics.dispatch(generic, x)
         interp.emit(text)
         return x
     raise RError(

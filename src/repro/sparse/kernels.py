@@ -130,27 +130,29 @@ def spmv(store: ArrayStore, a: SparseTiledMatrix, x: TiledVector,
     writer = _StreamingVectorWriter(out)
     hinting = a.store is store and x.store is store
     for ti in range(a.grid[0]):
-        r0 = ti * a.tile_shape[0]
-        r1 = min(r0 + a.tile_shape[0], a.shape[0])
-        acc = np.zeros(r1 - r0, dtype=_FLOAT)
-        tjs = a.nonempty_in_row(ti)
-        groups: list[list[int]] = []
-        seen_chunks: set[int] = set()
-        for tj in tjs:
-            keys = a.tile_blocks(ti, tj)
-            _, _, c0, c1 = a.tile_bounds(ti, tj)
-            fresh = [ci for ci in range(c0 // x.chunk, -(-c1 // x.chunk))
-                     if ci not in seen_chunks]
-            seen_chunks.update(fresh)
-            groups.append(keys + x.blocks_for_chunks(fresh))
-        hints = _BatchedHints(store.pool, groups, hinting)
-        for idx, tj in enumerate(tjs):
-            hints.before(idx)
-            indptr, indices, data = a.read_tile_csr(ti, tj)
-            _, _, c0, c1 = a.tile_bounds(ti, tj)
-            csr_matvec(indptr, indices, data,
-                       _vector_slice(x, c0, c1), acc)
-        writer.emit(acc)
+        with store.tracer.span("spmv:block_row", cat="kernel", ti=ti):
+            r0 = ti * a.tile_shape[0]
+            r1 = min(r0 + a.tile_shape[0], a.shape[0])
+            acc = np.zeros(r1 - r0, dtype=_FLOAT)
+            tjs = a.nonempty_in_row(ti)
+            groups: list[list[int]] = []
+            seen_chunks: set[int] = set()
+            for tj in tjs:
+                keys = a.tile_blocks(ti, tj)
+                _, _, c0, c1 = a.tile_bounds(ti, tj)
+                fresh = [ci
+                         for ci in range(c0 // x.chunk, -(-c1 // x.chunk))
+                         if ci not in seen_chunks]
+                seen_chunks.update(fresh)
+                groups.append(keys + x.blocks_for_chunks(fresh))
+            hints = _BatchedHints(store.pool, groups, hinting)
+            for idx, tj in enumerate(tjs):
+                hints.before(idx)
+                indptr, indices, data = a.read_tile_csr(ti, tj)
+                _, _, c0, c1 = a.tile_bounds(ti, tj)
+                csr_matvec(indptr, indices, data,
+                           _vector_slice(x, c0, c1), acc)
+            writer.emit(acc)
     writer.close()
     return out
 
@@ -177,22 +179,24 @@ def spmm(store: ArrayStore, a: SparseTiledMatrix, b: TiledMatrix,
     for j0 in range(0, n, pw):
         j1 = min(j0 + pw, n)
         for ti in range(a.grid[0]):
-            r0 = ti * th
-            r1 = min(r0 + th, m)
-            acc = np.zeros((r1 - r0, j1 - j0), dtype=_FLOAT)
-            tjs = a.nonempty_in_row(ti)
-            groups = []
-            for tj in tjs:
-                _, _, c0, c1 = a.tile_bounds(ti, tj)
-                groups.append(a.tile_blocks(ti, tj)
-                              + b.submatrix_blocks(c0, c1, j0, j1))
-            hints = _BatchedHints(store.pool, groups, hinting)
-            for idx, tj in enumerate(tjs):
-                hints.before(idx)
-                _, _, c0, c1 = a.tile_bounds(ti, tj)
-                a_tile = a.read_tile(ti, tj)
-                acc += a_tile @ b.read_submatrix(c0, c1, j0, j1)
-            out.write_submatrix(r0, j0, acc)
+            with store.tracer.span("spmm:tile_batch", cat="kernel",
+                                   j0=j0, ti=ti):
+                r0 = ti * th
+                r1 = min(r0 + th, m)
+                acc = np.zeros((r1 - r0, j1 - j0), dtype=_FLOAT)
+                tjs = a.nonempty_in_row(ti)
+                groups = []
+                for tj in tjs:
+                    _, _, c0, c1 = a.tile_bounds(ti, tj)
+                    groups.append(a.tile_blocks(ti, tj)
+                                  + b.submatrix_blocks(c0, c1, j0, j1))
+                hints = _BatchedHints(store.pool, groups, hinting)
+                for idx, tj in enumerate(tjs):
+                    hints.before(idx)
+                    _, _, c0, c1 = a.tile_bounds(ti, tj)
+                    a_tile = a.read_tile(ti, tj)
+                    acc += a_tile @ b.read_submatrix(c0, c1, j0, j1)
+                out.write_submatrix(r0, j0, acc)
     return out
 
 
@@ -221,13 +225,15 @@ def spgemm(store: ArrayStore, a: SparseTiledMatrix,
                     & set(b.nonempty_in_col(tj)))
         if not ks:
             continue
-        groups = [a.tile_blocks(ti, k) + b.tile_blocks(k, tj)
-                  for k in ks]
-        hints = _BatchedHints(store.pool, groups, hinting)
-        r0, r1, c0, c1 = out.tile_bounds(ti, tj)
-        acc = np.zeros((r1 - r0, c1 - c0), dtype=_FLOAT)
-        for idx, k in enumerate(ks):
-            hints.before(idx)
-            acc += a.read_tile(ti, k) @ b.read_tile(k, tj)
-        out.append_tile_dense(ti, tj, acc)
+        with store.tracer.span("spgemm:tile", cat="kernel",
+                               ti=ti, tj=tj, k_tiles=len(ks)):
+            groups = [a.tile_blocks(ti, k) + b.tile_blocks(k, tj)
+                      for k in ks]
+            hints = _BatchedHints(store.pool, groups, hinting)
+            r0, r1, c0, c1 = out.tile_bounds(ti, tj)
+            acc = np.zeros((r1 - r0, c1 - c0), dtype=_FLOAT)
+            for idx, k in enumerate(ks):
+                hints.before(idx)
+                acc += a.read_tile(ti, k) @ b.read_tile(k, tj)
+            out.append_tile_dense(ti, tj, acc)
     return out

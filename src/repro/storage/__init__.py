@@ -11,10 +11,11 @@ I/O comparisons (Figure 1(a), Figure 3) exact here.
 from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE,
                            IO_SCHEMA_VERSION, IOSTATS_SCHEMA_KEYS, IOStats,
                            SCALARS_PER_BLOCK, SimClock, coalesce_runs)
-from .buffer_pool import BufferPool, ClockPolicy, LRUPolicy, make_policy
+from .buffer_pool import (POOL_SCHEMA_KEYS, BufferPool, ClockPolicy,
+                          LRUPolicy, PoolStats, make_policy)
 from .config import (BACKENDS, StorageConfig, create_device, parse_memory)
 from .file_device import FileBlockDevice
-from .io_scheduler import IOScheduler
+from .io_scheduler import IOScheduler, SchedulerStats
 from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
                             ZOrder, linearization_names, make_linearization)
 from .pagefile import PageFile
@@ -37,9 +38,12 @@ __all__ = [
     "IOStats",
     "Linearization",
     "LRUPolicy",
+    "POOL_SCHEMA_KEYS",
     "PageFile",
+    "PoolStats",
     "RowMajor",
     "SCALARS_PER_BLOCK",
+    "SchedulerStats",
     "SimClock",
     "StorageConfig",
     "TiledMatrix",

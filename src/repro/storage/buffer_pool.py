@@ -141,6 +141,41 @@ class PoolStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_dict(self) -> dict[str, int | float]:
+        """Counters plus derived rates under the shared JSON schema.
+
+        Mirrors ``IOStats.as_dict()``: benchmarks attach this shape as
+        ``extra_info["pool"]`` and ``benchmarks/check_schema.py``
+        validates it against :data:`POOL_SCHEMA_KEYS`, so prefetch
+        efficacy (readahead_hits vs prefetch_wasted) is visible in
+        every artifact, not just the prefetch benchmark.
+        """
+        out: dict[str, int | float] = {
+            f: int(getattr(self, f)) for f in _POOL_FIELDS}
+        out["accesses"] = self.accesses
+        out["hit_rate"] = round(self.hit_rate, 6)
+        return out
+
+    def snapshot(self) -> "PoolStats":
+        return PoolStats(**{f: getattr(self, f) for f in _POOL_FIELDS})
+
+    def delta(self, earlier: "PoolStats") -> "PoolStats":
+        """Return pool activity since ``earlier`` (a prior snapshot)."""
+        return PoolStats(**{f: getattr(self, f) - getattr(earlier, f)
+                            for f in _POOL_FIELDS})
+
+    def merged(self, other: "PoolStats") -> "PoolStats":
+        return PoolStats(**{f: getattr(self, f) + getattr(other, f)
+                            for f in _POOL_FIELDS})
+
+
+_POOL_FIELDS = ("hits", "misses", "evictions", "dirty_writebacks",
+                "prefetched", "readahead_hits", "prefetch_wasted")
+
+#: Exact key set of ``PoolStats.as_dict()`` — the ``extra_info["pool"]``
+#: section every benchmark emits and CI validates.
+POOL_SCHEMA_KEYS = frozenset(_POOL_FIELDS) | {"accesses", "hit_rate"}
+
 
 class BufferPool:
     """A bounded cache of device blocks with write-back semantics."""

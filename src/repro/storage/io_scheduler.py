@@ -37,6 +37,8 @@ drift is observable, never silent.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .block_device import BlockDevice
@@ -46,6 +48,38 @@ DEFAULT_READAHEAD_WINDOW = 8
 
 #: Consecutive demanded blocks required before readahead kicks in.
 DEFAULT_MIN_RUN = 2
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for the scheduler's own decisions (not block movement).
+
+    ``IOStats`` counts what moved and ``PoolStats`` counts residency;
+    this records *why* — how often readahead triggered and how much was
+    announced via hints — so the metrics registry can report coalescing
+    behavior per session.
+    """
+
+    readahead_triggers: int = 0  # sequential runs that launched a window
+    hint_batches: int = 0        # prefetch() calls that reached fetch
+    hinted_blocks: int = 0       # blocks announced across those batches
+    coalesced_batches: int = 0   # multi-block fetch/write_back batches
+
+    def as_dict(self) -> dict[str, int]:
+        return {f: int(getattr(self, f)) for f in _SCHED_FIELDS}
+
+    def snapshot(self) -> "SchedulerStats":
+        return SchedulerStats(
+            **{f: getattr(self, f) for f in _SCHED_FIELDS})
+
+    def delta(self, earlier: "SchedulerStats") -> "SchedulerStats":
+        return SchedulerStats(
+            **{f: getattr(self, f) - getattr(earlier, f)
+               for f in _SCHED_FIELDS})
+
+
+_SCHED_FIELDS = ("readahead_triggers", "hint_batches", "hinted_blocks",
+                 "coalesced_batches")
 
 
 class IOScheduler:
@@ -71,6 +105,7 @@ class IOScheduler:
         self.readahead_window = readahead_window
         self.min_run = min_run
         self.enabled = enabled
+        self.stats = SchedulerStats()
         self._last_demand: int | None = None
         self._run_len = 0
         self._ra_mark: int | None = None
@@ -104,6 +139,7 @@ class IOScheduler:
         if hi <= lo:
             return []
         self._ra_mark = hi - 1
+        self.stats.readahead_triggers += 1
         return list(range(lo, hi))
 
     def reset(self) -> None:
@@ -129,6 +165,8 @@ class IOScheduler:
         ids = sorted(set(block_ids))
         if not ids:
             return {}
+        if len(ids) > 1:
+            self.stats.coalesced_batches += 1
         if self.enabled:
             arrays = self.device.read_blocks(ids)
         else:
@@ -136,8 +174,11 @@ class IOScheduler:
         if n_speculative:
             demand = block_ids[:len(block_ids) - n_speculative]
             speculative = set(block_ids[len(block_ids) - n_speculative:])
-            self.device.stats.prefetched += len(
-                speculative.difference(demand))
+            n_spec = len(speculative.difference(demand))
+            self.device.stats.prefetched += n_spec
+            if n_spec:
+                self.stats.hint_batches += 1
+                self.stats.hinted_blocks += n_spec
         return dict(zip(ids, arrays))
 
     def write_back(self, items: list[tuple[int, np.ndarray]]) -> None:
@@ -145,6 +186,8 @@ class IOScheduler:
         if not items:
             return
         items = sorted(items, key=lambda kv: kv[0])
+        if len(items) > 1:
+            self.stats.coalesced_batches += 1
         if self.enabled:
             self.device.write_blocks(items)
         else:

@@ -26,6 +26,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from ..obs.tracer import Tracer
 from .block_device import BlockDevice, DEFAULT_BLOCK_SIZE
 from .buffer_pool import BufferPool
 from .linearization import Linearization, make_linearization
@@ -491,6 +492,11 @@ class ArrayStore:
                                policy=storage.policy,
                                readahead_window=storage.readahead_window)
         self.pool.scheduler.enabled = storage.scheduler
+        # Observability: one tracer per store, off by default.  Kernels
+        # and the evaluator bracket their work in store.tracer.span();
+        # spans close with IOStats/PoolStats deltas from this device
+        # and pool (see repro.obs.tracer for the overhead contract).
+        self.tracer = Tracer(device=self.device, pool=self.pool)
         self._counter = 0
         self._arrays: dict[str, TiledVector | TiledMatrix] = {}
         self._closed = False

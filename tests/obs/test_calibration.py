@@ -1,0 +1,102 @@
+"""CalibrationReport: drift aggregation over duck-typed plans."""
+
+import json
+
+from repro.obs import CALIBRATION_BAND, CALIBRATION_SCHEMA_VERSION, \
+    MIN_PREDICTED_BLOCKS, CalibrationReport, ModelCalibration
+
+
+class FakeOp:
+    def __init__(self, model, predicted, measured):
+        self.cost_model = model
+        self.predicted_io = predicted
+        self.measured_io = measured
+
+    def label(self):
+        return f"fake.{self.cost_model}"
+
+
+class FakePlan:
+    def __init__(self, ops):
+        self._ops = ops
+
+    def ops(self):
+        return list(self._ops)
+
+
+class TestModelCalibration:
+    def test_median_ratio(self):
+        m = ModelCalibration("matmul_io")
+        for pred, meas in ((100, 90), (100, 110), (100, 200)):
+            m.add(pred, meas, MIN_PREDICTED_BLOCKS)
+        assert m.median_ratio == 1.1
+        assert m.in_band(CALIBRATION_BAND)
+        assert m.n_ops == 3 and m.n_skipped == 0
+
+    def test_noise_floor_skips_tiny_predictions(self):
+        m = ModelCalibration("stream_io")
+        m.add(2, 8, MIN_PREDICTED_BLOCKS)  # 4x off, but 2 blocks
+        assert m.ratios == [] and m.n_skipped == 1
+        assert m.median_ratio is None
+        assert m.in_band()  # vacuous pass: no evidence, no violation
+
+    def test_out_of_band(self):
+        m = ModelCalibration("solve_io")
+        m.add(100, 300, MIN_PREDICTED_BLOCKS)
+        assert not m.in_band(CALIBRATION_BAND)
+
+
+class TestCalibrationReport:
+    def test_groups_ops_by_model(self):
+        plan = FakePlan([
+            FakeOp("matmul_io", 128, 180),
+            FakeOp("matmul_io", 64, 60),
+            FakeOp("solve_io", 500, 310),
+            FakeOp(None, 10, 10),        # leaf: no model
+            FakeOp("spmm_io", 40, None),  # never executed
+        ])
+        report = CalibrationReport()
+        assert report.add_plan(plan) == 3
+        assert set(report.models) == {"matmul_io", "solve_io"}
+        assert report.ok and report.violations() == []
+
+    def test_violation_names_the_model(self):
+        report = CalibrationReport()
+        report.add_op(FakeOp("spgemm_io", 100, 450))
+        assert not report.ok
+        [violation] = report.violations()
+        assert "spgemm_io" in violation and "4.5" in violation
+
+    def test_custom_band(self):
+        report = CalibrationReport(band=(0.9, 1.1))
+        report.add_op(FakeOp("matmul_io", 100, 140))
+        assert not report.ok
+        report2 = CalibrationReport(band=(0.5, 2.0))
+        report2.add_op(FakeOp("matmul_io", 100, 140))
+        assert report2.ok
+
+    def test_as_dict_schema(self):
+        report = CalibrationReport()
+        report.add_op(FakeOp("matmul_io", 128, 180))
+        d = report.as_dict()
+        assert d["schema_version"] == CALIBRATION_SCHEMA_VERSION
+        assert d["band"] == list(CALIBRATION_BAND)
+        assert d["min_predicted_blocks"] == MIN_PREDICTED_BLOCKS
+        assert d["ok"] is True and d["violations"] == []
+        entry = d["models"]["matmul_io"]
+        assert set(entry) == {"model", "n_ops", "n_skipped",
+                              "predicted_blocks", "measured_blocks",
+                              "ratios", "median_ratio"}
+        assert entry["median_ratio"] == round(180 / 128, 6)
+
+    def test_to_json_round_trips(self, tmp_path):
+        report = CalibrationReport()
+        report.add_op(FakeOp("solve_io", 500, 310))
+        path = tmp_path / "calibration.json"
+        text = report.to_json(path)
+        assert json.loads(text) == json.loads(path.read_text())
+        assert json.loads(text) == report.as_dict()
+
+    def test_empty_report_is_ok(self):
+        report = CalibrationReport()
+        assert report.ok and report.as_dict()["models"] == {}
