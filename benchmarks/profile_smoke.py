@@ -52,10 +52,13 @@ def build_ols(session: RiotSession):
 
 
 def profile(out_dir: Path, backend: str = "memory") -> int:
+    # strict=True statically verifies every plan (shapes, footprints,
+    # kernel pins) before it runs, so a planner regression fails the
+    # smoke job up front instead of skewing the calibration numbers.
     session = RiotSession(
         storage=StorageConfig(backend=backend,
                               memory_bytes=POOL_SCALARS * 8),
-        config=OptimizerConfig(level=2))
+        config=OptimizerConfig(level=2, strict=True))
     with session:
         node = build_ols(session)
         text = session.explain(node, analyze=True)

@@ -1,0 +1,250 @@
+"""Static plan verification: reject infeasible plans before they run.
+
+The kernels each defend their own preconditions deep inside execution
+(``square_tile_matmul`` raises when the budget cannot hold three panel
+submatrices, ``lu_decompose`` when a tall panel does not fit, ``spgemm``
+when k-grids misalign...).  Those guards fire mid-plan, after earlier
+operators have already burned I/O.  :func:`verify_plan` lifts them —
+plus shape conformability, kernel-pin legality, epilogue-fusion
+legality and prediction sanity — into one pre-execution walk over the
+:class:`~repro.core.plan.PhysicalPlan`, with every error naming the
+offending operator.
+
+Wired into :meth:`repro.core.evaluator.Evaluator.execute` and
+``session.explain()`` under ``OptimizerConfig(strict=True)``; the
+golden-plan tests run it over every plan they snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.costs import COST_MODELS
+from repro.core.expr import (Crossprod, Map, MatMul, Node, Solve)
+from repro.core.plan import (BnljOp, CrossprodOp, FusedEpilogueOp,
+                             InverseOp, LUSolveOp, MapOp, PhysOp,
+                             PhysicalPlan, SparseSpGEMMOp,
+                             SparseSpMMOp, TileMatMulOp, TransposeOp)
+
+
+class PlanVerificationError(ValueError):
+    """A physical plan failed static verification; the message names
+    the offending operator (``op.label()``) and the violated check."""
+
+
+def _fail(op: PhysOp, message: str) -> None:
+    raise PlanVerificationError(f"{op.label()}: {message}")
+
+
+def _effective_shapes(node: MatMul) -> tuple[tuple[int, int],
+                                             tuple[int, int]]:
+    a, b = node.children
+    sa = a.shape[::-1] if node.trans_a else a.shape
+    sb = b.shape[::-1] if node.trans_b else b.shape
+    return sa, sb
+
+
+def _stored_tile_side(node: Node, block_scalars: int) -> int:
+    """Tile side the dense kernels will see for this operand.
+
+    A stored input contributes its actual tile shape (the kernels size
+    their panels from ``max(a.tile_shape)``); intermediates are created
+    square, so their side is ``isqrt(block)`` clipped to the matrix.
+    """
+    data = getattr(node, "data", None)
+    tile_shape = getattr(data, "tile_shape", None)
+    if tile_shape:
+        return max(tile_shape)
+    side = max(1, math.isqrt(max(1, block_scalars)))
+    shape = getattr(node, "shape", None)
+    if shape and len(shape) == 2:
+        return max(1, max(min(shape[0], side), min(shape[1], side)))
+    return side
+
+
+def _check_square_budget(op: PhysOp, operand: Node, panels: int,
+                         memory_scalars: int, block_scalars: int,
+                         what: str) -> None:
+    """The Appendix-A feasibility check of ``_square_panel``, lifted."""
+    tile_side = _stored_tile_side(operand, block_scalars)
+    need = panels * tile_side * tile_side
+    if memory_scalars < need:
+        _fail(op, f"memory budget of {memory_scalars} scalars cannot "
+                  f"hold {panels} submatrices of {tile_side} x "
+                  f"{tile_side} for {what} (needs >= {need} scalars)")
+
+
+def _sparse_stored(node: Node) -> bool:
+    from repro.core.passes import sparse_stored
+    return sparse_stored(node)
+
+
+def _verify_op(op: PhysOp, memory_scalars: int,
+               block_scalars: int) -> None:
+    # -- prediction sanity (every operator) ----------------------------
+    io = op.predicted_io
+    if not math.isfinite(io):
+        _fail(op, f"predicted_io is not finite ({io!r})")
+    if io < 0:
+        _fail(op, f"predicted_io is negative ({io!r})")
+    if op.cost_model is not None and op.cost_model not in COST_MODELS:
+        _fail(op, f"cost model {op.cost_model!r} is not registered in "
+                  f"core.costs.COST_MODELS")
+
+    node = op.node
+
+    # -- dense products ------------------------------------------------
+    if isinstance(op, (TileMatMulOp, BnljOp)):
+        if not isinstance(node, MatMul):
+            _fail(op, f"expects a MatMul node, got "
+                      f"{type(node).__name__}")
+        sa, sb = _effective_shapes(node)
+        if sa[1] != sb[0]:
+            _fail(op, f"non-conformable operands: {sa} x {sb}")
+        if node.shape != (sa[0], sb[1]):
+            _fail(op, f"output shape {node.shape} != {(sa[0], sb[1])} "
+                      f"implied by its operands")
+        if node.kernel == "sparse" and _sparse_stored(node.children[0]):
+            _fail(op, "node is pinned kernel='sparse' with a "
+                      "sparse-stored operand but lowered to a dense "
+                      "kernel")
+        if isinstance(op, BnljOp):
+            need = sa[1] + sb[1]
+            if memory_scalars < need:
+                _fail(op, f"memory budget of {memory_scalars} scalars "
+                          f"cannot hold one A row plus one result row "
+                          f"(n2 + n3 = {need} scalars); the BNLJ "
+                          f"schedule would overrun the pool")
+        else:
+            _check_square_budget(op, node.children[0], 3,
+                                 memory_scalars, block_scalars,
+                                 "square_tile_matmul")
+        return
+
+    if isinstance(op, CrossprodOp):
+        if not isinstance(node, Crossprod):
+            _fail(op, f"expects a Crossprod node, got "
+                      f"{type(node).__name__}")
+        a = node.children[0]
+        inner, k = a.shape if node.t_first else a.shape[::-1]
+        if node.shape != (k, k):
+            _fail(op, f"output shape {node.shape} != {(k, k)} implied "
+                      f"by its operand")
+        _check_square_budget(op, a, 3, memory_scalars, block_scalars,
+                             "crossprod_matmul")
+        return
+
+    # -- sparse products (kernel-pin legality) -------------------------
+    if isinstance(op, (SparseSpMMOp, SparseSpGEMMOp)):
+        if not isinstance(node, MatMul):
+            _fail(op, f"expects a MatMul node, got "
+                      f"{type(node).__name__}")
+        sa, sb = _effective_shapes(node)
+        if sa[1] != sb[0]:
+            _fail(op, f"non-conformable operands: {sa} x {sb}")
+        if node.kernel == "dense":
+            _fail(op, "node is pinned kernel='dense' but lowered to a "
+                      "sparse kernel")
+        a, b = node.children
+        if not _sparse_stored(a):
+            _fail(op, "left operand is not sparse-stored; the sparse "
+                      "kernels require a stored SparseTiledMatrix")
+        if isinstance(op, SparseSpGEMMOp):
+            if not _sparse_stored(b):
+                _fail(op, "spgemm requires both operands "
+                          "sparse-stored; right operand is not")
+            ta = getattr(getattr(a, "data", None), "tile_shape", None)
+            tb = getattr(getattr(b, "data", None), "tile_shape", None)
+            if ta and tb and ta[1] != tb[0]:
+                _fail(op, f"k-grids must align: A tiles {ta} vs "
+                          f"B tiles {tb}")
+        return
+
+    # -- LU-based operators --------------------------------------------
+    if isinstance(op, (LUSolveOp, InverseOp)):
+        a = node.children[0]
+        if a.shape[0] != a.shape[1]:
+            _fail(op, f"LU requires a square matrix, got {a.shape}")
+        if isinstance(node, Solve):
+            b = node.children[1]
+            if b.shape[0] != a.shape[0]:
+                _fail(op, f"right-hand side has {b.shape[0]} rows for "
+                          f"a {a.shape[0]} x {a.shape[1]} system")
+        n = a.shape[0]
+        tile_w = min(n, max(1, math.isqrt(max(1, block_scalars))))
+        need = 3 * n * tile_w
+        if memory_scalars < need:
+            _fail(op, f"memory budget of {memory_scalars} scalars "
+                      f"cannot hold a tall LU panel of {n} x {tile_w} "
+                      f"(needs >= {need} scalars)")
+        return
+
+    # -- transpose materialization -------------------------------------
+    if isinstance(op, TransposeOp):
+        child = node.children[0]
+        if node.shape != child.shape[::-1]:
+            _fail(op, f"output shape {node.shape} != transpose of "
+                      f"operand shape {child.shape}")
+        return
+
+    # -- fused epilogues -----------------------------------------------
+    if isinstance(op, FusedEpilogueOp):
+        from repro.core.planner import (_barrier_fusable,
+                                        classify_epilogue_region)
+        barrier = op.barrier
+        if not _barrier_fusable(barrier):
+            _fail(op, "barrier is not fusable with a dense epilogue "
+                      "(sparse-pinned or sparse-dispatched product)")
+        if barrier.shape != node.shape:
+            _fail(op, f"barrier shape {barrier.shape} != fused region "
+                      f"shape {node.shape}")
+        for mat in op.matrix_nodes:
+            if mat.shape != node.shape:
+                _fail(op, f"epilogue matrix input shape {mat.shape} "
+                          f"!= region shape {node.shape}")
+        if isinstance(node, Map):
+            region = classify_epilogue_region(
+                node,
+                lambda n: not isinstance(n, (Map, MatMul, Crossprod)))
+            if region is None:
+                _fail(op, "region contains nodes the per-submatrix "
+                          "epilogue evaluator cannot stream")
+        panels = 3 + len(op.matrix_nodes)
+        operand = (barrier.children[0]
+                   if isinstance(barrier, (Crossprod, MatMul))
+                   else node)
+        _check_square_budget(op, operand, panels, memory_scalars,
+                             block_scalars, "the fused epilogue")
+        return
+
+    # -- elementwise matrix regions ------------------------------------
+    if isinstance(op, MapOp) and node.ndim == 2:
+        for child in node.children:
+            if child.ndim == 2 and child.shape != node.shape:
+                _fail(op, f"elementwise input shape {child.shape} != "
+                          f"region shape {node.shape}")
+        return
+
+
+def verify_plan(plan: PhysicalPlan, config=None, *,
+                memory_scalars: int | None = None,
+                block_scalars: int | None = None) -> None:
+    """Statically verify a physical plan against a storage budget.
+
+    ``config`` is a :class:`~repro.storage.config.StorageConfig` (the
+    budget source); alternatively pass ``memory_scalars`` /
+    ``block_scalars`` directly.  Raises
+    :class:`PlanVerificationError` naming the first offending operator;
+    returns ``None`` on a verified plan.
+    """
+    if memory_scalars is None:
+        if config is None:
+            raise TypeError(
+                "verify_plan needs a StorageConfig or explicit "
+                "memory_scalars/block_scalars")
+        memory_scalars = config.memory_bytes // 8
+    if block_scalars is None:
+        block_scalars = (config.block_size // 8 if config is not None
+                         else 1024)
+    for op in plan.ops():
+        _verify_op(op, memory_scalars, block_scalars)

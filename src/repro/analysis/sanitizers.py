@@ -1,0 +1,236 @@
+"""Runtime storage-protocol sanitizers (ASAN for the buffer pool).
+
+The storage protocol every kernel must follow — announce the footprint
+it is about to read, pin blocks for exactly as long as it uses them,
+never discard what is pinned — is what makes the I/O accounting exact
+and what the coming concurrent buffer pool will depend on for
+correctness.  Violations today are silent: ``unpin`` tolerates
+over-release, ``invalidate`` quietly drops pinned frames, and an
+unannounced read just costs an uncoalesced miss.
+
+:class:`SanitizingBufferPool` is a drop-in :class:`BufferPool`
+subclass that turns each hazard into a loud, typed error at the point
+of violation.  Enable it with ``StorageConfig(sanitize=True)`` or
+``REPRO_SANITIZE=1`` — every :class:`~repro.storage.ArrayStore` then
+builds its pool sanitizing and registers a span observer on the
+store's tracer, so span boundaries are visible even when tracing
+itself is off.
+
+Detected hazards:
+
+- **Pin leak** (:class:`PinLeakError`): pin counts at a span's close
+  differ from its open — some code path pinned without unpinning (or
+  over-released) inside the span.
+- **Use-after-unpin** (:class:`UseAfterUnpinError`): a zero-copy
+  ``block_view()`` tile (mmap backend) is still referenced when its
+  block's pin count drops to zero.  Like ASAN, detection happens at
+  the *release* point: the view would dangle the moment the frame is
+  recycled.
+- **Pinned discard** (:class:`PinnedDiscardError`): ``invalidate()``
+  on a block something still holds pinned.
+- **Unannounced read** (:class:`UnannouncedReadError`): a demand miss
+  inside a ``cat="kernel"`` span on a block the kernel neither
+  announced via ``prefetch()`` nor wrote via ``put()``.  Only enforced
+  for kernels that participate in the hint protocol (made at least one
+  announcement in the span): kernels reading operands from a foreign
+  store legitimately skip hinting altogether.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.storage.buffer_pool import BufferPool
+
+
+class SanitizerError(RuntimeError):
+    """Base class for storage-protocol violations."""
+
+
+class PinLeakError(SanitizerError):
+    """Pin counts at span close differ from span open."""
+
+
+class UseAfterUnpinError(SanitizerError):
+    """A zero-copy block view outlived its block's pin."""
+
+
+class PinnedDiscardError(SanitizerError):
+    """``invalidate()`` called on a block that is still pinned."""
+
+
+class UnannouncedReadError(SanitizerError):
+    """A kernel-span demand miss outside the announced footprint."""
+
+
+class _SpanSentry:
+    """Tracer observer forwarding span boundaries to the pool."""
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool: "SanitizingBufferPool") -> None:
+        self._pool = pool
+
+    def span_opened(self, name: str, cat: str) -> None:
+        self._pool._on_span_open(name, cat)
+
+    def span_closed(self, name: str, cat: str, exc_type) -> None:
+        self._pool._on_span_close(name, cat, exc_type)
+
+
+class _SpanFrame:
+    """Per-open-span sanitizer state."""
+
+    __slots__ = ("name", "cat", "pins_before", "announced", "wrote",
+                 "announcements")
+
+    def __init__(self, name: str, cat: str,
+                 pins_before: dict[int, int]) -> None:
+        self.name = name
+        self.cat = cat
+        self.pins_before = pins_before
+        self.announced: set[int] = set()
+        self.wrote: set[int] = set()
+        self.announcements = 0
+
+
+class SanitizingBufferPool(BufferPool):
+    """A :class:`BufferPool` that enforces the storage protocol.
+
+    Results and I/O accounting are identical to the plain pool — every
+    operation delegates to the base class — so the full test suite can
+    run sanitized (``REPRO_SANITIZE=1``) with unchanged block counts.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._span_stack: list[_SpanFrame] = []
+        self._views: dict[int, list[weakref.ref]] = {}
+        self._sentry: _SpanSentry | None = None
+
+    # ------------------------------------------------------------------
+    # Tracer wiring
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Observe span boundaries (works with tracing disabled)."""
+        if self._sentry is None:
+            self._sentry = _SpanSentry(self)
+            tracer.add_observer(self._sentry)
+
+    def _on_span_open(self, name: str, cat: str) -> None:
+        self._span_stack.append(
+            _SpanFrame(name, cat, dict(self._pinned)))
+
+    def _on_span_close(self, name: str, cat: str, exc_type) -> None:
+        if not self._span_stack:
+            return
+        frame = self._span_stack.pop()
+        if exc_type is not None:
+            return  # don't mask the in-flight failure
+        if frame.pins_before != self._pinned:
+            leaked = {bid: self._pinned.get(bid, 0)
+                      - frame.pins_before.get(bid, 0)
+                      for bid in (set(self._pinned)
+                                  | set(frame.pins_before))
+                      if self._pinned.get(bid, 0)
+                      != frame.pins_before.get(bid, 0)}
+            raise PinLeakError(
+                f"span {cat}:{name} closed with unbalanced pins "
+                f"(block: delta) {leaked}; every pin taken inside a "
+                f"span must be released before it closes")
+
+    # ------------------------------------------------------------------
+    # Footprint bookkeeping
+    # ------------------------------------------------------------------
+    def _kernel_frames(self) -> list[_SpanFrame]:
+        return [f for f in self._span_stack if f.cat == "kernel"]
+
+    def _check_covered(self, block_id: int) -> None:
+        """A demand miss must sit inside the announced footprint."""
+        frames = self._kernel_frames()
+        if not frames or not any(f.announcements for f in frames):
+            return
+        for frame in frames:
+            if block_id in frame.announced or block_id in frame.wrote:
+                return
+        frame = frames[-1]
+        raise UnannouncedReadError(
+            f"kernel span {frame.name!r} missed on block {block_id} "
+            f"which it neither announced via prefetch() nor wrote via "
+            f"put(); announce the full read footprint before reading "
+            f"it so misses coalesce")
+
+    def prefetch(self, block_ids: list[int]) -> int:
+        frames = self._kernel_frames()
+        if frames:
+            frames[-1].announcements += 1
+            frames[-1].announced.update(block_ids)
+        return super().prefetch(block_ids)
+
+    def put(self, block_id: int, data: np.ndarray) -> None:
+        frames = self._kernel_frames()
+        if frames:
+            frames[-1].wrote.add(block_id)
+        super().put(block_id, data)
+
+    def get(self, block_id: int, *, for_write: bool = False
+            ) -> np.ndarray:
+        if block_id not in self._frames:
+            self._check_covered(block_id)
+        return super().get(block_id, for_write=for_write)
+
+    def get_many(self, block_ids: list[int]) -> list[np.ndarray]:
+        for bid in block_ids:
+            if bid not in self._frames:
+                self._check_covered(bid)
+        return super().get_many(block_ids)
+
+    # ------------------------------------------------------------------
+    # Pin / view hazards
+    # ------------------------------------------------------------------
+    def block_view(self, block_id: int) -> np.ndarray:
+        """Zero-copy device view, tracked against the block's pin.
+
+        Sanitized code must take views through the pool: the view is
+        only valid while the block stays pinned, and releasing the last
+        pin while a view is alive raises :class:`UseAfterUnpinError`.
+        """
+        if self._pinned.get(block_id, 0) <= 0:
+            raise UseAfterUnpinError(
+                f"block_view({block_id}) taken without a pin; pin the "
+                f"block first so the view cannot dangle")
+        if hasattr(self.device, "block_view"):
+            view = self.device.block_view(block_id)
+        else:
+            # The memory simulator has no zero-copy mapping; hand out a
+            # read-only view of the cached frame so the pin/view hazard
+            # discipline is enforced identically on every backend.
+            view = super().get(block_id).view()
+            view.flags.writeable = False
+        self._views.setdefault(block_id, []).append(weakref.ref(view))
+        return view
+
+    def unpin(self, block_id: int) -> None:
+        dropping_last = self._pinned.get(block_id, 0) <= 1
+        if dropping_last and block_id in self._views:
+            live = [ref for ref in self._views[block_id]
+                    if ref() is not None]
+            if live:
+                raise UseAfterUnpinError(
+                    f"unpinning block {block_id} to zero while "
+                    f"{len(live)} zero-copy view(s) of it are still "
+                    f"alive; drop the view(s) before releasing the "
+                    f"pin")
+            del self._views[block_id]
+        super().unpin(block_id)
+
+    def invalidate(self, block_id: int) -> None:
+        if self._pinned.get(block_id, 0) > 0:
+            raise PinnedDiscardError(
+                f"invalidate({block_id}) would discard a block pinned "
+                f"{self._pinned[block_id]} time(s); unpin before "
+                f"dropping it")
+        self._views.pop(block_id, None)
+        super().invalidate(block_id)

@@ -40,6 +40,14 @@ class OptimizerConfig:
     checks that the fused plan is model-cheaper than materializing the
     product (it always is under the current models, but the
     alternative is enumerated and shown by ``explain``).
+
+    ``strict`` runs the static plan verifier
+    (:func:`repro.analysis.planlint.verify_plan`) over every plan
+    before it executes (and before ``explain`` renders it): shape
+    conformability, per-op footprint vs the pool budget, kernel pins,
+    epilogue legality and prediction sanity are checked up front, with
+    errors naming the offending operator instead of a kernel failing
+    mid-plan.
     """
 
     level: int = 2
@@ -51,6 +59,7 @@ class OptimizerConfig:
     chain_reorder: bool | None = None
     kernel_select: bool | None = None
     fuse_epilogues: bool | None = None
+    strict: bool = False
     max_passes: int = 10
 
     def __post_init__(self) -> None:

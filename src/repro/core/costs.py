@@ -536,3 +536,30 @@ def fig3b_rows(n: int = 100000, memory_gb: int = 2,
             rows.append({"s": s, "strategy": strategy,
                          "io_blocks": costs[strategy]})
     return rows
+
+
+# ----------------------------------------------------------------------
+# Cost-model registry
+# ----------------------------------------------------------------------
+#: Every ``PhysOp.cost_model`` name mapped to the function that prices
+#: it.  The planner may only construct operators whose model is listed
+#: here — enforced statically by the RPR002 lint rule
+#: (:mod:`repro.analysis.lint`) and again at plan time by
+#: :func:`repro.analysis.planlint.verify_plan` — and the calibration
+#: pipeline groups measured/predicted ratios by these keys.
+COST_MODELS = {
+    "stream_io": stream_io,
+    "gather_io": gather_io,
+    "scatter_io": scatter_io,
+    "matmul_io": square_tile_matmul_io,
+    "bnlj_io": bnlj_matmul_io,
+    "crossprod_io": crossprod_io,
+    "spmv_io": spmv_io,
+    "spmm_io": spmm_io,
+    "spgemm_io": spgemm_io,
+    "solve_io": solve_op_io,
+    "inverse_io": inverse_io,
+    "transpose_io": transpose_materialize_io,
+    "matmul_epilogue_io": matmul_epilogue_io,
+    "crossprod_epilogue_io": crossprod_epilogue_io,
+}

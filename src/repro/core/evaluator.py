@@ -76,11 +76,15 @@ class Evaluator:
 
     def __init__(self, store: ArrayStore,
                  memory_scalars: int | None = None,
-                 fuse_epilogues: bool = True) -> None:
+                 fuse_epilogues: bool = True,
+                 strict: bool = False) -> None:
         self.store = store
         self.memory_scalars = memory_scalars or (
             store.pool.capacity * store.scalars_per_block)
         self.fuse_epilogues = fuse_epilogues
+        #: Run repro.analysis.planlint.verify_plan before every
+        #: execute() (OptimizerConfig(strict=True) sets this).
+        self.strict = strict
         #: True while executing a PhysicalPlan: fuse-vs-materialize was
         #: decided by the planner, so the runtime fusion heuristic of
         #: the tree-dispatch fallback must stay out of the way.
@@ -151,6 +155,12 @@ class Evaluator:
         a dirty block evicted during a later operator counts there.
         Totals are exact, per-op splits approximate.)
         """
+        if self.strict:
+            # Imported lazily: repro.analysis depends on repro.core,
+            # not the other way around.
+            from repro.analysis.planlint import verify_plan
+            verify_plan(plan, memory_scalars=self.memory_scalars,
+                        block_scalars=self.store.scalars_per_block)
         memo = memo if memo is not None else {}
         for op in plan.ops():
             op.measured_io = None

@@ -97,7 +97,8 @@ class RiotSession:
         self.evaluator = Evaluator(
             self.store,
             memory_scalars=self._memory_scalars,
-            fuse_epilogues=self.config.fusion_enabled)
+            fuse_epilogues=self.config.fusion_enabled,
+            strict=self.config.strict)
         # Observability: the store's tracer plus a registry of live
         # counter sources, all exported by session.metrics.snapshot().
         # Sources are lambdas so they track the *current* stats objects
@@ -364,6 +365,12 @@ class RiotSession:
                 self.evaluator.execute(plan, cold=True)
         else:
             plan = self.plan(node)
+            if self.config.strict:
+                # The analyze path verifies inside execute(); verify
+                # the render-only path too so strict explain() rejects
+                # an infeasible plan instead of printing it.
+                from repro.analysis.planlint import verify_plan
+                verify_plan(plan, self.storage)
         text = ("-- original --\n" + render(node)
                 + "\n-- optimized --\n" + render(plan.logical_root)
                 + f"\n-- physical plan (level {plan.level}) --\n"

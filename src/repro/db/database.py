@@ -14,7 +14,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.storage import (BufferPool, DEFAULT_BLOCK_SIZE, IOStats,
-                           PageFile, StorageConfig, create_device)
+                           StorageConfig, create_device, new_pagefile)
 
 from .btree import BPlusTree, KeyCodec
 from .catalog import Catalog, TableIndex
@@ -61,7 +61,7 @@ class Database:
     # DDL
     # ------------------------------------------------------------------
     def create_table(self, name: str, schema: Schema) -> HeapTable:
-        file = PageFile(self.device, name=name)
+        file = new_pagefile(self.device, name=name)
         table = HeapTable(name, schema, file, self.pool)
         self.catalog.register_table(table)
         return table
@@ -87,7 +87,7 @@ class Database:
         dims = tuple(int(p.max()) + 1 if p.size else 1 for p in parts)
         codec = KeyCodec(dims)
         keys = codec.pack(*parts)
-        file = PageFile(self.device, name=f"{table.name}__pk")
+        file = new_pagefile(self.device, name=f"{table.name}__pk")
         tree = BPlusTree(file, self.pool, name=f"{table.name}__pk")
         tree.bulk_load(keys, np.arange(keys.size, dtype=np.int64))
         self.catalog.register_index(
@@ -104,7 +104,7 @@ class Database:
     # ------------------------------------------------------------------
     def create_temp_table(self, schema: Schema) -> HeapTable:
         name = self.catalog.fresh_temp_name()
-        file = PageFile(self.device, name=name)
+        file = new_pagefile(self.device, name=name)
         return HeapTable(name, schema, file, self.pool)
 
     def drop_temp_table(self, table: HeapTable) -> None:
@@ -174,7 +174,7 @@ class Database:
             arrived_sorted = bool(
                 np.all(perm == np.arange(perm.size)))
             table.clustered_on = keys_named if arrived_sorted else ()
-            file = PageFile(self.device, name=f"{name}__pk")
+            file = new_pagefile(self.device, name=f"{name}__pk")
             tree = BPlusTree(file, self.pool, name=f"{name}__pk")
             tree.bulk_load(keys_sorted, perm.astype(np.int64))
             self.catalog.register_index(

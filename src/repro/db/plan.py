@@ -268,7 +268,7 @@ class GroupAgg(PlanNode):
         for key in self.group_keys:
             base = child_schema.column(key)
             cols.append(Column(_bare(key), base.type))
-        for name, func, expr in self.aggs:
+        for name, func, _expr in self.aggs:
             if func == "COUNT":
                 cols.append(Column(name, "INT"))
             else:

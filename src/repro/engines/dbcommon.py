@@ -24,6 +24,8 @@ touching the database — which is why ``length(x)`` is free and
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.db import (Col, Const, Database, Filter, Func, GroupAgg, Join,
@@ -56,10 +58,8 @@ class DBVec:
         self.deps = tuple(deps)   # keep operand views alive
 
     def __del__(self) -> None:
-        try:
+        with contextlib.suppress(Exception):
             self.engine._release(self)
-        except Exception:
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"DBVec({self.name}, n={self.length}, kind={self.kind}"
@@ -79,10 +79,8 @@ class DBMat:
         self.deps = tuple(deps)
 
     def __del__(self) -> None:
-        try:
+        with contextlib.suppress(Exception):
             self.engine._release(self)
-        except Exception:
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DBMat({self.name}, shape={self.shape}, kind={self.kind})"

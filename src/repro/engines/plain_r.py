@@ -16,6 +16,8 @@ vectors are simultaneously live (x, y, the first sqrt, ``(x-xe)^2``, and
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.rlang.reference import NumpyEngine, NumpyMatrix, NumpyVector
@@ -38,10 +40,8 @@ class PlainRVector(NumpyVector):
         self.mem: MemArray = heap.alloc(data)
 
     def __del__(self) -> None:  # deterministic CPython refcount GC
-        try:
+        with contextlib.suppress(Exception):
             self._heap.release(self.mem)
-        except Exception:
-            pass
 
 
 class PlainRMatrix(NumpyMatrix):
@@ -53,10 +53,8 @@ class PlainRMatrix(NumpyMatrix):
         self.mem: MemArray = heap.alloc(data)
 
     def __del__(self) -> None:
-        try:
+        with contextlib.suppress(Exception):
             self._heap.release(self.mem)
-        except Exception:
-            pass
 
 
 class PlainREngine(NumpyEngine, Engine):

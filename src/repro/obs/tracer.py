@@ -118,6 +118,45 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _ObserverSpan:
+    """Span-boundary notifier used when tracing is off but observers
+    are registered (e.g. the storage-protocol sanitizer).
+
+    Nothing is recorded — no counter snapshots, no clock reads, no
+    ring-buffer append — so ``len(tracer)`` and the drop counters are
+    untouched; observers just learn that a span opened and closed.
+    """
+
+    __slots__ = ("tracer", "name", "cat")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+
+    def __enter__(self) -> None:
+        for obs in self.tracer.observers:
+            obs.span_opened(self.name, self.cat)
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _notify_closed(self.tracer, self.name, self.cat, exc_type)
+        return False
+
+
+def _notify_closed(tracer: "Tracer", name: str, cat: str,
+                   exc_type) -> None:
+    """Tell observers a span closed.  An observer error (a sanitizer
+    violation) propagates — unless an exception is already in flight,
+    which must not be masked."""
+    for obs in tracer.observers:
+        try:
+            obs.span_closed(name, cat, exc_type)
+        except BaseException:
+            if exc_type is None:
+                raise
+
+
 class _OpenSpan:
     """Context manager for one live span (created only when enabled)."""
 
@@ -144,10 +183,12 @@ class _OpenSpan:
                           if t.device is not None else None)
         self.pool_before = (t.pool.stats.snapshot()
                             if t.pool is not None else None)
+        for obs in t.observers:
+            obs.span_opened(self.name, self.cat)
         self.start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
         end_ns = time.perf_counter_ns()
         t = self.tracer
         # ``with`` unwinding is LIFO even under exceptions, so the top
@@ -165,6 +206,7 @@ class _OpenSpan:
         t._append(Span(self.name, self.cat, self.seq, self.parent,
                        self.depth, self.start_ns, end_ns, io, pool,
                        self.args))
+        _notify_closed(t, self.name, self.cat, exc_type)
         return False
 
 
@@ -186,6 +228,10 @@ class Tracer:
         self.pool = pool
         self.capacity = capacity
         self.enabled = enabled
+        #: Span-boundary observers (``span_opened(name, cat)`` /
+        #: ``span_closed(name, cat, exc_type)``), notified even while
+        #: tracing is disabled — the hook the storage sanitizer uses.
+        self.observers: list = []
         self.spans_opened = 0
         self.spans_dropped = 0
         self._spans: list[Span] = []
@@ -196,15 +242,29 @@ class Tracer:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def span(self, name: str, cat: str = "op", **args):
+    def span(self, name: str, cat: str = "op",
+             **args) -> "_OpenSpan | _ObserverSpan | _NullSpan":
         """Context manager bracketing one unit of work.
 
         Disabled tracers return a shared no-op — the hot-path cost is
-        this one ``enabled`` test.
+        this one ``enabled`` test (plus an observer-list test; with
+        observers registered a lightweight notifier is returned
+        instead, recording nothing).
         """
         if not self.enabled:
+            if self.observers:
+                return _ObserverSpan(self, name, cat)
             return _NULL_SPAN
         return _OpenSpan(self, name, cat, args)
+
+    def add_observer(self, observer) -> None:
+        """Register a span-boundary observer (see ``observers``)."""
+        if observer not in self.observers:
+            self.observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        if observer in self.observers:
+            self.observers.remove(observer)
 
     def _append(self, span: Span) -> None:
         if len(self._spans) < self.capacity:

@@ -32,7 +32,8 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.storage import Linearization, PageFile, make_linearization
+from repro.storage import (Linearization, make_linearization,
+                           new_pagefile)
 from repro.storage.tile_store import ArrayStore, TiledMatrix
 
 _FLOAT = np.float64
@@ -124,7 +125,7 @@ class SparseTiledMatrix:
         else:
             self.linearization = make_linearization(
                 linearization, self.grid[0], self.grid[1])
-        self.file = PageFile(store.device, name=name)
+        self.file = new_pagefile(store.device, name=name)
         #: (ti, tj) -> (first_page, n_pages, nnz) for nonempty tiles only.
         self.directory: dict[tuple[int, int], tuple[int, int, int]] = {}
         self._row_index: dict[int, list[int]] = {}

@@ -18,7 +18,7 @@ from .file_device import FileBlockDevice
 from .io_scheduler import IOScheduler, SchedulerStats
 from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
                             ZOrder, linearization_names, make_linearization)
-from .pagefile import PageFile
+from .pagefile import PageFile, new_pagefile
 from .tile_store import (ArrayStore, TiledMatrix, TiledVector,
                          tile_shape_for_layout)
 
@@ -54,6 +54,7 @@ __all__ = [
     "linearization_names",
     "make_linearization",
     "make_policy",
+    "new_pagefile",
     "parse_memory",
     "tile_shape_for_layout",
 ]

@@ -59,6 +59,12 @@ def parse_memory(value: int | str) -> int:
 _TRUE = ("1", "true", "yes", "on")
 
 
+def _env_sanitize() -> bool:
+    """Default of ``StorageConfig.sanitize``: the REPRO_SANITIZE env
+    var, so a whole test run can be sanitized without code changes."""
+    return os.environ.get("REPRO_SANITIZE", "").lower() in _TRUE
+
+
 @dataclass
 class StorageConfig:
     """Everything a subsystem needs to stand up its storage stack.
@@ -77,6 +83,13 @@ class StorageConfig:
     ``direct``
         Try ``O_DIRECT`` for the ``pread`` backend (falls back quietly
         where unsupported).
+    ``sanitize``
+        Build the buffer pool as a
+        :class:`~repro.analysis.sanitizers.SanitizingBufferPool`,
+        turning storage-protocol violations (pin leaks, use-after-
+        unpin views, pinned discards, unannounced kernel reads) into
+        loud errors.  Defaults to the ``REPRO_SANITIZE`` environment
+        variable.
     """
 
     backend: str = "memory"
@@ -88,6 +101,7 @@ class StorageConfig:
     readahead_window: int = 0
     fsync: bool = False
     direct: bool = False
+    sanitize: bool = field(default_factory=_env_sanitize)
     extra: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:

@@ -39,6 +39,7 @@ arrays across sessions.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import mmap
 import os
@@ -99,10 +100,9 @@ class FileBlockDevice(BlockDevice):
     def _open_fd(self) -> int:
         flags = os.O_RDWR | os.O_CREAT
         if self.direct and hasattr(os, "O_DIRECT"):
-            try:
+            # The filesystem may refuse O_DIRECT — fall back buffered.
+            with contextlib.suppress(OSError):
                 return os.open(self.path, flags | os.O_DIRECT, 0o644)
-            except OSError:
-                pass  # filesystem refuses O_DIRECT — fall back buffered
         self.direct = False
         return os.open(self.path, flags, 0o644)
 
@@ -112,7 +112,8 @@ class FileBlockDevice(BlockDevice):
 
     def _load_meta(self) -> None:
         try:
-            meta = json.loads(open(self.meta_path).read())
+            with open(self.meta_path) as fh:
+                meta = json.loads(fh.read())
         except FileNotFoundError:
             # No sidecar: a raw page file still reopens — every existing
             # block stays addressable, there is just no manifest.
@@ -147,13 +148,11 @@ class FileBlockDevice(BlockDevice):
         self._closed = True
         if self._mm is not None:
             self._mm.flush()
-            try:
+            # A BufferError means a block_view() is still alive; the
+            # mapping then stays open until its last view dies, which
+            # is safe — the flush above already pushed the bytes.
+            with contextlib.suppress(BufferError):
                 self._mm.close()
-            except BufferError:
-                # a block_view() is still alive; the mapping stays
-                # open until its last view dies, which is safe — the
-                # flush above already pushed the bytes to the file.
-                pass
             self._mm = None
         if self._dbuf is not None:
             self._dbuf.close()
@@ -161,10 +160,8 @@ class FileBlockDevice(BlockDevice):
         if self.owns_path:
             os.close(self._fd)
             for p in (self.path, self.meta_path):
-                try:
+                with contextlib.suppress(FileNotFoundError):
                     os.unlink(p)
-                except FileNotFoundError:
-                    pass
         else:
             self._save_meta()
             if self.fsync:
@@ -172,10 +169,8 @@ class FileBlockDevice(BlockDevice):
             os.close(self._fd)
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
     # ------------------------------------------------------------------
     # Capacity management

@@ -115,3 +115,14 @@ class PageFile:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PageFile(name={self.name!r}, pages={self.num_pages})"
+
+
+def new_pagefile(device: BlockDevice, name: str = "file") -> PageFile:
+    """The sanctioned way for code outside this package to open a file.
+
+    Subsystems receive a device through :class:`StorageConfig` injection
+    and must not construct storage primitives directly (RPR001); this
+    factory is the one blessed entry point for growing a new page file
+    on an injected device.
+    """
+    return PageFile(device, name=name)

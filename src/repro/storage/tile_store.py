@@ -27,7 +27,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from ..obs.tracer import Tracer
-from .block_device import BlockDevice, DEFAULT_BLOCK_SIZE
+from .block_device import BlockDevice, DEFAULT_BLOCK_SIZE, IOStats
 from .buffer_pool import BufferPool
 from .linearization import Linearization, make_linearization
 from .pagefile import PageFile
@@ -394,6 +394,23 @@ class TiledMatrix:
                 and 0 <= c0 <= c1 <= self.shape[1]):
             raise IndexError(f"rectangle ({r0}:{r1}, {c0}:{c1}) out of range")
         th, tw = self.tile_shape
+        # Tiles the rectangle only partially covers are read-modify-
+        # written; announce that read footprint up front so the misses
+        # coalesce (and so a kernel span's sanitizer sees the reads as
+        # part of the declared footprint, not stray demand misses).
+        rmw_blocks: list[int] = []
+        for ti in range(r0 // th, -(-r1 // th) if r1 else 0):
+            for tj in range(c0 // tw, -(-c1 // tw) if c1 else 0):
+                tr0, tr1, tc0, tc1 = self.tile_bounds(ti, tj)
+                ir0, ir1 = max(tr0, r0), min(tr1, r1)
+                ic0, ic1 = max(tc0, c0), min(tc1, c1)
+                if ir0 >= ir1 or ic0 >= ic1:
+                    continue
+                if not (ir0 == tr0 and ir1 == tr1
+                        and ic0 == tc0 and ic1 == tc1):
+                    rmw_blocks.extend(self.tile_blocks(ti, tj))
+        if rmw_blocks:
+            self.store.pool.prefetch(rmw_blocks)
         for ti in range(r0 // th, -(-r1 // th) if r1 else 0):
             for tj in range(c0 // tw, -(-c1 // tw) if c1 else 0):
                 tr0, tr1, tc0, tc1 = self.tile_bounds(ti, tj)
@@ -488,15 +505,25 @@ class ArrayStore:
                 f"({MIN_POOL_BLOCKS * storage.block_size} bytes)")
         self.device = device if device is not None else \
             create_device(storage, name=name)
-        self.pool = BufferPool(self.device, capacity,
-                               policy=storage.policy,
-                               readahead_window=storage.readahead_window)
+        pool_cls = BufferPool
+        if storage.sanitize:
+            # Imported lazily: repro.analysis depends on repro.storage,
+            # not the other way around.
+            from repro.analysis.sanitizers import SanitizingBufferPool
+            pool_cls = SanitizingBufferPool
+        self.pool = pool_cls(self.device, capacity,
+                             policy=storage.policy,
+                             readahead_window=storage.readahead_window)
         self.pool.scheduler.enabled = storage.scheduler
         # Observability: one tracer per store, off by default.  Kernels
         # and the evaluator bracket their work in store.tracer.span();
         # spans close with IOStats/PoolStats deltas from this device
         # and pool (see repro.obs.tracer for the overhead contract).
         self.tracer = Tracer(device=self.device, pool=self.pool)
+        if storage.sanitize:
+            # The sanitizer checks pin balance and footprint coverage
+            # at span boundaries; observers fire even with tracing off.
+            self.pool.attach_tracer(self.tracer)
         self._counter = 0
         self._arrays: dict[str, TiledVector | TiledMatrix] = {}
         self._closed = False
@@ -509,7 +536,8 @@ class ArrayStore:
         self._counter += 1
         return f"{prefix}_{self._counter}"
 
-    def _register(self, array: "TiledVector | TiledMatrix"):
+    def _register(self, array: "TiledVector | TiledMatrix"
+                  ) -> "TiledVector | TiledMatrix":
         self._arrays[array.name] = array
         return array
 
@@ -608,7 +636,7 @@ class ArrayStore:
         return self._register(TiledMatrix._attach(self, name, entry))
 
     # ------------------------------------------------------------------
-    def io_stats(self):
+    def io_stats(self) -> IOStats:
         return self.device.stats
 
     def reset_stats(self) -> None:

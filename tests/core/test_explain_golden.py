@@ -109,3 +109,44 @@ class TestExplainMarkers:
         handle.force()
         text = s.explain(handle)
         assert "| measured" in text
+
+
+class TestGoldenPlansVerify:
+    """Every golden plan passes static verification (repro.analysis).
+
+    The snapshots above pin *which* plan the optimizer picks; this
+    pins that each pick is statically *feasible* under the session's
+    own storage budget — shapes conform, panel footprints fit the
+    pool, kernel pins are honored, predictions are sane.
+    """
+
+    def golden_plans(self):
+        s = session()
+        g = rng()
+        X = s.matrix(g.standard_normal((512, 128)), name="X")
+        y = s.matrix(g.standard_normal((512, 1)), name="y")
+        yield s, s.plan(Solve(MatMul(Transpose(X.node), X.node),
+                              MatMul(Transpose(X.node), y.node)))
+        lam_eye = s.matrix(0.1 * np.eye(128), name="lamI")
+        yield s, s.plan((X.crossprod() + lam_eye).node)
+        a = s.matrix(g.standard_normal((512, 64)), name="a")
+        b = s.matrix(g.standard_normal((64, 512)), name="b")
+        c = s.matrix(g.standard_normal((512, 256)), name="c")
+        yield s, s.plan(((a @ b) @ c).node)
+        s2 = session(mem_scalars=24 * 1024)
+        coo = np.random.default_rng(1)
+        n, nnz = 512, 1310
+        flat = coo.choice(n * n, size=nnz, replace=False)
+        A = s2.sparse_matrix(flat // n, flat % n,
+                             coo.standard_normal(nnz), (n, n),
+                             name="A")
+        v = s2.matrix(coo.standard_normal((n, 1)), name="v")
+        yield s2, s2.plan(((A @ v)).node)
+
+    def test_all_golden_plans_verify_clean(self):
+        from repro.analysis import verify_plan
+        checked = 0
+        for s, plan in self.golden_plans():
+            verify_plan(plan, s.storage)
+            checked += 1
+        assert checked == 4

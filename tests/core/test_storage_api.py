@@ -139,19 +139,14 @@ class TestSubsystemInjection:
         pager.swap.close()
 
     def test_no_direct_device_construction_outside_storage(self):
-        """Grep-level acceptance check: only repro.storage constructs
-        BlockDevice/FileBlockDevice instances."""
+        """Acceptance check: only repro.storage constructs devices and
+        page files.  RPR001 checks real call sites on the AST (the
+        grep predecessor of this test also flagged docstrings and
+        could not see ``PageFile``)."""
+        from repro.analysis import run_lint
         root = pathlib.Path(repro.__file__).parent
-        offenders = []
-        for path in root.rglob("*.py"):
-            if path.is_relative_to(root / "storage"):
-                continue
-            text = path.read_text()
-            if "BlockDevice(" in text.replace("FileBlockDevice(", ""):
-                offenders.append(str(path))
-            if "FileBlockDevice(" in text:
-                offenders.append(str(path))
-        assert not offenders, offenders
+        findings = run_lint([root], select={"RPR001"})
+        assert findings == [], "\n".join(f.render() for f in findings)
 
 
 def test_quickstart_example_runs():

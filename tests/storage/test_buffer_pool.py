@@ -145,7 +145,7 @@ class TestPolicies:
         """Any policy must return correct data under heavy churn."""
         blocks = _fill_device(device, 64)
         pool = BufferPool(device, 4, policy=policy)
-        for rep in range(2):
+        for _rep in range(2):
             for i, bid in enumerate(blocks):
                 frame = pool.get(bid)
                 assert frame.view(np.float64)[0] == float(i)

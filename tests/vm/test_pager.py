@@ -23,7 +23,7 @@ class TestResidency:
     def test_within_capacity_no_swap(self):
         pager = make_pager(8)
         base = pager.allocate(8)
-        for rep in range(3):
+        for _rep in range(3):
             pager.touch_range(base, 8)
         assert pager.stats.total == 0
 
@@ -100,7 +100,7 @@ class TestEviction:
         """Cyclic scan over working set > memory faults every touch (LRU)."""
         pager = make_pager(4)
         base = pager.allocate(5)
-        for rep in range(3):
+        for _rep in range(3):
             pager.touch_range(base, 5)
         # After warmup, every touch in the cycle misses under LRU.
         assert pager.faults == 15
