@@ -23,13 +23,15 @@ heading toward:
 
 from .lint import ALL_RULES, Finding, lint_file, run_lint
 from .planlint import PlanVerificationError, verify_plan
-from .sanitizers import (PinLeakError, PinnedDiscardError,
-                         SanitizerError, SanitizingBufferPool,
-                         UnannouncedReadError, UseAfterUnpinError)
+from .sanitizers import (CrossThreadUnpinError, PinLeakError,
+                         PinnedDiscardError, SanitizerError,
+                         SanitizingBufferPool, UnannouncedReadError,
+                         UseAfterUnpinError)
 
 __all__ = [
     "ALL_RULES", "Finding", "lint_file", "run_lint",
     "PlanVerificationError", "verify_plan",
     "SanitizerError", "SanitizingBufferPool", "PinLeakError",
     "UseAfterUnpinError", "PinnedDiscardError", "UnannouncedReadError",
+    "CrossThreadUnpinError",
 ]

@@ -34,10 +34,21 @@ Detected hazards:
   for kernels that participate in the hint protocol (made at least one
   announcement in the span): kernels reading operands from a foreign
   store legitimately skip hinting altogether.
+- **Cross-thread unpin** (:class:`CrossThreadUnpinError`): a worker
+  releases a pin some *other* thread took.  Pins are ownership — the
+  pinning thread is the one relying on the frame staying resident, so
+  another thread releasing it re-creates exactly the dangling-frame
+  hazard pinning exists to prevent.
+
+The sanitizer is thread-aware like the pool it wraps: span stacks and
+pin ownership are tracked per thread (parallel plan workers each get
+their own), and all bookkeeping runs under the pool's re-entrant lock,
+so pin-leak accounting stays exact per worker span.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 import numpy as np
@@ -63,6 +74,10 @@ class PinnedDiscardError(SanitizerError):
 
 class UnannouncedReadError(SanitizerError):
     """A kernel-span demand miss outside the announced footprint."""
+
+
+class CrossThreadUnpinError(SanitizerError):
+    """A thread released a pin that a different thread took."""
 
 
 class _SpanSentry:
@@ -106,9 +121,28 @@ class SanitizingBufferPool(BufferPool):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._span_stack: list[_SpanFrame] = []
+        # Span stacks are per thread (a worker's spans nest on its own
+        # stack); pin ownership is tracked per thread so leaks are
+        # attributed to the worker span that took them.
+        self._tls = threading.local()
+        self._pins_by_thread: dict[int, dict[int, int]] = {}
         self._views: dict[int, list[weakref.ref]] = {}
         self._sentry: _SpanSentry | None = None
+
+    @property
+    def _span_stack(self) -> list[_SpanFrame]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _my_pins(self) -> dict[int, int]:
+        """The calling thread's pin table (caller holds self.lock)."""
+        tid = threading.get_ident()
+        table = self._pins_by_thread.get(tid)
+        if table is None:
+            table = self._pins_by_thread[tid] = {}
+        return table
 
     # ------------------------------------------------------------------
     # Tracer wiring
@@ -120,8 +154,9 @@ class SanitizingBufferPool(BufferPool):
             tracer.add_observer(self._sentry)
 
     def _on_span_open(self, name: str, cat: str) -> None:
-        self._span_stack.append(
-            _SpanFrame(name, cat, dict(self._pinned)))
+        with self.lock:
+            self._span_stack.append(
+                _SpanFrame(name, cat, dict(self._my_pins())))
 
     def _on_span_close(self, name: str, cat: str, exc_type) -> None:
         if not self._span_stack:
@@ -129,17 +164,20 @@ class SanitizingBufferPool(BufferPool):
         frame = self._span_stack.pop()
         if exc_type is not None:
             return  # don't mask the in-flight failure
-        if frame.pins_before != self._pinned:
-            leaked = {bid: self._pinned.get(bid, 0)
-                      - frame.pins_before.get(bid, 0)
-                      for bid in (set(self._pinned)
-                                  | set(frame.pins_before))
-                      if self._pinned.get(bid, 0)
-                      != frame.pins_before.get(bid, 0)}
-            raise PinLeakError(
-                f"span {cat}:{name} closed with unbalanced pins "
-                f"(block: delta) {leaked}; every pin taken inside a "
-                f"span must be released before it closes")
+        with self.lock:
+            pins = self._my_pins()
+            if frame.pins_before != pins:
+                leaked = {bid: pins.get(bid, 0)
+                          - frame.pins_before.get(bid, 0)
+                          for bid in (set(pins)
+                                      | set(frame.pins_before))
+                          if pins.get(bid, 0)
+                          != frame.pins_before.get(bid, 0)}
+                raise PinLeakError(
+                    f"span {cat}:{name} closed with unbalanced pins "
+                    f"(block: delta) {leaked} on this thread; every "
+                    f"pin taken inside a span must be released before "
+                    f"it closes")
 
     # ------------------------------------------------------------------
     # Footprint bookkeeping
@@ -197,40 +235,67 @@ class SanitizingBufferPool(BufferPool):
         only valid while the block stays pinned, and releasing the last
         pin while a view is alive raises :class:`UseAfterUnpinError`.
         """
-        if self._pinned.get(block_id, 0) <= 0:
-            raise UseAfterUnpinError(
-                f"block_view({block_id}) taken without a pin; pin the "
-                f"block first so the view cannot dangle")
-        if hasattr(self.device, "block_view"):
-            view = self.device.block_view(block_id)
-        else:
-            # The memory simulator has no zero-copy mapping; hand out a
-            # read-only view of the cached frame so the pin/view hazard
-            # discipline is enforced identically on every backend.
-            view = super().get(block_id).view()
-            view.flags.writeable = False
-        self._views.setdefault(block_id, []).append(weakref.ref(view))
-        return view
+        with self.lock:
+            if self._pinned.get(block_id, 0) <= 0:
+                raise UseAfterUnpinError(
+                    f"block_view({block_id}) taken without a pin; pin "
+                    f"the block first so the view cannot dangle")
+            if hasattr(self.device, "block_view"):
+                view = self.device.block_view(block_id)
+            else:
+                # The memory simulator has no zero-copy mapping; hand
+                # out a read-only view of the cached frame so the
+                # pin/view hazard discipline is enforced identically
+                # on every backend.
+                view = super().get(block_id).view()
+                view.flags.writeable = False
+            self._views.setdefault(block_id, []).append(
+                weakref.ref(view))
+            return view
+
+    def pin(self, block_id: int) -> None:
+        with self.lock:
+            super().pin(block_id)
+            mine = self._my_pins()
+            mine[block_id] = mine.get(block_id, 0) + 1
 
     def unpin(self, block_id: int) -> None:
-        dropping_last = self._pinned.get(block_id, 0) <= 1
-        if dropping_last and block_id in self._views:
-            live = [ref for ref in self._views[block_id]
-                    if ref() is not None]
-            if live:
-                raise UseAfterUnpinError(
-                    f"unpinning block {block_id} to zero while "
-                    f"{len(live)} zero-copy view(s) of it are still "
-                    f"alive; drop the view(s) before releasing the "
-                    f"pin")
-            del self._views[block_id]
-        super().unpin(block_id)
+        with self.lock:
+            mine = self._my_pins()
+            if (mine.get(block_id, 0) <= 0
+                    and self._pinned.get(block_id, 0) > 0):
+                holders = sorted(
+                    tid for tid, table in self._pins_by_thread.items()
+                    if table.get(block_id, 0) > 0)
+                raise CrossThreadUnpinError(
+                    f"thread {threading.get_ident()} unpinned block "
+                    f"{block_id} which it never pinned (held by "
+                    f"thread(s) {holders}); pins must be released by "
+                    f"the thread that took them")
+            dropping_last = self._pinned.get(block_id, 0) <= 1
+            if dropping_last and block_id in self._views:
+                live = [ref for ref in self._views[block_id]
+                        if ref() is not None]
+                if live:
+                    raise UseAfterUnpinError(
+                        f"unpinning block {block_id} to zero while "
+                        f"{len(live)} zero-copy view(s) of it are "
+                        f"still alive; drop the view(s) before "
+                        f"releasing the pin")
+                del self._views[block_id]
+            super().unpin(block_id)
+            if mine.get(block_id, 0) > 0:
+                if mine[block_id] == 1:
+                    del mine[block_id]
+                else:
+                    mine[block_id] -= 1
 
     def invalidate(self, block_id: int) -> None:
-        if self._pinned.get(block_id, 0) > 0:
-            raise PinnedDiscardError(
-                f"invalidate({block_id}) would discard a block pinned "
-                f"{self._pinned[block_id]} time(s); unpin before "
-                f"dropping it")
-        self._views.pop(block_id, None)
-        super().invalidate(block_id)
+        with self.lock:
+            if self._pinned.get(block_id, 0) > 0:
+                raise PinnedDiscardError(
+                    f"invalidate({block_id}) would discard a block "
+                    f"pinned {self._pinned[block_id]} time(s); unpin "
+                    f"before dropping it")
+            self._views.pop(block_id, None)
+            super().invalidate(block_id)

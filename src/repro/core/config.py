@@ -48,6 +48,13 @@ class OptimizerConfig:
     epilogue legality and prediction sanity are checked up front, with
     errors naming the offending operator instead of a kernel failing
     mid-plan.
+
+    ``parallelism`` sets the worker count for parallel plan execution
+    (independent ``PhysOp`` subtrees on a thread pool, plus tile-level
+    parallelism inside the dense/sparse kernels).  ``None`` defers to
+    the ``REPRO_PARALLELISM`` environment variable, defaulting to 1
+    (serial).  Results are bitwise-identical at every parallelism
+    level; see :mod:`repro.core.parallel` for the determinism contract.
     """
 
     level: int = 2
@@ -61,11 +68,15 @@ class OptimizerConfig:
     fuse_epilogues: bool | None = None
     strict: bool = False
     max_passes: int = 10
+    parallelism: int | None = None
 
     def __post_init__(self) -> None:
         if self.level not in (0, 1, 2):
             raise ValueError(
                 f"optimizer level must be 0, 1 or 2, got {self.level}")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {self.parallelism}")
 
     # -- resolution ----------------------------------------------------
     def pass_enabled(self, name: str) -> bool:

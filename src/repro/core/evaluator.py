@@ -28,6 +28,7 @@ Execution strategy, following §5:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -39,6 +40,7 @@ from .expr import (ArrayInput, BINARY_OPS, Crossprod, Inverse, Map,
                    MatMul, Node, Range, Reduce, Scalar, Solve, Subscript,
                    SubscriptAssign, TERNARY_OPS, Transpose, UNARY_OPS,
                    walk)
+from .parallel import resolve_parallelism
 from .plan import (BnljOp, CrossprodOp, FusedEpilogueOp, PhysOp,
                    PhysicalPlan, SparseSpGEMMOp, SparseSpMMOp,
                    TileMatMulOp)
@@ -77,7 +79,8 @@ class Evaluator:
     def __init__(self, store: ArrayStore,
                  memory_scalars: int | None = None,
                  fuse_epilogues: bool = True,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 parallelism: int | None = None) -> None:
         self.store = store
         self.memory_scalars = memory_scalars or (
             store.pool.capacity * store.scalars_per_block)
@@ -85,6 +88,15 @@ class Evaluator:
         #: Run repro.analysis.planlint.verify_plan before every
         #: execute() (OptimizerConfig(strict=True) sets this).
         self.strict = strict
+        #: Worker count for plan- and tile-level parallelism.  ``None``
+        #: defers to $REPRO_PARALLELISM (default 1 = serial), so a CI
+        #: run can parallelize every evaluator without code changes.
+        self.parallelism = resolve_parallelism(parallelism)
+        # Worker pools are created lazily (first parallel execution)
+        # and live for the evaluator's lifetime; see shutdown().
+        self._op_executors: dict[int, object] = {}
+        self._tile_parallel = None
+        self._serial_kernels = False
         #: True while executing a PhysicalPlan: fuse-vs-materialize was
         #: decided by the planner, so the runtime fusion heuristic of
         #: the tree-dispatch fallback must stay out of the way.
@@ -94,6 +106,57 @@ class Evaluator:
         # by several dense-only contexts is converted (read fully +
         # written as dense tiles) once, not once per consumer.
         self._densified_cache: dict[int, tuple[object, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Parallelism plumbing
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Join this evaluator's worker pools (idempotent)."""
+        for ex in self._op_executors.values():
+            ex.shutdown()
+        self._op_executors.clear()
+        if self._tile_parallel is not None:
+            self._tile_parallel.shutdown()
+            self._tile_parallel = None
+
+    def _plan_executor(self, workers: int):
+        ex = self._op_executors.get(workers)
+        if ex is None:
+            from .parallel import ParallelExecutor
+            ex = self._op_executors[workers] = \
+                ParallelExecutor(self, workers)
+        return ex
+
+    def _kernel_parallel(self):
+        """The shared TileParallelism, or None when running serial.
+
+        Tile-level parallelism is measurement-safe (all pool/device
+        traffic stays on the calling thread in serial order), so it is
+        active even on cold measured runs — except under
+        :meth:`serial_kernels`, which forces an honest workers=1
+        baseline.
+        """
+        if self.parallelism <= 1 or self._serial_kernels:
+            return None
+        if self._tile_parallel is None:
+            from .parallel import TileParallelism
+            self._tile_parallel = TileParallelism(self.parallelism)
+        return self._tile_parallel
+
+    @contextmanager
+    def serial_kernels(self):
+        """Disable tile-level kernel parallelism inside the block.
+
+        Used by ``explain(analyze=True)``'s baseline run: the serial
+        wall time it compares the parallel schedule against must not
+        get tile-parallel help.
+        """
+        prev = self._serial_kernels
+        self._serial_kernels = True
+        try:
+            yield
+        finally:
+            self._serial_kernels = prev
 
     # ------------------------------------------------------------------
     # Entry point
@@ -154,13 +217,18 @@ class Evaluator:
         are charged to the operator that triggered the device transfer:
         a dirty block evicted during a later operator counts there.
         Totals are exact, per-op splits approximate.)
+
+        With ``parallelism > 1``, *warm* runs schedule independent
+        operators onto the worker pool (see
+        :class:`repro.core.parallel.ParallelExecutor`); results stay
+        bitwise-identical.  ``cold=True`` runs always schedule ops
+        serially — exclusive per-op deltas only sum exactly to the
+        session totals when one op runs at a time — while tile-level
+        kernel parallelism (which keeps all I/O on the calling thread)
+        stays active either way.  Use :meth:`execute_parallel` to get
+        a parallel schedule for a cold run.
         """
-        if self.strict:
-            # Imported lazily: repro.analysis depends on repro.core,
-            # not the other way around.
-            from repro.analysis.planlint import verify_plan
-            verify_plan(plan, memory_scalars=self.memory_scalars,
-                        block_scalars=self.store.scalars_per_block)
+        self._verify_strict(plan)
         memo = memo if memo is not None else {}
         for op in plan.ops():
             op.measured_io = None
@@ -174,10 +242,57 @@ class Evaluator:
         try:
             with self.store.tracer.span(
                     f"execute:level{plan.level}", cat="session"):
-                result = self._exec_op(plan.root, memo, set())
+                if cold or self.parallelism <= 1:
+                    result = self._exec_op(plan.root, memo, set())
+                else:
+                    result = self._plan_executor(
+                        self.parallelism).execute(plan, memo)
                 if cold:
                     self._flush_into_root(plan.root)
             plan.executed = True
+            return result
+        finally:
+            self._executing_plan = False
+            self._densified_cache.clear()
+
+    def _verify_strict(self, plan: PhysicalPlan) -> None:
+        if not self.strict:
+            return
+        # Imported lazily: repro.analysis depends on repro.core,
+        # not the other way around.
+        from repro.analysis.planlint import verify_plan
+        verify_plan(plan, memory_scalars=self.memory_scalars,
+                    block_scalars=self.store.scalars_per_block)
+
+    def execute_parallel(self, plan: PhysicalPlan,
+                         memo: dict[int, object] | None = None, *,
+                         cold: bool = False,
+                         workers: int | None = None):
+        """Execute a plan on the worker pool, recording its schedule.
+
+        Unlike :meth:`execute` this never takes exclusive per-op
+        deltas (``op.measured`` stays whatever it was — exactness
+        needs serial op scheduling); instead it fills
+        ``plan.parallel_schedule`` with per-op worker assignments and
+        start/end times.  ``cold=True`` still empties the pool first
+        and flushes dirty frames after, so the recorded wall time is
+        comparable to a cold serial run's.  This is the first half of
+        ``explain(analyze=True)``'s dual run.
+        """
+        self._verify_strict(plan)
+        memo = memo if memo is not None else {}
+        w = (self.parallelism if workers is None
+             else resolve_parallelism(workers))
+        self._densified_cache.clear()
+        self._executing_plan = True
+        if cold:
+            self.store.pool.clear()
+        try:
+            with self.store.tracer.span(
+                    f"execute:level{plan.level}", cat="session"):
+                result = self._plan_executor(w).execute(plan, memo)
+                if cold:
+                    self.store.pool.flush_all()
             return result
         finally:
             self._executing_plan = False
@@ -235,15 +350,22 @@ class Evaluator:
         if isinstance(op, (TileMatMulOp, BnljOp)):
             a = self._as_tiled_matrix(memo[id(node.children[0])])
             b = self._as_tiled_matrix(memo[id(node.children[1])])
-            kernel = (bnlj_matmul if isinstance(op, BnljOp)
-                      else square_tile_matmul)
-            return kernel(self.store, a, b, self.memory_scalars,
-                          trans_a=node.trans_a, trans_b=node.trans_b)
+            if isinstance(op, BnljOp):
+                return bnlj_matmul(self.store, a, b,
+                                   self.memory_scalars,
+                                   trans_a=node.trans_a,
+                                   trans_b=node.trans_b)
+            return square_tile_matmul(self.store, a, b,
+                                      self.memory_scalars,
+                                      trans_a=node.trans_a,
+                                      trans_b=node.trans_b,
+                                      parallel=self._kernel_parallel())
         if isinstance(op, SparseSpMMOp):
             from repro.sparse import spmm
             a = memo[id(node.children[0])]
             b = self._densified(memo[id(node.children[1])])
-            return spmm(self.store, a, b, self.memory_scalars)
+            return spmm(self.store, a, b, self.memory_scalars,
+                        parallel=self._kernel_parallel())
         if isinstance(op, SparseSpGEMMOp):
             from repro.sparse import spgemm
             return spgemm(self.store, memo[id(node.children[0])],
@@ -252,7 +374,8 @@ class Evaluator:
             a = self._as_tiled_matrix(memo[id(node.children[0])])
             return crossprod_matmul(self.store, a,
                                     self.memory_scalars,
-                                    t_first=node.t_first)
+                                    t_first=node.t_first,
+                                    parallel=self._kernel_parallel())
         if isinstance(op, FusedEpilogueOp):
             return self._run_epilogue(node, op.barrier,
                                       op.matrix_nodes,
@@ -294,7 +417,8 @@ class Evaluator:
             a = self._as_tiled_matrix(self._force(node.children[0],
                                                   memo))
             return crossprod_matmul(self.store, a, self.memory_scalars,
-                                    t_first=node.t_first)
+                                    t_first=node.t_first,
+                                    parallel=self._kernel_parallel())
         if isinstance(node, Solve):
             return self._force_solve(node, memo)
         if isinstance(node, Inverse):
@@ -341,7 +465,8 @@ class Evaluator:
             return square_tile_matmul(
                 self.store, self._as_tiled_matrix(a),
                 self._as_tiled_matrix(b), self.memory_scalars,
-                trans_a=node.trans_a, trans_b=node.trans_b)
+                trans_a=node.trans_a, trans_b=node.trans_b,
+                parallel=self._kernel_parallel())
         kernel = getattr(node, "kernel", "auto")
         if kernel == "dense":
             a = self._densified(a)
@@ -349,9 +474,11 @@ class Evaluator:
         if isinstance(a, SparseTiledMatrix):
             if isinstance(b, SparseTiledMatrix):
                 return spgemm(self.store, a, b)
-            return spmm(self.store, a, b, self.memory_scalars)
+            return spmm(self.store, a, b, self.memory_scalars,
+                        parallel=self._kernel_parallel())
         b = self._densified(b)
-        return square_tile_matmul(self.store, a, b, self.memory_scalars)
+        return square_tile_matmul(self.store, a, b, self.memory_scalars,
+                                  parallel=self._kernel_parallel())
 
     def _densified(self, data):
         """Dense view of a forced matrix for tile-streaming consumers.
@@ -806,13 +933,15 @@ class Evaluator:
                                     self.memory_scalars,
                                     t_first=barrier.t_first,
                                     epilogue=epilogue,
-                                    epilogue_inputs=len(inputs))
+                                    epilogue_inputs=len(inputs),
+                                    parallel=self._kernel_parallel())
         return square_tile_matmul(self.store, operands[0], operands[1],
                                   self.memory_scalars,
                                   trans_a=barrier.trans_a,
                                   trans_b=barrier.trans_b,
                                   epilogue=epilogue,
-                                  epilogue_inputs=len(inputs))
+                                  epilogue_inputs=len(inputs),
+                                  parallel=self._kernel_parallel())
 
     def _force_transpose(self, node: Transpose,
                          memo: dict[int, object]) -> TiledMatrix:

@@ -165,8 +165,33 @@ class Planner:
         if id(node) in self._memo:
             return self._memo[id(node)]
         op = self._lower_inner(node)
+        op.footprint_blocks = self._footprint(op)
         self._memo[id(node)] = op
         return op
+
+    #: Pool blocks a streaming operator keeps resident: its prefetch
+    #: window plus the output block it is filling.
+    STREAM_FOOTPRINT_BLOCKS = 18.0
+
+    def _footprint(self, op: PhysOp) -> float:
+        """Predicted peak pool residency (blocks) — admission control.
+
+        The parallel executor only co-schedules operators whose summed
+        footprints fit the pool capacity.  Tiled kernels are sized to
+        the full working-memory budget (that is the point of the
+        Appendix-A schedules), so they claim it all and effectively run
+        alone at plan level — tile-level parallelism covers them
+        internally.  Streaming operators touch a prefetch window at a
+        time; leaves and scalars pin nothing themselves.
+        """
+        budget = self.memory_scalars / self.block_scalars
+        if isinstance(op, (TileMatMulOp, BnljOp, CrossprodOp,
+                           SparseSpMMOp, SparseSpGEMMOp, LUSolveOp,
+                           InverseOp, FusedEpilogueOp, TransposeOp)):
+            return budget
+        if isinstance(op, (LeafOp, ScalarOp)):
+            return 0.0
+        return min(budget, self.STREAM_FOOTPRINT_BLOCKS)
 
     def _lower_inner(self, node: Node) -> PhysOp:
         blk = self.block_scalars

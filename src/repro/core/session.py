@@ -18,6 +18,7 @@ next to it.
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
@@ -98,7 +99,8 @@ class RiotSession:
             self.store,
             memory_scalars=self._memory_scalars,
             fuse_epilogues=self.config.fusion_enabled,
-            strict=self.config.strict)
+            strict=self.config.strict,
+            parallelism=self.config.parallelism)
         # Observability: the store's tracer plus a registry of live
         # counter sources, all exported by session.metrics.snapshot().
         # Sources are lambdas so they track the *current* stats objects
@@ -298,6 +300,7 @@ class RiotSession:
         array manifest for a later ``open_session``; unnamed temporary
         page files are deleted.  Idempotent.
         """
+        self.evaluator.shutdown()
         self.store.close()
 
     def __enter__(self) -> "RiotSession":
@@ -341,7 +344,13 @@ class RiotSession:
         I/O delta (blocks, bytes, syscalls, device time), buffer-pool
         behavior, wall-clock, and the measured/predicted ratio —
         flagged when it leaves the validated 0.5–2.0x band — followed
-        by a per-cost-model calibration summary.
+        by a per-cost-model calibration summary.  With
+        ``OptimizerConfig(parallelism=N)`` (N > 1) the plan is run
+        twice — once on the worker pool to capture the parallel
+        schedule, once serially for the exact per-op measurements and
+        the baseline wall time — and a schedule section (per-op worker
+        assignment, critical path vs sum of op time, measured speedup)
+        is appended.
         """
         from .expr import render
         node = obj.node if hasattr(obj, "node") else obj
@@ -362,7 +371,21 @@ class RiotSession:
             # run again).
             with self.tracer.recording():
                 plan = self.plan(node)
-                self.evaluator.execute(plan, cold=True)
+                if self.evaluator.parallelism > 1:
+                    # Parallel run first: captures the schedule
+                    # (worker assignments, per-op start/end).  The
+                    # serial run below neither clears it nor records
+                    # one of its own.
+                    self.evaluator.execute_parallel(plan, cold=True)
+                # Serial cold run: exact exclusive per-op deltas, and
+                # — with tile parallelism off too — an honest
+                # workers=1 baseline for the schedule's speedup line.
+                t0 = time.perf_counter_ns()
+                with self.evaluator.serial_kernels():
+                    self.evaluator.execute(plan, cold=True)
+                if plan.parallel_schedule is not None:
+                    plan.parallel_schedule["baseline_wall_ns"] = \
+                        time.perf_counter_ns() - t0
         else:
             plan = self.plan(node)
             if self.config.strict:
@@ -377,6 +400,8 @@ class RiotSession:
                 + plan.render(analyze=analyze))
         if analyze:
             text += "\n" + self._render_analyze_summary(plan)
+            if plan.parallel_schedule is not None:
+                text += "\n" + plan.render_schedule()
         return text
 
     def _render_analyze_summary(self, plan: PhysicalPlan) -> str:

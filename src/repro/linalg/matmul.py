@@ -93,13 +93,32 @@ def _operand_blocks(m: TiledMatrix, r0: int, r1: int, c0: int, c1: int,
     return m.submatrix_blocks(r0, r1, c0, c1)
 
 
+def _accumulate(parallel, acc, thunks):
+    """``for fn in thunks: acc += fn()``, offloaded when possible.
+
+    ``parallel`` is duck-typed (anything with ``.accumulate(acc,
+    thunks)`` — in practice :class:`repro.core.parallel.TileParallelism`)
+    so this module keeps its storage-only import surface.  The thunk
+    stream is consumed lazily either way: the prefetch hints and block
+    reads embedded in producing each thunk run on the calling thread in
+    exact serial order, which is what keeps simulated block counts
+    identical at every worker count.
+    """
+    if parallel is None:
+        for fn in thunks:
+            acc += fn()
+        return acc
+    return parallel.accumulate(acc, thunks)
+
+
 def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                        memory_scalars: int,
                        name: str | None = None,
                        trans_a: bool = False,
                        trans_b: bool = False,
                        epilogue=None,
-                       epilogue_inputs: int = 0) -> TiledMatrix:
+                       epilogue_inputs: int = 0,
+                       parallel=None) -> TiledMatrix:
     """Appendix-A schedule: three p x p submatrices resident at a time.
 
     ``p`` is sized so one submatrix of A, one of B and one of the result
@@ -110,6 +129,12 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     its single write, and ``epilogue_inputs`` declares how many extra
     p x p operand submatrices the callback will read so the panel
     shrinks to keep the whole working set inside the budget.
+
+    ``parallel`` (a ``TileParallelism``-like accumulator) offloads the
+    per-step GEMMs to worker threads while this thread keeps issuing
+    prefetch hints and block reads in serial order; results are folded
+    in increasing-``k`` order, so output bits and block counts match
+    the serial kernel exactly.
     """
     _check_conformable(a, b, trans_a, trans_b)
     m, l = _effective_shape(a, trans_a)
@@ -126,19 +151,29 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
             j1 = min(j0 + p, n)
             with store.tracer.span("matmul:panel", cat="kernel",
                                    i0=i0, j0=j0, p=p):
-                acc = np.zeros((i1 - i0, j1 - j0))
-                for k0 in range(0, l, p):
-                    k1 = min(k0 + p, l)
-                    if hinting:
-                        # Announce the step's full footprint — both operand
-                        # submatrices at once — so the scheduler turns the
-                        # tile misses into a handful of coalesced reads.
-                        store.pool.prefetch(
-                            _operand_blocks(a, i0, i1, k0, k1, trans_a)
-                            + _operand_blocks(b, k0, k1, j0, j1, trans_b))
-                    a_sub = _read_operand(a, i0, i1, k0, k1, trans_a)
-                    b_sub = _read_operand(b, k0, k1, j0, j1, trans_b)
-                    acc += a_sub @ b_sub
+
+                def steps(i0=i0, i1=i1, j0=j0, j1=j1):
+                    for k0 in range(0, l, p):
+                        k1 = min(k0 + p, l)
+                        if hinting:
+                            # Announce the step's full footprint — both
+                            # operand submatrices at once — so the
+                            # scheduler turns the tile misses into a
+                            # handful of coalesced reads.
+                            store.pool.prefetch(
+                                _operand_blocks(a, i0, i1, k0, k1,
+                                                trans_a)
+                                + _operand_blocks(b, k0, k1, j0, j1,
+                                                  trans_b))
+                        a_sub = _read_operand(a, i0, i1, k0, k1,
+                                              trans_a)
+                        b_sub = _read_operand(b, k0, k1, j0, j1,
+                                              trans_b)
+                        yield lambda a_s=a_sub, b_s=b_sub: a_s @ b_s
+
+                acc = _accumulate(parallel,
+                                  np.zeros((i1 - i0, j1 - j0)),
+                                  steps())
                 if epilogue is not None:
                     acc = epilogue(i0, j0, acc)
                 out.write_submatrix(i0, j0, acc)
@@ -150,7 +185,8 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
                      name: str | None = None,
                      t_first: bool = True,
                      epilogue=None,
-                     epilogue_inputs: int = 0) -> TiledMatrix:
+                     epilogue_inputs: int = 0,
+                     parallel=None) -> TiledMatrix:
     """Symmetric product ``t(A) %*% A`` (or ``A %*% t(A)``) in one pass.
 
     Exploits symmetry two ways the general schedule cannot: only the
@@ -164,7 +200,9 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
     ``epilogue`` is applied independently to each output block *and* to
     its mirror (with the mirrored block coordinates), so fused
     elementwise consumers need not be symmetric; ``epilogue_inputs``
-    shrinks the panel like in :func:`square_tile_matmul`.
+    shrinks the panel like in :func:`square_tile_matmul`, and
+    ``parallel`` offloads the per-step GEMMs exactly as there (reads
+    stay serial on this thread; in-order fold keeps results bitwise).
     """
     inner, k = a.shape if t_first else a.shape[::-1]
     tile_side = max(a.tile_shape[0], a.tile_shape[1])
@@ -179,20 +217,27 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
             j1 = min(j0 + p, k)
             with store.tracer.span("crossprod:panel", cat="kernel",
                                    i0=i0, j0=j0, p=p):
-                acc = np.zeros((i1 - i0, j1 - j0))
-                for r0 in range(0, inner, p):
-                    r1 = min(r0 + p, inner)
-                    if hinting:
-                        blocks = _operand_blocks(a, r0, r1, i0, i1,
-                                                 not t_first)
-                        if j0 != i0:
-                            blocks = blocks + _operand_blocks(
-                                a, r0, r1, j0, j1, not t_first)
-                        store.pool.prefetch(blocks)
-                    left = _read_operand(a, r0, r1, i0, i1, not t_first)
-                    right = (left if j0 == i0 else
-                             _read_operand(a, r0, r1, j0, j1, not t_first))
-                    acc += left.T @ right
+
+                def steps(i0=i0, i1=i1, j0=j0, j1=j1):
+                    for r0 in range(0, inner, p):
+                        r1 = min(r0 + p, inner)
+                        if hinting:
+                            blocks = _operand_blocks(a, r0, r1, i0, i1,
+                                                     not t_first)
+                            if j0 != i0:
+                                blocks = blocks + _operand_blocks(
+                                    a, r0, r1, j0, j1, not t_first)
+                            store.pool.prefetch(blocks)
+                        left = _read_operand(a, r0, r1, i0, i1,
+                                             not t_first)
+                        right = (left if j0 == i0 else
+                                 _read_operand(a, r0, r1, j0, j1,
+                                               not t_first))
+                        yield lambda l_=left, r_=right: l_.T @ r_
+
+                acc = _accumulate(parallel,
+                                  np.zeros((i1 - i0, j1 - j0)),
+                                  steps())
                 block = acc if epilogue is None else epilogue(i0, j0, acc)
                 out.write_submatrix(i0, j0, block)
                 if j0 != i0:

@@ -13,22 +13,29 @@ imports :mod:`repro.storage`.
 from __future__ import annotations
 
 import json
+import threading
 
 
 class Counter:
-    """A monotonically increasing named value."""
+    """A monotonically increasing named value.
 
-    __slots__ = ("name", "value")
+    Increments are atomic (lock-protected), so parallel-plan workers
+    can share one counter without losing updates.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -57,6 +64,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._sources: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _check_free(self, name: str) -> None:
         if name in self._counters or name in self._gauges \
@@ -65,24 +73,27 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
-        c = self._counters.get(name)
-        if c is None:
-            self._check_free(name)
-            c = self._counters[name] = Counter(name)
-        return c
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_free(name)
+                c = self._counters[name] = Counter(name)
+            return c
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge called ``name``."""
-        g = self._gauges.get(name)
-        if g is None:
-            self._check_free(name)
-            g = self._gauges[name] = Gauge(name)
-        return g
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_free(name)
+                g = self._gauges[name] = Gauge(name)
+            return g
 
     def register_source(self, name: str, fn) -> None:
         """Attach a zero-arg callable returning a JSON-ready mapping."""
-        self._check_free(name)
-        self._sources[name] = fn
+        with self._lock:
+            self._check_free(name)
+            self._sources[name] = fn
 
     def snapshot(self) -> dict:
         """One dict with every registered metric, evaluated now."""

@@ -36,6 +36,7 @@ loadable in Perfetto / ``chrome://tracing``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 
@@ -54,17 +55,21 @@ class Span:
 
     ``io`` is an :class:`~repro.storage.IOStats` *delta* (or ``None``
     when the tracer has no device); ``pool`` likewise a ``PoolStats``
-    delta.  ``parent`` is the buffer ``seq`` of the enclosing span, or
-    ``-1`` at top level.  ``args`` carries caller annotations (panel
-    coordinates, op labels, ...).
+    delta.  ``parent`` is the buffer ``seq`` of the enclosing span on
+    the *same thread*, or ``-1`` at top level.  ``args`` carries caller
+    annotations (panel coordinates, op labels, ...).  ``tid`` is the
+    tracer's compact thread index (1 = the first thread that opened a
+    span; parallel workers get 2, 3, ...), so the Chrome exporter lays
+    concurrent spans on separate tracks.
     """
 
     __slots__ = ("name", "cat", "seq", "parent", "depth", "start_ns",
-                 "end_ns", "io", "pool", "args")
+                 "end_ns", "io", "pool", "args", "tid")
 
     def __init__(self, name: str, cat: str, seq: int, parent: int,
                  depth: int, start_ns: int, end_ns: int,
-                 io=None, pool=None, args: dict | None = None) -> None:
+                 io=None, pool=None, args: dict | None = None,
+                 tid: int = 1) -> None:
         self.name = name
         self.cat = cat
         self.seq = seq
@@ -75,6 +80,7 @@ class Span:
         self.io = io
         self.pool = pool
         self.args = args or {}
+        self.tid = tid
 
     @property
     def wall_ns(self) -> int:
@@ -84,7 +90,8 @@ class Span:
         """JSON-ready view (io/pool flattened through their as_dict)."""
         out = {"name": self.name, "cat": self.cat, "seq": self.seq,
                "parent": self.parent, "depth": self.depth,
-               "start_ns": self.start_ns, "wall_ns": self.wall_ns}
+               "start_ns": self.start_ns, "wall_ns": self.wall_ns,
+               "tid": self.tid}
         if self.io is not None:
             out["io"] = self.io.as_dict()
         if self.pool is not None:
@@ -161,7 +168,7 @@ class _OpenSpan:
     """Context manager for one live span (created only when enabled)."""
 
     __slots__ = ("tracer", "name", "cat", "args", "seq", "parent",
-                 "depth", "start_ns", "io_before", "pool_before")
+                 "depth", "start_ns", "io_before", "pool_before", "tid")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str,
                  args: dict) -> None:
@@ -172,12 +179,14 @@ class _OpenSpan:
 
     def __enter__(self) -> "_OpenSpan":
         t = self.tracer
-        stack = t._stack
+        stack = t._stack  # this thread's stack (threading.local)
         self.parent = stack[-1].seq if stack else -1
         self.depth = len(stack)
-        self.seq = t._next_seq
-        t._next_seq += 1
-        t.spans_opened += 1
+        with t._lock:
+            self.seq = t._next_seq
+            t._next_seq += 1
+            t.spans_opened += 1
+            self.tid = t._tid_of(threading.get_ident())
         stack.append(self)
         self.io_before = (t.device.stats.snapshot()
                           if t.device is not None else None)
@@ -192,8 +201,8 @@ class _OpenSpan:
         end_ns = time.perf_counter_ns()
         t = self.tracer
         # ``with`` unwinding is LIFO even under exceptions, so the top
-        # of the stack is this span; anything else means spans were
-        # entered without ``with`` discipline — fail loudly.
+        # of this thread's stack is this span; anything else means
+        # spans were entered without ``with`` discipline — fail loudly.
         top = t._stack.pop()
         if top is not self:  # pragma: no cover - misuse guard
             raise RuntimeError(
@@ -205,7 +214,7 @@ class _OpenSpan:
                 if self.pool_before is not None else None)
         t._append(Span(self.name, self.cat, self.seq, self.parent,
                        self.depth, self.start_ns, end_ns, io, pool,
-                       self.args))
+                       self.args, tid=self.tid))
         _notify_closed(t, self.name, self.cat, exc_type)
         return False
 
@@ -215,8 +224,14 @@ class Tracer:
 
     ``device``/``pool`` are optional stat sources snapshotted at span
     boundaries (duck-typed: ``.stats.snapshot()``/``.stats.delta()``).
-    One tracer belongs to one store/session — it is not thread-safe,
-    matching the (current) one-thread-per-session execution model.
+    One tracer belongs to one store/session, and since the parallel
+    executor it is thread-aware: each thread nests spans on its own
+    stack (``threading.local``), the sequence counter and the ring
+    buffer are lock-protected, and every span records a compact thread
+    id for the Chrome exporter.  Note that a span's io/pool deltas are
+    taken from the *shared* store counters — exclusive attribution
+    therefore holds on serial (e.g. ``cold=True`` measurement) runs,
+    while concurrent spans see overlapping deltas.
     """
 
     def __init__(self, device=None, pool=None,
@@ -236,8 +251,25 @@ class Tracer:
         self.spans_dropped = 0
         self._spans: list[Span] = []
         self._head = 0  # ring insertion point once the buffer is full
-        self._stack: list[_OpenSpan] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._tids: dict[int, int] = {}  # thread ident -> compact tid
         self._next_seq = 0
+
+    @property
+    def _stack(self) -> list[_OpenSpan]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _tid_of(self, ident: int) -> int:
+        """Compact 1-based thread index (caller holds ``_lock``)."""
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids) + 1
+        return tid
 
     # ------------------------------------------------------------------
     # Recording
@@ -267,12 +299,13 @@ class Tracer:
             self.observers.remove(observer)
 
     def _append(self, span: Span) -> None:
-        if len(self._spans) < self.capacity:
-            self._spans.append(span)
-            return
-        self._spans[self._head] = span
-        self._head = (self._head + 1) % self.capacity
-        self.spans_dropped += 1
+        with self._lock:
+            if len(self._spans) < self.capacity:
+                self._spans.append(span)
+                return
+            self._spans[self._head] = span
+            self._head = (self._head + 1) % self.capacity
+            self.spans_dropped += 1
 
     def enable(self) -> None:
         self.enabled = True
@@ -292,8 +325,9 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop recorded spans (open spans and counters survive)."""
-        self._spans = []
-        self._head = 0
+        with self._lock:
+            self._spans = []
+            self._head = 0
 
     # ------------------------------------------------------------------
     # Inspection
@@ -316,6 +350,7 @@ class Tracer:
 
     @property
     def open_depth(self) -> int:
+        """Open-span nesting depth on the *calling* thread."""
         return len(self._stack)
 
     # ------------------------------------------------------------------
@@ -326,9 +361,11 @@ class Tracer:
 
         The output is the stable "JSON object format" consumed by
         Perfetto and ``chrome://tracing``: complete ``"ph": "X"``
-        events with microsecond ``ts``/``dur``, one process/thread, and
-        the span's I/O + pool deltas under ``args`` so block counts are
-        visible in the trace viewer's detail pane.
+        events with microsecond ``ts``/``dur``, one process with one
+        track per recorded thread (the span's ``tid``), and the span's
+        I/O + pool deltas under ``args`` so block counts are visible in
+        the trace viewer's detail pane — parallel workers show up as
+        overlapping tracks in Perfetto.
         """
         spans = self.spans()
         origin = min((s.start_ns for s in spans), default=0)
@@ -346,7 +383,7 @@ class Tracer:
                 "ts": (s.start_ns - origin) / 1e3,
                 "dur": s.wall_ns / 1e3,
                 "pid": 1,
-                "tid": 1,
+                "tid": s.tid,
                 "args": args,
             })
         doc = {"traceEvents": events, "displayTimeUnit": "ms",

@@ -157,15 +157,34 @@ def spmv(store: ArrayStore, a: SparseTiledMatrix, x: TiledVector,
     return out
 
 
+def _accumulate(parallel, acc, thunks):
+    """``for fn in thunks: acc += fn()``, offloaded when possible.
+
+    Same contract as the dense kernels' helper: ``parallel`` is
+    duck-typed (``.accumulate``), the thunk stream is consumed lazily so
+    hint announcements and tile reads stay on the calling thread in
+    exact serial order, and the in-order fold keeps results bitwise
+    identical to the serial loop.
+    """
+    if parallel is None:
+        for fn in thunks:
+            acc += fn()
+        return acc
+    return parallel.accumulate(acc, thunks)
+
+
 def spmm(store: ArrayStore, a: SparseTiledMatrix, b: TiledMatrix,
-         memory_scalars: int, name: str | None = None) -> TiledMatrix:
+         memory_scalars: int, name: str | None = None,
+         parallel=None) -> TiledMatrix:
     """``C = A B`` with sparse A and dense tiled B, by column panels.
 
     The panel width comes from :func:`repro.core.costs.spmm_panel_width`
     so the measured schedule and the analytic model stay in lockstep.
     Within a panel, each block row reads only the nonempty A tiles and
     the B strips they touch; block rows with no nonzeros write their
-    zero panel without reading anything.
+    zero panel without reading anything.  ``parallel`` offloads the
+    per-tile multiplies to worker threads exactly as in the dense
+    kernels (reads stay serial; in-order accumulation).
     """
     _check_conformable(a, b)
     m, l = a.shape
@@ -191,11 +210,16 @@ def spmm(store: ArrayStore, a: SparseTiledMatrix, b: TiledMatrix,
                     groups.append(a.tile_blocks(ti, tj)
                                   + b.submatrix_blocks(c0, c1, j0, j1))
                 hints = _BatchedHints(store.pool, groups, hinting)
-                for idx, tj in enumerate(tjs):
-                    hints.before(idx)
-                    _, _, c0, c1 = a.tile_bounds(ti, tj)
-                    a_tile = a.read_tile(ti, tj)
-                    acc += a_tile @ b.read_submatrix(c0, c1, j0, j1)
+
+                def steps(ti=ti, tjs=tjs, hints=hints, j0=j0, j1=j1):
+                    for idx, tj in enumerate(tjs):
+                        hints.before(idx)
+                        _, _, c0, c1 = a.tile_bounds(ti, tj)
+                        a_tile = a.read_tile(ti, tj)
+                        b_strip = b.read_submatrix(c0, c1, j0, j1)
+                        yield lambda a_t=a_tile, b_s=b_strip: a_t @ b_s
+
+                acc = _accumulate(parallel, acc, steps())
                 out.write_submatrix(r0, j0, acc)
     return out
 

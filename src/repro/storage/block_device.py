@@ -21,6 +21,7 @@ exact and reproducible.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -221,6 +222,12 @@ class BlockDevice:
         self._blocks: dict[int, np.ndarray] = {}
         self._next_block_id = 0
         self._last_accessed: int | None = None
+        # Allocation is the one device entry point not serialized by the
+        # buffer pool's lock (array stores allocate straight from worker
+        # threads), so the cursor gets its own lock.  All transfer paths
+        # stay single-threaded: they are only reached from inside
+        # BufferPool methods, which hold the pool lock.
+        self._alloc_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -233,8 +240,9 @@ class BlockDevice:
         """
         if n_blocks <= 0:
             raise ValueError(f"n_blocks must be positive, got {n_blocks}")
-        first = self._next_block_id
-        self._next_block_id += n_blocks
+        with self._alloc_lock:
+            first = self._next_block_id
+            self._next_block_id += n_blocks
         return first
 
     def free(self, block_id: int, n_blocks: int = 1) -> None:

@@ -11,12 +11,41 @@ a pool so that:
 
 Two classic policies are provided — LRU and CLOCK — and ablated in
 ``benchmarks/bench_ablation_buffer.py``.
+
+Concurrency contract (parallel plan execution)
+----------------------------------------------
+
+The pool is safe to share between the worker threads of a parallel
+plan.  One re-entrant lock (``pool.lock``) serializes every public
+method — lookups, the CLOCK/LRU sweep, eviction, pin accounting, and
+all ``PoolStats``/``IOStats``/scheduler-state increments happen inside
+it, so counter updates are atomic and the replacement policy's internal
+structures are never observed mid-sweep.  The :class:`~repro.storage.
+io_scheduler.IOScheduler` and the device transfer paths are only ever
+invoked from within these locked methods, which is what keeps
+*simulated block counts deterministic*: for any fixed sequence of pool
+calls, the counts are identical at every parallelism level, and the
+tile kernels additionally keep their pool calls on one thread in serial
+order so the sequence itself never changes.
+
+Per-frame **latches** (:meth:`BufferPool.latched`) layer on top of the
+pin counts for the one hazard the big lock cannot see: a caller
+mutating a frame's *contents* in place while an eviction or flush is
+writing that frame back.  Internal writers (``put``'s in-place
+overwrite, dirty writeback in ``flush``/eviction) take the frame's
+latch; external mutators should wrap their writes in
+``with pool.latched(bid): ...``.  Lock ordering is strictly
+``pool.lock → latch``; latch holders must not call pool methods from
+other threads' perspective — the latch is the innermost lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -178,7 +207,12 @@ POOL_SCHEMA_KEYS = frozenset(_POOL_FIELDS) | {"accesses", "hit_rate"}
 
 
 class BufferPool:
-    """A bounded cache of device blocks with write-back semantics."""
+    """A bounded cache of device blocks with write-back semantics.
+
+    Thread-safe: every public method runs under ``self.lock`` (see the
+    module docstring for the full concurrency contract and the
+    ``pool.lock → latch`` ordering rule).
+    """
 
     def __init__(self, device: BlockDevice, capacity_blocks: int,
                  policy: str | ReplacementPolicy = "lru",
@@ -194,15 +228,38 @@ class BufferPool:
         self.scheduler = scheduler or IOScheduler(
             device, readahead_window=readahead_window)
         self.stats = PoolStats()
+        # Re-entrant so subclass overrides (the sanitizer) and nested
+        # internal calls (get -> pin -> ...) can re-acquire freely.
+        self.lock = threading.RLock()
         self._frames: dict[int, np.ndarray] = {}
         self._dirty: set[int] = set()
         self._pinned: dict[int, int] = {}
         self._prefetched: set[int] = set()
+        self._latches: dict[int, threading.RLock] = {}
 
     # ------------------------------------------------------------------
     @property
     def resident(self) -> int:
         return len(self._frames)
+
+    def _latch(self, block_id: int) -> threading.RLock:
+        with self.lock:
+            latch = self._latches.get(block_id)
+            if latch is None:
+                latch = self._latches[block_id] = threading.RLock()
+            return latch
+
+    @contextmanager
+    def latched(self, block_id: int) -> Iterator[None]:
+        """Hold ``block_id``'s frame latch for an in-place mutation.
+
+        Excludes concurrent writeback of the same frame (eviction or
+        flush copying the contents out) without holding the whole pool
+        lock across the caller's compute.  Innermost lock: do not call
+        pool methods while holding a latch.
+        """
+        with self._latch(block_id):
+            yield
 
     def get(self, block_id: int, *, for_write: bool = False) -> np.ndarray:
         """Return the cached buffer for a block, faulting it in if needed.
@@ -211,39 +268,40 @@ class BufferPool:
         ``for_write=True`` (or call :meth:`mark_dirty`) so the change is
         written back on eviction.
         """
-        frame = self._frames.get(block_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self.policy.on_access(block_id)
-            self._note_prefetch_hit(block_id)
-            ahead = self.scheduler.on_demand(block_id, miss=False)
-            if ahead:
-                # Pin the demanded frame so speculation can never evict
-                # the very block the caller is about to use.
-                self.pin(block_id)
-                try:
-                    self._speculate(ahead)
-                finally:
-                    self.unpin(block_id)
-        else:
-            self.stats.misses += 1
-            ahead = self.scheduler.on_demand(block_id, miss=True)
-            extras = self._clip_speculation(ahead)
-            self._ensure_room()
-            fetched = self.scheduler.fetch([block_id] + extras,
-                                           n_speculative=len(extras))
-            frame = fetched.pop(block_id)
-            self._frames[block_id] = frame
-            self.policy.on_insert(block_id)
-            if fetched:
-                self.pin(block_id)
-                try:
-                    self._install_prefetched(fetched)
-                finally:
-                    self.unpin(block_id)
-        if for_write:
-            self._dirty.add(block_id)
-        return frame
+        with self.lock:
+            frame = self._frames.get(block_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self.policy.on_access(block_id)
+                self._note_prefetch_hit(block_id)
+                ahead = self.scheduler.on_demand(block_id, miss=False)
+                if ahead:
+                    # Pin the demanded frame so speculation can never
+                    # evict the very block the caller is about to use.
+                    self.pin(block_id)
+                    try:
+                        self._speculate(ahead)
+                    finally:
+                        self.unpin(block_id)
+            else:
+                self.stats.misses += 1
+                ahead = self.scheduler.on_demand(block_id, miss=True)
+                extras = self._clip_speculation(ahead)
+                self._ensure_room()
+                fetched = self.scheduler.fetch([block_id] + extras,
+                                               n_speculative=len(extras))
+                frame = fetched.pop(block_id)
+                self._frames[block_id] = frame
+                self.policy.on_insert(block_id)
+                if fetched:
+                    self.pin(block_id)
+                    try:
+                        self._install_prefetched(fetched)
+                    finally:
+                        self.unpin(block_id)
+            if for_write:
+                self._dirty.add(block_id)
+            return frame
 
     def get_many(self, block_ids: list[int]) -> list[np.ndarray]:
         """Return frames for several blocks, coalescing the misses.
@@ -254,31 +312,33 @@ class BufferPool:
         ids share device calls.  Returned arrays alias frames where the
         block stayed resident; callers treat them as read-only.
         """
-        missing: list[int] = []
-        for bid in block_ids:
-            if bid not in self._frames and bid not in missing:
-                missing.append(bid)
-        fetched = self.scheduler.fetch(missing) if missing else {}
-        out: list[np.ndarray] = []
-        for bid in block_ids:
-            frame = self._frames.get(bid)
-            if frame is not None:
-                self.stats.hits += 1
-                self.policy.on_access(bid)
-                self._note_prefetch_hit(bid)
+        with self.lock:
+            missing: list[int] = []
+            for bid in block_ids:
+                if bid not in self._frames and bid not in missing:
+                    missing.append(bid)
+            fetched = self.scheduler.fetch(missing) if missing else {}
+            out: list[np.ndarray] = []
+            for bid in block_ids:
+                frame = self._frames.get(bid)
+                if frame is not None:
+                    self.stats.hits += 1
+                    self.policy.on_access(bid)
+                    self._note_prefetch_hit(bid)
+                    out.append(frame)
+                    continue
+                self.stats.misses += 1
+                frame = fetched.get(bid)
+                if frame is None:
+                    # The block was resident when the misses were
+                    # collected but got evicted while installing them —
+                    # fault it in.
+                    frame = self.scheduler.fetch([bid])[bid]
+                self._ensure_room()
+                self._frames[bid] = frame
+                self.policy.on_insert(bid)
                 out.append(frame)
-                continue
-            self.stats.misses += 1
-            frame = fetched.get(bid)
-            if frame is None:
-                # The block was resident when the misses were collected
-                # but got evicted while installing them — fault it in.
-                frame = self.scheduler.fetch([bid])[bid]
-            self._ensure_room()
-            self._frames[bid] = frame
-            self.policy.on_insert(bid)
-            out.append(frame)
-        return out
+            return out
 
     def prefetch(self, block_ids: list[int]) -> int:
         """Hint: the given blocks are about to be read.
@@ -292,18 +352,19 @@ class BufferPool:
         is truncated, not an error.  A disabled scheduler turns this
         into a no-op.
         """
-        if not self.scheduler.enabled:
-            return 0
-        want: list[int] = []
-        for bid in block_ids:
-            if bid not in self._frames and bid not in want:
-                want.append(bid)
-        want = self._clip_speculation(want)
-        if not want:
-            return 0
-        fetched = self.scheduler.fetch(want, n_speculative=len(want))
-        self._install_prefetched(fetched)
-        return len(fetched)
+        with self.lock:
+            if not self.scheduler.enabled:
+                return 0
+            want: list[int] = []
+            for bid in block_ids:
+                if bid not in self._frames and bid not in want:
+                    want.append(bid)
+            want = self._clip_speculation(want)
+            if not want:
+                return 0
+            fetched = self.scheduler.fetch(want, n_speculative=len(want))
+            self._install_prefetched(fetched)
+            return len(fetched)
 
     # ------------------------------------------------------------------
     # Prefetch internals
@@ -362,37 +423,44 @@ class BufferPool:
             padded = np.zeros(self.device.block_size, dtype=np.uint8)
             padded[:buf.size] = buf
             buf = padded
-        if block_id in self._frames:
-            self._frames[block_id][:] = buf
-            self.policy.on_access(block_id)
-            self.stats.hits += 1
-            # A full overwrite is not a use of the prefetched contents.
-            self._prefetched.discard(block_id)
-        else:
-            self.stats.misses += 1
-            self._ensure_room()
-            self._frames[block_id] = buf.copy()
-            self.policy.on_insert(block_id)
-        self._dirty.add(block_id)
+        with self.lock:
+            if block_id in self._frames:
+                with self.latched(block_id):
+                    self._frames[block_id][:] = buf
+                self.policy.on_access(block_id)
+                self.stats.hits += 1
+                # A full overwrite is not a use of the prefetched
+                # contents.
+                self._prefetched.discard(block_id)
+            else:
+                self.stats.misses += 1
+                self._ensure_room()
+                self._frames[block_id] = buf.copy()
+                self.policy.on_insert(block_id)
+            self._dirty.add(block_id)
 
     def mark_dirty(self, block_id: int) -> None:
-        if block_id not in self._frames:
-            raise KeyError(f"block {block_id} is not resident")
-        self._dirty.add(block_id)
+        with self.lock:
+            if block_id not in self._frames:
+                raise KeyError(f"block {block_id} is not resident")
+            self._dirty.add(block_id)
 
     # ------------------------------------------------------------------
     def pin(self, block_id: int) -> None:
         """Prevent a resident block from being evicted (refcounted)."""
-        if block_id not in self._frames:
-            raise KeyError(f"cannot pin non-resident block {block_id}")
-        self._pinned[block_id] = self._pinned.get(block_id, 0) + 1
+        with self.lock:
+            if block_id not in self._frames:
+                raise KeyError(
+                    f"cannot pin non-resident block {block_id}")
+            self._pinned[block_id] = self._pinned.get(block_id, 0) + 1
 
     def unpin(self, block_id: int) -> None:
-        count = self._pinned.get(block_id, 0)
-        if count <= 1:
-            self._pinned.pop(block_id, None)
-        else:
-            self._pinned[block_id] = count - 1
+        with self.lock:
+            count = self._pinned.get(block_id, 0)
+            if count <= 1:
+                self._pinned.pop(block_id, None)
+            else:
+                self._pinned[block_id] = count - 1
 
     # ------------------------------------------------------------------
     def flush(self, block_id: int | None = None) -> None:
@@ -401,42 +469,60 @@ class BufferPool:
         A full flush hands the sorted dirty set to the scheduler so
         adjacent dirty blocks coalesce into multi-block device writes.
         """
-        if block_id is not None:
-            if block_id in self._dirty:
-                self.device.write_block(block_id, self._frames[block_id])
-                self.stats.dirty_writebacks += 1
-                self._dirty.discard(block_id)
-            return
-        items = [(bid, self._frames[bid]) for bid in sorted(self._dirty)]
-        if items:
-            self.scheduler.write_back(items)
-            self.stats.dirty_writebacks += len(items)
-            self._dirty.clear()
+        with self.lock:
+            if block_id is not None:
+                if block_id in self._dirty:
+                    with self.latched(block_id):
+                        self.device.write_block(block_id,
+                                                self._frames[block_id])
+                    self.stats.dirty_writebacks += 1
+                    self._dirty.discard(block_id)
+                return
+            dirty = sorted(self._dirty)
+            for bid in dirty:
+                self._latch(bid).acquire()
+            try:
+                items = [(bid, self._frames[bid]) for bid in dirty]
+                if items:
+                    self.scheduler.write_back(items)
+                    self.stats.dirty_writebacks += len(items)
+                    self._dirty.clear()
+            finally:
+                for bid in dirty:
+                    self._latch(bid).release()
 
     def flush_all(self) -> None:
         self.flush(None)
 
     def invalidate(self, block_id: int) -> None:
         """Drop a frame without writing it back (e.g. file dropped)."""
-        self._frames.pop(block_id, None)
-        self._dirty.discard(block_id)
-        self._pinned.pop(block_id, None)
-        self._prefetched.discard(block_id)
-        self.policy.on_remove(block_id)
+        with self.lock:
+            self._frames.pop(block_id, None)
+            self._dirty.discard(block_id)
+            self._pinned.pop(block_id, None)
+            self._prefetched.discard(block_id)
+            self._latches.pop(block_id, None)
+            self.policy.on_remove(block_id)
 
     def clear(self) -> None:
         """Flush everything and empty the pool."""
-        self.flush_all()
-        for bid in list(self._frames):
-            self.invalidate(bid)
-        self.scheduler.reset()
+        with self.lock:
+            self.flush_all()
+            for bid in list(self._frames):
+                self.invalidate(bid)
+            self.scheduler.reset()
 
     # ------------------------------------------------------------------
     def _ensure_room(self) -> None:
+        # Caller holds self.lock; the CLOCK/LRU sweep and the victim's
+        # dirty writeback run entirely inside it, with the victim's
+        # latch taken around the device write so an in-place mutator
+        # (pool.latched) can never race the writeback copy.
         while len(self._frames) >= self.capacity:
             victim = self.policy.choose_victim(set(self._pinned))
             if victim in self._dirty:
-                self.device.write_block(victim, self._frames[victim])
+                with self.latched(victim):
+                    self.device.write_block(victim, self._frames[victim])
                 self.stats.dirty_writebacks += 1
                 self._dirty.discard(victim)
             if victim in self._prefetched:
@@ -444,6 +530,7 @@ class BufferPool:
                 self.stats.prefetch_wasted += 1
             del self._frames[victim]
             self.policy.on_remove(victim)
+            self._latches.pop(victim, None)
             self.stats.evictions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -33,6 +33,12 @@ pool partially caches a *reused* working set, prefetch installs perturb
 eviction order, which can shift a few hits to misses; any prefetched
 frame evicted unread is counted in ``PoolStats.prefetch_wasted`` so the
 drift is observable, never silent.
+
+Concurrency contract: the scheduler has no lock of its own — every
+entry point (``on_demand``, ``fetch``, ``write_back``) is invoked only
+from :class:`~repro.storage.buffer_pool.BufferPool` methods that hold
+the pool's lock, so its run-detection state and stats are serialized
+by that lock.  Do not call it directly from worker threads.
 """
 
 from __future__ import annotations

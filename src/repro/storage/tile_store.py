@@ -22,6 +22,7 @@ Design points taken straight from the paper:
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Iterator
 
 import numpy as np
@@ -525,6 +526,10 @@ class ArrayStore:
             # at span boundaries; observers fire even with tracing off.
             self.pool.attach_tracer(self.tracer)
         self._counter = 0
+        # Parallel plan workers create temporaries concurrently; the
+        # name counter and registry are the store's only mutable state
+        # not already serialized by the pool's lock.
+        self._names_lock = threading.Lock()
         self._arrays: dict[str, TiledVector | TiledMatrix] = {}
         self._closed = False
 
@@ -533,12 +538,14 @@ class ArrayStore:
         return self.device.block_size // _FLOAT_BYTES
 
     def _fresh_name(self, prefix: str) -> str:
-        self._counter += 1
-        return f"{prefix}_{self._counter}"
+        with self._names_lock:
+            self._counter += 1
+            return f"{prefix}_{self._counter}"
 
     def _register(self, array: "TiledVector | TiledMatrix"
                   ) -> "TiledVector | TiledMatrix":
-        self._arrays[array.name] = array
+        with self._names_lock:
+            self._arrays[array.name] = array
         return array
 
     # ------------------------------------------------------------------

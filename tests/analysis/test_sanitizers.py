@@ -268,3 +268,65 @@ class TestCleanWorkloads:
         out = s.values(A @ B)
         assert out.shape == (n, k)
         s.close()
+
+
+class TestCrossThreadUnpin:
+    def test_unpin_from_other_thread_detected(self, sess):
+        import threading
+
+        from repro.analysis import CrossThreadUnpinError
+
+        pool = sess.store.pool
+        block = fresh_block(pool)
+        pool.get(block)
+        pool.pin(block)
+        caught: list[BaseException] = []
+
+        def rogue():
+            try:
+                pool.unpin(block)
+            except BaseException as exc:  # noqa: BLE001
+                caught.append(exc)
+
+        t = threading.Thread(target=rogue)
+        t.start()
+        t.join()
+        assert len(caught) == 1
+        assert isinstance(caught[0], CrossThreadUnpinError)
+        assert "never pinned" in str(caught[0])
+        # The rogue release must not have touched the real pin count.
+        assert pool._pinned[block] == 1
+        pool.unpin(block)  # owner releases cleanly
+        assert block not in pool._pinned
+
+    def test_each_thread_balances_its_own_pins(self, sess):
+        import threading
+
+        pool = sess.store.pool
+        block = fresh_block(pool)
+        pool.get(block)
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    pool.pin(block)
+                    pool.unpin(block)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert block not in pool._pinned
+
+    def test_unpin_of_never_pinned_block_still_tolerated(self, sess):
+        # Nobody holds a pin: the plain pool tolerates over-release and
+        # the sanitizer must not turn that into a cross-thread error.
+        pool = sess.store.pool
+        block = fresh_block(pool)
+        pool.get(block)
+        pool.unpin(block)

@@ -225,3 +225,80 @@ class TestRecordingAndDeltas:
         merged = first.io.merged(second.io)
         assert merged.as_dict() == whole.io.as_dict()
         assert whole.io.as_dict() == total.as_dict()
+
+
+class TestThreadAwareness:
+    def test_threads_get_distinct_compact_tids(self):
+        import threading
+
+        t = Tracer(enabled=True)
+        with t.span("main-span"):
+            pass
+        # Keep all workers alive together: the OS reuses thread idents
+        # of exited threads, and the compact-tid map keys on ident.
+        ready = threading.Barrier(3)
+
+        def worker(name):
+            def run():
+                ready.wait()
+                with t.span(name):
+                    pass
+            return run
+
+        threads = [threading.Thread(target=worker(f"w{i}"))
+                   for i in range(3)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = {s.name: s for s in t.spans()}
+        tids = {name: spans[name].tid
+                for name in ("main-span", "w0", "w1", "w2")}
+        # One compact tid per thread, all distinct, main thread first.
+        assert tids["main-span"] == 1
+        assert len(set(tids.values())) == 4
+        assert set(tids.values()) == {1, 2, 3, 4}
+
+    def test_per_thread_stacks_do_not_interleave(self):
+        import threading
+
+        t = Tracer(enabled=True)
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            def run():
+                with t.span(f"{name}-outer"):
+                    ready.wait()
+                    with t.span(f"{name}-inner"):
+                        pass
+            return run
+
+        threads = [threading.Thread(target=worker(n))
+                   for n in ("a", "b")]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = {s.name: s for s in t.spans()}
+        for name in ("a", "b"):
+            inner, outer = spans[f"{name}-inner"], spans[f"{name}-outer"]
+            assert inner.tid == outer.tid
+            assert inner.parent == outer.seq
+            assert inner.depth == outer.depth + 1
+
+    def test_export_chrome_emits_real_tids(self, tmp_path):
+        import json
+        import threading
+
+        t = Tracer(enabled=True)
+        with t.span("main-span"):
+            pass
+        th = threading.Thread(target=lambda: t.span("bg").__enter__()
+                              .__exit__(None, None, None))
+        th.start()
+        th.join()
+        path = tmp_path / "trace.json"
+        assert t.export_chrome(path) == 2
+        events = json.loads(path.read_text())["traceEvents"]
+        by_name = {e["name"]: e["tid"] for e in events}
+        assert by_name["main-span"] != by_name["bg"]
