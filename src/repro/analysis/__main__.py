@@ -16,8 +16,9 @@ from .lint import ALL_RULES, run_lint
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="RIOT repo lint: storage/plan/span/determinism "
-                    "conventions checked on the AST (rules RPR001-4).")
+        description="RIOT repo lint: storage/plan/span/determinism/"
+                    "codec conventions checked on the AST "
+                    "(rules RPR001-5).")
     parser.add_argument(
         "paths", nargs="+",
         help="files or directories to lint (directories recurse)")

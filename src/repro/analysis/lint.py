@@ -34,6 +34,14 @@ Rules:
     passes: plans must be deterministic functions of the DAG and the
     config, or golden-plan tests and cross-run calibration are
     meaningless.
+``RPR005``
+    No ``encode_tile()`` / ``decode_tile()`` calls outside
+    ``repro/storage``.  Tile codecs are a storage-internal protocol:
+    the tile store applies them at write/read time and charges
+    ``IOStats.bytes_logical`` / ``bytes_compressed`` as it does so.  A
+    kernel or pass calling a codec directly would move bytes that the
+    I/O accounting never sees, breaking the compression-ratio
+    calibration loop.
 
 Use :func:`run_lint` programmatically or ``python -m repro.analysis``
 from the command line.
@@ -46,11 +54,14 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004")
+ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
 
 #: Constructors only ``repro/storage`` may call (RPR001).
 DEVICE_CONSTRUCTORS = frozenset(
     {"BlockDevice", "FileBlockDevice", "PageFile"})
+
+#: Codec protocol methods only ``repro/storage`` may call (RPR005).
+CODEC_METHODS = frozenset({"encode_tile", "decode_tile"})
 
 #: Modules whose call results depend on wall clock or RNG state
 #: (RPR004).  Matched against the root name of attribute chains.
@@ -124,6 +135,25 @@ def _check_device_construction(path: Path, tree: ast.AST
                     f"{name}() constructed outside repro/storage; "
                     f"use storage.config.create_device() / the "
                     f"ArrayStore factories"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR005 — codec encode/decode stays inside repro/storage
+# ----------------------------------------------------------------------
+def _check_codec_discipline(path: Path, tree: ast.AST) -> list[Finding]:
+    if _is_storage_file(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in CODEC_METHODS:
+                findings.append(Finding(
+                    str(path), node.lineno, node.col_offset, "RPR005",
+                    f"{name}() called outside repro/storage; tile "
+                    f"codecs are applied by the tile store so the "
+                    f"compressed bytes are charged to IOStats"))
     return findings
 
 
@@ -319,6 +349,7 @@ _RULES = {
     "RPR002": _check_cost_model_registry,
     "RPR003": _check_span_discipline,
     "RPR004": _check_determinism,
+    "RPR005": _check_codec_discipline,
 }
 
 

@@ -44,34 +44,19 @@ def _effective_shapes(node: MatMul) -> tuple[tuple[int, int],
     return sa, sb
 
 
-def _stored_tile_side(node: Node, block_scalars: int) -> int:
-    """Tile side the dense kernels will see for this operand.
-
-    A stored input contributes its actual tile shape (the kernels size
-    their panels from ``max(a.tile_shape)``); intermediates are created
-    square, so their side is ``isqrt(block)`` clipped to the matrix.
-    """
-    data = getattr(node, "data", None)
-    tile_shape = getattr(data, "tile_shape", None)
-    if tile_shape:
-        return max(tile_shape)
-    side = max(1, math.isqrt(max(1, block_scalars)))
-    shape = getattr(node, "shape", None)
-    if shape and len(shape) == 2:
-        return max(1, max(min(shape[0], side), min(shape[1], side)))
-    return side
-
-
 def _check_square_budget(op: PhysOp, operand: Node, panels: int,
                          memory_scalars: int, block_scalars: int,
                          what: str) -> None:
-    """The Appendix-A feasibility check of ``_square_panel``, lifted."""
-    tile_side = _stored_tile_side(operand, block_scalars)
-    need = panels * tile_side * tile_side
-    if memory_scalars < need:
+    """The Appendix-A feasibility check of ``_square_panel``, lifted.
+
+    Mirrors the kernel's ragged fallback: below ``panels`` whole tiles
+    the panel shrinks (unaligned) instead of failing, so the only
+    infeasible budget is one that cannot hold ``panels`` scalars.
+    """
+    if memory_scalars < panels:
         _fail(op, f"memory budget of {memory_scalars} scalars cannot "
-                  f"hold {panels} submatrices of {tile_side} x "
-                  f"{tile_side} for {what} (needs >= {need} scalars)")
+                  f"hold {panels} 1 x 1 submatrices for {what} "
+                  f"(needs >= {panels} scalars)")
 
 
 def _sparse_stored(node: Node) -> bool:
@@ -242,9 +227,9 @@ def verify_plan(plan: PhysicalPlan, config=None, *,
             raise TypeError(
                 "verify_plan needs a StorageConfig or explicit "
                 "memory_scalars/block_scalars")
-        memory_scalars = config.memory_bytes // 8
+        memory_scalars = config.memory_bytes // config.itemsize
     if block_scalars is None:
-        block_scalars = (config.block_size // 8 if config is not None
-                         else 1024)
+        block_scalars = (config.block_size // config.itemsize
+                         if config is not None else 1024)
     for op in plan.ops():
         _verify_op(op, memory_scalars, block_scalars)

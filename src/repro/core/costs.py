@@ -30,14 +30,21 @@ def matmul_io_lower_bound(m: float, l: float, n: float,
 
 
 def square_tile_matmul_io(m: float, l: float, n: float,
-                          memory: float, block: float) -> float:
+                          memory: float, block: float,
+                          ratio: float = 1.0) -> float:
     """Appendix A optimal schedule with p x p tiles, p = sqrt(M/3).
 
     ``(2 p^2/B * l/p + p^2/B) * (mn/p^2) = 2*sqrt(3)*lmn/(B*sqrt(M)) + mn/B``
     — reads of the A/B tile pairs plus one write of each C tile.
+
+    ``ratio`` is the compressed/logical device-byte ratio of the
+    storage codec (1.0 uncompressed; see
+    :meth:`repro.storage.tile_store.ArrayStore.io_ratio_estimate`):
+    every term is device traffic through codec tiles, so the whole
+    cost scales with it.
     """
-    return (2.0 * math.sqrt(3.0) * l * m * n
-            / (block * math.sqrt(memory))) + (m * n) / block
+    return ratio * ((2.0 * math.sqrt(3.0) * l * m * n
+                     / (block * math.sqrt(memory))) + (m * n) / block)
 
 
 def transposed_matmul_io(m: float, l: float, n: float,
@@ -64,7 +71,7 @@ def transpose_materialize_io(rows: float, cols: float,
 
 
 def crossprod_io(m: float, k: float, memory: float,
-                 block: float) -> float:
+                 block: float, ratio: float = 1.0) -> float:
     """I/O of the symmetric ``t(A) %*% A`` schedule for an m x k A.
 
     Per inner panel the kernel reads one p x p operand block for each
@@ -73,15 +80,17 @@ def crossprod_io(m: float, k: float, memory: float,
     2 g^2 the general schedule pays — and every output block is written
     once (mirrors are writes of already-resident data):
 
-    ``sqrt(3) * m k^2 / (B sqrt(M)) + k^2 / B``.
+    ``sqrt(3) * m k^2 / (B sqrt(M)) + k^2 / B``.  ``ratio`` scales the
+    device traffic by the storage codec's compressed-byte ratio.
     """
-    return (math.sqrt(3.0) * m * k * k
-            / (block * math.sqrt(memory))) + (k * k) / block
+    return ratio * ((math.sqrt(3.0) * m * k * k
+                     / (block * math.sqrt(memory))) + (k * k) / block)
 
 
 def matmul_epilogue_io(m: float, l: float, n: float,
                        extra_inputs: float, memory: float, block: float,
-                       fused: bool = True) -> float:
+                       fused: bool = True,
+                       ratio: float = 1.0) -> float:
     """I/O of ``map(A %*% B, C1..Ck)`` — an elementwise epilogue over a
     product with ``extra_inputs`` additional matrix operands.
 
@@ -93,31 +102,37 @@ def matmul_epilogue_io(m: float, l: float, n: float,
     operand-read term by ``sqrt(3 + extra_inputs) / sqrt(3)``.
     Unfused, the raw product is materialized and the elementwise pass
     re-reads it and writes the final result — ``2 m n / B`` extra
-    blocks on top of the plain multiply.
+    blocks on top of the plain multiply.  ``ratio`` scales all device
+    traffic by the storage codec's compressed-byte ratio, so the
+    fuse-vs-materialize comparison stays apples to apples under
+    compression.
     """
     if fused:
-        return (2.0 * math.sqrt(3.0 + extra_inputs) * l * m * n
-                / (block * math.sqrt(memory))
-                + (1.0 + extra_inputs) * m * n / block)
-    return (square_tile_matmul_io(m, l, n, memory, block)
-            + (2.0 + extra_inputs) * m * n / block)
+        return ratio * (2.0 * math.sqrt(3.0 + extra_inputs) * l * m * n
+                        / (block * math.sqrt(memory))
+                        + (1.0 + extra_inputs) * m * n / block)
+    return (square_tile_matmul_io(m, l, n, memory, block, ratio)
+            + ratio * (2.0 + extra_inputs) * m * n / block)
 
 
 def bnlj_matmul_io(n1: float, n2: float, n3: float,
-                   memory: float, block: float) -> float:
+                   memory: float, block: float,
+                   ratio: float = 1.0) -> float:
     """Block-nested-loop-inspired algorithm of §3/§4.
 
     A is row-major, B and the result column-major.  Memory holds q rows of A
     *and* the corresponding q rows of T (q = M/(n2+n3)), plus a scan block
     for B; every chunk of A rows scans all of B.  Total:
     ``Theta(n1*n2*n3*(n2+n3)/(B*M))`` plus the linear input/output terms.
+    ``ratio`` scales the device traffic by the storage codec's
+    compressed-byte ratio.
     """
     q = max(1.0, memory / (n2 + n3))
     chunks = math.ceil(n1 / q)
     scan_b = chunks * (n2 * n3 / block)
     read_a = n1 * n2 / block
     write_t = n1 * n3 / block
-    return scan_b + read_a + write_t
+    return ratio * (scan_b + read_a + write_t)
 
 
 def naive_colmajor_matmul_io(n1: float, n2: float, n3: float,
@@ -402,7 +417,8 @@ def solve_op_io(n: float, nrhs: float, memory: float, block: float,
 
 def crossprod_epilogue_io(m: float, k: float, extra_inputs: float,
                           memory: float, block: float,
-                          fused: bool = True) -> float:
+                          fused: bool = True,
+                          ratio: float = 1.0) -> float:
     """I/O of ``map(crossprod(A), C1..Ce)`` — an elementwise epilogue
     over the symmetric product.
 
@@ -411,14 +427,15 @@ def crossprod_epilogue_io(m: float, k: float, extra_inputs: float,
     sqrt(3)``), each extra operand is read once, and the kernel's
     single write remains the only write.  Unfused, the raw product is
     materialized and the elementwise pass re-reads it and writes the
-    final result.
+    final result.  ``ratio`` scales all device traffic by the storage
+    codec's compressed-byte ratio.
     """
     if fused:
-        return (math.sqrt(3.0 + extra_inputs) * m * k * k
-                / (block * math.sqrt(memory))
-                + (1.0 + extra_inputs) * k * k / block)
-    return (crossprod_io(m, k, memory, block)
-            + (2.0 + extra_inputs) * k * k / block)
+        return ratio * (math.sqrt(3.0 + extra_inputs) * m * k * k
+                        / (block * math.sqrt(memory))
+                        + (1.0 + extra_inputs) * k * k / block)
+    return (crossprod_io(m, k, memory, block, ratio)
+            + ratio * (2.0 + extra_inputs) * k * k / block)
 
 
 # ----------------------------------------------------------------------

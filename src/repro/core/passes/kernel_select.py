@@ -19,19 +19,22 @@ from .sparsity import sparse_stored, sparse_tile_side
 
 
 def clamped_dense_io(m: float, k: float, n: float, memory: float,
-                     block: float) -> float:
+                     block: float, ratio: float = 1.0) -> float:
     """Appendix-A cost, clamped at the one-pass floor.
 
     The formula is asymptotic; at small sizes it drops below the
     trivial floor of reading both operands and writing the result
-    once, so comparisons clamp it there.
+    once, so comparisons clamp it there.  ``ratio`` (the storage
+    codec's compressed-byte ratio) scales both the formula and the
+    floor — compression shrinks the one-pass traffic too.
     """
-    return max(square_tile_matmul_io(m, k, n, memory, block),
-               (m * k + k * n + m * n) / block)
+    return max(square_tile_matmul_io(m, k, n, memory, block, ratio),
+               ratio * (m * k + k * n + m * n) / block)
 
 
 def matmul_kernel_costs(node: MatMul, memory: float,
-                        block: float) -> dict[str, float] | None:
+                        block: float,
+                        ratio: float = 1.0) -> dict[str, float] | None:
     """``{"sparse": blocks, "dense": blocks}`` for an eligible ``%*%``.
 
     Returns ``None`` when no sparse alternative exists: flagged
@@ -54,8 +57,10 @@ def matmul_kernel_costs(node: MatMul, memory: float,
     else:
         sparse_cost = spmm_io(m, k, n, a.estimated_nnz, memory, block,
                               tile_side=tile_side)
+    # Sparse tiles are not codec-compressed, so only the dense side
+    # scales with the storage ratio.
     return {"sparse": sparse_cost,
-            "dense": clamped_dense_io(m, k, n, memory, block)}
+            "dense": clamped_dense_io(m, k, n, memory, block, ratio)}
 
 
 class KernelSelectPass(Pass):

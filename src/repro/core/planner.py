@@ -112,10 +112,16 @@ class Planner:
 
     def __init__(self, config: OptimizerConfig,
                  memory_scalars: int = 8 * 1024 * 1024,
-                 block_scalars: int = 1024) -> None:
+                 block_scalars: int = 1024,
+                 io_ratio: float = 1.0) -> None:
         self.config = config
         self.memory_scalars = memory_scalars
         self.block_scalars = block_scalars
+        #: Compressed/logical device-byte ratio of the storage codec
+        #: (``ArrayStore.io_ratio_estimate``); scales every dense cost
+        #: model so fuse-vs-materialize, BNLJ-vs-square and chain-order
+        #: decisions price compressed tiles correctly.  1.0 = raw.
+        self.io_ratio = io_ratio
         self._memo: dict[int, PhysOp] = {}
         self._edges: dict[int, int] = {}
         #: id(chain head) -> {"order", "cur", "dims"} for every chain
@@ -324,9 +330,10 @@ class Planner:
         from .chain import order_to_string
         from .costs import chain_io
         mem, blk = self.memory_scalars, self.block_scalars
+        ratio = self.io_ratio
         program_io = chain_io(
             info["dims"], info["cur"],
-            lambda m, l, n: clamped_dense_io(m, l, n, mem, blk))
+            lambda m, l, n: clamped_dense_io(m, l, n, mem, blk, ratio))
         op.detail = (op.detail + " " if op.detail else "") + \
             f"order={order_to_string(info['order'])}"
         op.alternatives.append(
@@ -379,7 +386,8 @@ class Planner:
         # type-driven behaviour the evaluator's dispatch always had
         # (there is no sparse kernel to run without a sparse operand).
 
-        dense_square = clamped_dense_io(m, k, n, mem, blk)
+        dense_square = clamped_dense_io(m, k, n, mem, blk,
+                                        self.io_ratio)
         flags = []
         if node.trans_a:
             flags.append("t(a)")
@@ -387,14 +395,16 @@ class Planner:
             flags.append("t(b)")
         detail = ",".join(flags)
 
-        dense_inputs = {"m": m, "k": k, "n": n,
-                        "trans_a": node.trans_a,
-                        "trans_b": node.trans_b}
+        dense_inputs = self._ratio_inputs(
+            {"m": m, "k": k, "n": n,
+             "trans_a": node.trans_a,
+             "trans_b": node.trans_b})
 
         def dense_op():
             alternatives = []
             if self.config.choice_enabled("kernel_select"):
-                bnlj = bnlj_matmul_io(m, k, n, mem, blk)
+                bnlj = bnlj_matmul_io(m, k, n, mem, blk,
+                                      self.io_ratio)
                 if bnlj < BNLJ_MARGIN * dense_square:
                     op = BnljOp(
                         node, (a_op, b_op), predicted_io=bnlj,
@@ -417,7 +427,8 @@ class Planner:
             return op
 
         # kernel == "auto"
-        costs = matmul_kernel_costs(node, mem, blk)
+        costs = matmul_kernel_costs(node, mem, blk,
+                                    ratio=self.io_ratio)
         if costs is not None and \
                 self.config.choice_enabled("kernel_select"):
             if costs["sparse"] < costs["dense"]:
@@ -437,16 +448,25 @@ class Planner:
             return sparse_op()
         return dense_op()
 
+    def _ratio_inputs(self, inputs: dict) -> dict:
+        """Record the compression ratio in ``cost_inputs`` only when it
+        actually scaled the prediction — uncompressed plans (the golden
+        snapshots) keep their exact historical shape."""
+        if self.io_ratio != 1.0:
+            inputs["ratio"] = self.io_ratio
+        return inputs
+
     def _lower_crossprod(self, node: Crossprod) -> CrossprodOp:
         a = node.children[0]
         inner, k = a.shape if node.t_first else a.shape[::-1]
         op = CrossprodOp(
             node, (self._lower(a),),
             predicted_io=crossprod_io(inner, k, self.memory_scalars,
-                                      self.block_scalars),
+                                      self.block_scalars,
+                                      self.io_ratio),
             detail="" if node.t_first else "tcrossprod")
-        op.cost_inputs = {"inner": inner, "k": k,
-                          "t_first": node.t_first}
+        op.cost_inputs = self._ratio_inputs(
+            {"inner": inner, "k": k, "t_first": node.t_first})
         return op
 
     def _lower_solve(self, node: Solve) -> LUSolveOp:
@@ -499,32 +519,37 @@ class Planner:
                 # memoizes neither) would make them recompute it.
                 return None
         mem, blk = self.memory_scalars, self.block_scalars
+        ratio = self.io_ratio
         extra = len(matrices)
         if isinstance(barrier, Crossprod):
             a = barrier.children[0]
             inner, k = (a.shape if barrier.t_first
                         else a.shape[::-1])
             fused_io = crossprod_epilogue_io(inner, k, extra, mem,
-                                             blk, fused=True)
+                                             blk, fused=True,
+                                             ratio=ratio)
             unfused_io = crossprod_epilogue_io(inner, k, extra, mem,
-                                               blk, fused=False)
+                                               blk, fused=False,
+                                               ratio=ratio)
             operand_ops = (self._lower(a),)
             model = "crossprod_epilogue_io"
-            cost_inputs = {"inner": inner, "k": k, "extra": extra}
+            cost_inputs = self._ratio_inputs(
+                {"inner": inner, "k": k, "extra": extra})
         else:
             a, b = barrier.children
             sa = a.shape[::-1] if barrier.trans_a else a.shape
             sb = b.shape[::-1] if barrier.trans_b else b.shape
             m, l, n = sa[0], sa[1], sb[1]
             fused_io = matmul_epilogue_io(m, l, n, extra, mem, blk,
-                                          fused=True)
+                                          fused=True, ratio=ratio)
             unfused_io = matmul_epilogue_io(m, l, n, extra, mem, blk,
-                                            fused=False)
+                                            fused=False, ratio=ratio)
             operand_ops = (self._lower(a), self._lower(b))
             model = "matmul_epilogue_io"
-            cost_inputs = {"m": m, "k": l, "n": n, "extra": extra,
-                           "trans_a": barrier.trans_a,
-                           "trans_b": barrier.trans_b}
+            cost_inputs = self._ratio_inputs(
+                {"m": m, "k": l, "n": n, "extra": extra,
+                 "trans_a": barrier.trans_a,
+                 "trans_b": barrier.trans_b})
         if self.config.level >= 2 and fused_io >= unfused_io:
             return None  # enumerated, and materializing won
         children = (operand_ops

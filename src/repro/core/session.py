@@ -84,8 +84,10 @@ class RiotSession:
         self.config = config if config is not None else \
             OptimizerConfig(level=2 if optimize else 0)
         self.optimize_enabled = self.config.level > 0
-        self._memory_scalars = storage.memory_bytes // 8
-        self._block_scalars = storage.block_size // 8
+        # Budgets in *stored scalars*: a float32 store fits twice as
+        # many per block, and every cost model counts blocks.
+        self._memory_scalars = storage.memory_bytes // storage.itemsize
+        self._block_scalars = storage.block_size // storage.itemsize
         # Legacy facade for session.optimize(); force() goes through
         # the pass pipeline + planner instead.
         self.rewriter = Rewriter._from_config(
@@ -94,7 +96,8 @@ class RiotSession:
         self.pipeline = build_pipeline(self.config)
         self.planner = Planner(self.config,
                                memory_scalars=self._memory_scalars,
-                               block_scalars=self._block_scalars)
+                               block_scalars=self._block_scalars,
+                               io_ratio=self.store.io_ratio_estimate())
         self.evaluator = Evaluator(
             self.store,
             memory_scalars=self._memory_scalars,
@@ -135,7 +138,7 @@ class RiotSession:
                linearization: str = "row",
                name: str | None = None) -> RiotMatrix:
         stored = self.store.matrix_from_numpy(
-            np.asarray(data, dtype=np.float64), layout=layout,
+            np.asarray(data, dtype=self.store.dtype), layout=layout,
             linearization=linearization, name=name)
         return RiotMatrix(self, ArrayInput(stored, name=stored.name))
 

@@ -133,7 +133,8 @@ def lu_decompose(store: ArrayStore, a: TiledMatrix,
             f"pivot panel for n={n}: partial pivoting needs at least "
             f"3 * n * tile_side = {3 * n * tile_w} scalars "
             f"(panel + strip + working frames)")
-    out = store.create_matrix((n, n), layout="square", name=name)
+    out = store.create_matrix((n, n), layout="square", name=name,
+                              dtype=a.dtype)
     p = lu_panel_width(n, memory, tile_w)
     for ti, tj in a.tiles():
         r0, r1, c0, c1 = a.tile_bounds(ti, tj)
@@ -194,8 +195,10 @@ def split_lu(store: ArrayStore, packed: PackedLU | TiledMatrix
     """Unpack L (unit diagonal) and U from a packed factorization."""
     mat = packed.packed if isinstance(packed, PackedLU) else packed
     n = mat.shape[0]
-    l_mat = store.create_matrix((n, n), layout="square")
-    u_mat = store.create_matrix((n, n), layout="square")
+    l_mat = store.create_matrix((n, n), layout="square",
+                                dtype=mat.dtype)
+    u_mat = store.create_matrix((n, n), layout="square",
+                                dtype=mat.dtype)
     for ti, tj in mat.tiles():
         r0, r1, c0, c1 = mat.tile_bounds(ti, tj)
         block = mat.read_submatrix(r0, r1, c0, c1)

@@ -56,20 +56,23 @@ def _square_panel(memory_scalars: int, tile_side: int, what: str,
     ``panels`` is the number of p x p submatrices resident at once —
     3 for the plain schedule (A, B and C blocks), plus one more per
     fused-epilogue matrix input, which reads its own p x p submatrix
-    while the accumulator is still live.  Raises :class:`ValueError`
-    when the budget cannot hold that many whole storage tiles — the
-    minimum working set — instead of silently clamping p *up* to the
-    tile side and overrunning the budget (the same honor-the-budget
-    guard the pivoted LU applies).
+    while the accumulator is still live.  When the budget cannot hold
+    ``panels`` whole storage tiles, the panel goes *ragged*: p drops
+    below the tile side (submatrix reads then cross tile boundaries,
+    costing extra partial-tile I/O but never overrunning the budget).
+    Raises :class:`ValueError` only when even 1 x 1 panels do not fit.
     """
-    need = panels * tile_side * tile_side
-    if memory_scalars < need:
+    if memory_scalars < panels:
         raise ValueError(
             f"memory budget of {memory_scalars} scalars cannot hold "
-            f"{panels} submatrices of {tile_side} x {tile_side} for "
-            f"{what}: the square-tile schedule needs at least "
-            f"{panels} * tile_side^2 = {need} scalars")
+            f"{panels} 1 x 1 submatrices for {what}: the square-tile "
+            f"schedule needs at least {panels} scalars")
     p = int(math.sqrt(memory_scalars / float(panels)))
+    if p < tile_side:
+        # Ragged fallback: the budget is smaller than the minimum
+        # tile-aligned working set, so honor it with an unaligned
+        # panel instead of refusing the multiply outright.
+        return max(1, p)
     return max(tile_side, (p // tile_side) * tile_side)
 
 
@@ -79,10 +82,15 @@ def _read_operand(m: TiledMatrix, r0: int, r1: int, c0: int, c1: int,
 
     A flagged operand reads the mirrored rectangle of the stored matrix
     and transposes it in memory — stored tiles are never re-laid out.
+    Dense kernels never mutate operand rectangles, so this goes through
+    ``read_submatrix_view`` when the matrix offers it: on a raw-codec
+    mmap store with ``zero_copy=1`` a tile-aligned rectangle comes back
+    as a read-only view over the page mapping instead of a copy.
     """
+    reader = getattr(m, "read_submatrix_view", m.read_submatrix)
     if trans:
-        return m.read_submatrix(c0, c1, r0, r1).T
-    return m.read_submatrix(r0, r1, c0, c1)
+        return reader(c0, c1, r0, r1).T
+    return reader(r0, r1, c0, c1)
 
 
 def _operand_blocks(m: TiledMatrix, r0: int, r1: int, c0: int, c1: int,
@@ -118,7 +126,9 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                        trans_b: bool = False,
                        epilogue=None,
                        epilogue_inputs: int = 0,
-                       parallel=None) -> TiledMatrix:
+                       parallel=None,
+                       out_tile_shape: tuple[int, int] | None = None
+                       ) -> TiledMatrix:
     """Appendix-A schedule: three p x p submatrices resident at a time.
 
     ``p`` is sized so one submatrix of A, one of B and one of the result
@@ -135,15 +145,23 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     prefetch hints and block reads in serial order; results are folded
     in increasing-``k`` order, so output bits and block counts match
     the serial kernel exactly.
+
+    ``out_tile_shape`` overrides the result's tile layout (e.g. to give
+    chain intermediates larger tiles so the storage codec sees frames
+    worth compressing); ``None`` keeps the store's default square
+    layout.
     """
     _check_conformable(a, b, trans_a, trans_b)
     m, l = _effective_shape(a, trans_a)
     n = _effective_shape(b, trans_b)[1]
+    out_dtype = np.result_type(a.dtype, b.dtype)
     tile_side = max(a.tile_shape[0], a.tile_shape[1])
     panels = 3 + (epilogue_inputs if epilogue is not None else 0)
     p = _square_panel(memory_scalars, tile_side, "square_tile_matmul",
                       panels)
-    out = store.create_matrix((m, n), layout="square", name=name)
+    out = store.create_matrix((m, n), layout="square", name=name,
+                              dtype=out_dtype,
+                              tile_shape=out_tile_shape)
     hinting = a.store is store and b.store is store
     for i0 in range(0, m, p):
         i1 = min(i0 + p, m)
@@ -172,7 +190,8 @@ def square_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                         yield lambda a_s=a_sub, b_s=b_sub: a_s @ b_s
 
                 acc = _accumulate(parallel,
-                                  np.zeros((i1 - i0, j1 - j0)),
+                                  np.zeros((i1 - i0, j1 - j0),
+                                           dtype=out_dtype),
                                   steps())
                 if epilogue is not None:
                     acc = epilogue(i0, j0, acc)
@@ -209,7 +228,8 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
     panels = 3 + (epilogue_inputs if epilogue is not None else 0)
     p = _square_panel(memory_scalars, tile_side, "crossprod_matmul",
                       panels)
-    out = store.create_matrix((k, k), layout="square", name=name)
+    out = store.create_matrix((k, k), layout="square", name=name,
+                              dtype=a.dtype)
     hinting = a.store is store
     for i0 in range(0, k, p):
         i1 = min(i0 + p, k)
@@ -236,7 +256,8 @@ def crossprod_matmul(store: ArrayStore, a: TiledMatrix,
                         yield lambda l_=left, r_=right: l_.T @ r_
 
                 acc = _accumulate(parallel,
-                                  np.zeros((i1 - i0, j1 - j0)),
+                                  np.zeros((i1 - i0, j1 - j0),
+                                           dtype=a.dtype),
                                   steps())
                 block = acc if epilogue is None else epilogue(i0, j0, acc)
                 out.write_submatrix(i0, j0, block)
@@ -274,7 +295,9 @@ def bnlj_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     n1, n2 = _effective_shape(a, trans_a)
     n3 = _effective_shape(b, trans_b)[1]
     q = max(1, int(memory_scalars / (n2 + n3)))
-    out = store.create_matrix((n1, n3), layout="row", name=name)
+    out_dtype = np.result_type(a.dtype, b.dtype)
+    out = store.create_matrix((n1, n3), layout="row", name=name,
+                              dtype=out_dtype)
     hinting = a.store is store and b.store is store
     for r0 in range(0, n1, q):
         r1 = min(r0 + q, n1)
@@ -283,7 +306,7 @@ def bnlj_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
                 store.pool.prefetch(
                     _operand_blocks(a, r0, r1, 0, n2, trans_a))
             a_rows = _read_operand(a, r0, r1, 0, n2, trans_a)
-            t_rows = np.zeros((r1 - r0, n3))
+            t_rows = np.zeros((r1 - r0, n3), dtype=out_dtype)
             # Scan B one column-block at a time (a block of columns costs
             # the same I/O as one column when B uses column tiles).
             col_step = max(1,
@@ -314,14 +337,16 @@ def naive_tile_matmul(store: ArrayStore, a: TiledMatrix, b: TiledMatrix,
     _check_conformable(a, b)
     m, l = a.shape
     n = b.shape[1]
-    out = store.create_matrix((m, n), layout="square", name=name)
+    out_dtype = np.result_type(a.dtype, b.dtype)
+    out = store.create_matrix((m, n), layout="square", name=name,
+                              dtype=out_dtype)
     th_a, tw_a = a.tile_shape
     th_b, tw_b = b.tile_shape
     th_o, tw_o = out.tile_shape
     for ti in range(out.grid[0]):
         for tj in range(out.grid[1]):
             r0, r1, c0, c1 = out.tile_bounds(ti, tj)
-            acc = np.zeros((r1 - r0, c1 - c0))
+            acc = np.zeros((r1 - r0, c1 - c0), dtype=out_dtype)
             for k0 in range(0, l, tw_a):
                 k1 = min(k0 + tw_a, l)
                 a_sub = a.read_submatrix(r0, r1, k0, k1)
@@ -339,12 +364,16 @@ ALGORITHMS = {
 
 def multiply_chain(store: ArrayStore, mats: list[TiledMatrix],
                    memory_scalars: int, order=None,
-                   algorithm: str = "square") -> TiledMatrix:
+                   algorithm: str = "square",
+                   out_tile_shape: tuple[int, int] | None = None
+                   ) -> TiledMatrix:
     """Appendix-B schedule: one multiplication at a time, optimal order.
 
     ``order`` defaults to the DP-optimal parenthesization; pass
     ``repro.core.chain.in_order(len(mats))`` to reproduce R's left-deep
-    evaluation for comparison.
+    evaluation for comparison.  ``out_tile_shape`` (square algorithm
+    only) fixes the tile layout of every intermediate, so compressed
+    stores keep multi-page tiles through the whole chain.
     """
     from repro.core.chain import optimal_order
 
@@ -355,7 +384,8 @@ def multiply_chain(store: ArrayStore, mats: list[TiledMatrix],
         order = optimal_order(dims)
     if algorithm == "square":
         multiply = lambda x, y: square_tile_matmul(  # noqa: E731
-            store, x, y, memory_scalars)
+            store, x, y, memory_scalars,
+            out_tile_shape=out_tile_shape)
     elif algorithm == "bnlj":
         multiply = lambda x, y: bnlj_matmul(  # noqa: E731
             store, x, y, memory_scalars)

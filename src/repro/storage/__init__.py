@@ -13,24 +13,30 @@ from .block_device import (BlockDevice, DEFAULT_BLOCK_SIZE,
                            SCALARS_PER_BLOCK, SimClock, coalesce_runs)
 from .buffer_pool import (POOL_SCHEMA_KEYS, BufferPool, ClockPolicy,
                           LRUPolicy, PoolStats, make_policy)
+from .codecs import (CODECS, DeltaZstdCodec, Float32Codec, RawCodec,
+                     TileCodec, get_codec, register_codec)
 from .config import (BACKENDS, StorageConfig, create_device, parse_memory)
 from .file_device import FileBlockDevice
 from .io_scheduler import IOScheduler, SchedulerStats
 from .linearization import (ColMajor, Hilbert, Linearization, RowMajor,
                             ZOrder, linearization_names, make_linearization)
 from .pagefile import PageFile, new_pagefile
-from .tile_store import (ArrayStore, TiledMatrix, TiledVector,
-                         tile_shape_for_layout)
+from .tile_store import (ArrayStore, DecodedTileCache, TiledMatrix,
+                         TiledVector, tile_shape_for_layout)
 
 __all__ = [
     "ArrayStore",
     "BACKENDS",
     "BlockDevice",
     "BufferPool",
+    "CODECS",
     "ClockPolicy",
     "ColMajor",
     "DEFAULT_BLOCK_SIZE",
+    "DecodedTileCache",
+    "DeltaZstdCodec",
     "FileBlockDevice",
+    "Float32Codec",
     "Hilbert",
     "IOScheduler",
     "IOSTATS_SCHEMA_KEYS",
@@ -41,20 +47,24 @@ __all__ = [
     "POOL_SCHEMA_KEYS",
     "PageFile",
     "PoolStats",
+    "RawCodec",
     "RowMajor",
     "SCALARS_PER_BLOCK",
     "SchedulerStats",
     "SimClock",
     "StorageConfig",
+    "TileCodec",
     "TiledMatrix",
     "TiledVector",
     "ZOrder",
     "coalesce_runs",
     "create_device",
+    "get_codec",
     "linearization_names",
     "make_linearization",
     "make_policy",
     "new_pagefile",
     "parse_memory",
+    "register_codec",
     "tile_shape_for_layout",
 ]

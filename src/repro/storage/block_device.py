@@ -69,6 +69,16 @@ class IOStats:
       ``fsync``/``msync``).  Zero on the memory backend; on the
       ``pread`` backend this is the number the scheduler's coalescing
       visibly shrinks.
+
+    The compression-era counters (schema v3) decouple the byte axis
+    from block counts for codec-compressed tiles (see
+    :mod:`repro.storage.codecs`):
+
+    - ``bytes_logical``: uncompressed scalar bytes moved through
+      codec-aware tile reads/writes (what the kernels consumed).
+    - ``bytes_compressed``: the bytes those same transfers actually
+      put on the device after encoding.  With codec ``raw`` both stay
+      zero; :attr:`compression_ratio` is their quotient.
     """
 
     seq_reads: int = 0
@@ -85,6 +95,8 @@ class IOStats:
     bytes_read: int = 0
     bytes_written: int = 0
     syscalls: int = 0
+    bytes_logical: int = 0
+    bytes_compressed: int = 0
 
     @property
     def reads(self) -> int:
@@ -107,6 +119,17 @@ class IOStats:
     def seconds(self) -> float:
         """Wall-clock seconds spent in the backend's I/O primitives."""
         return (self.read_ns + self.write_ns) / 1e9
+
+    @property
+    def compression_ratio(self) -> float:
+        """Measured compressed/logical byte ratio for codec traffic.
+
+        1.0 when no codec traffic happened (codec ``raw`` everywhere),
+        so multiplying a block-count cost by this ratio is always safe.
+        """
+        if self.bytes_logical <= 0:
+            return 1.0
+        return self.bytes_compressed / self.bytes_logical
 
     def bytes_total(self, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
         return self.total * block_size
@@ -132,6 +155,7 @@ class IOStats:
         out["total"] = self.total
         out["calls"] = self.calls
         out["seconds"] = round(self.seconds, 9)
+        out["compression_ratio"] = round(self.compression_ratio, 9)
         out["schema_version"] = IO_SCHEMA_VERSION
         return out
 
@@ -159,18 +183,23 @@ class IOStats:
 _IOSTAT_FIELDS = ("seq_reads", "rand_reads", "seq_writes", "rand_writes",
                   "read_calls", "write_calls", "coalesced_ios",
                   "prefetched", "readahead_hits", "read_ns", "write_ns",
-                  "bytes_read", "bytes_written", "syscalls")
+                  "bytes_read", "bytes_written", "syscalls",
+                  "bytes_logical", "bytes_compressed")
 
 #: Version of the shared benchmark io schema.  v1 carried block and call
 #: counters only; v2 added wall-clock (``read_ns``/``write_ns``/
 #: ``seconds``), byte, and ``syscalls`` counters so every benchmark
-#: dual-reports simulated blocks *and* real-backend seconds.
-IO_SCHEMA_VERSION = 2
+#: dual-reports simulated blocks *and* real-backend seconds; v3 added
+#: the codec byte axis (``bytes_logical``/``bytes_compressed``/
+#: ``compression_ratio``) so compressed-storage runs report how many
+#: device bytes the codec saved.
+IO_SCHEMA_VERSION = 3
 
 #: Keys every benchmark's ``extra_info["io"]`` must carry — the shared
 #: JSON schema of the CI benchmark artifacts.
 IOSTATS_SCHEMA_KEYS = _IOSTAT_FIELDS + ("reads", "writes", "total",
                                         "calls", "seconds",
+                                        "compression_ratio",
                                         "schema_version")
 
 
@@ -408,13 +437,15 @@ class BlockDevice:
         return buf
 
     # Convenience typed accessors -------------------------------------
-    def read_floats(self, block_id: int) -> np.ndarray:
-        """Read one block and view it as float64 values."""
-        return self.read_block(block_id).view(np.float64)
+    def read_floats(self, block_id: int,
+                    dtype: np.dtype = np.float64) -> np.ndarray:
+        """Read one block and view it as ``dtype`` values."""
+        return self.read_block(block_id).view(np.dtype(dtype))
 
-    def write_floats(self, block_id: int, values: np.ndarray) -> None:
-        """Write float64 values (at most one block's worth) to a block."""
-        arr = np.ascontiguousarray(values, dtype=np.float64)
+    def write_floats(self, block_id: int, values: np.ndarray,
+                     dtype: np.dtype = np.float64) -> None:
+        """Write ``dtype`` values (at most one block's worth) to a block."""
+        arr = np.ascontiguousarray(values, dtype=np.dtype(dtype))
         self.write_block(block_id, arr.view(np.uint8))
 
     # ------------------------------------------------------------------

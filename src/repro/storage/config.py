@@ -16,6 +16,7 @@ URL form (``repro.open_session``)::
     StorageConfig.from_url("file:///tmp/riot.db")            # mmap
     StorageConfig.from_url("file:///tmp/riot.db?mode=pread")
     StorageConfig.from_url("memory://", memory="64MiB")
+    StorageConfig.from_url("file:///tmp/riot.db?codec=zstd&dtype=float32")
 """
 
 from __future__ import annotations
@@ -58,6 +59,10 @@ def parse_memory(value: int | str) -> int:
 
 _TRUE = ("1", "true", "yes", "on")
 
+#: Storage dtypes and their per-scalar byte widths.  Kept as a plain
+#: table so this module stays importable without numpy in the loop.
+_DTYPE_SIZES = {"float64": 8, "float32": 4}
+
 
 def _env_sanitize() -> bool:
     """Default of ``StorageConfig.sanitize``: the REPRO_SANITIZE env
@@ -90,6 +95,20 @@ class StorageConfig:
         unpin views, pinned discards, unannounced kernel reads) into
         loud errors.  Defaults to the ``REPRO_SANITIZE`` environment
         variable.
+    ``codec``
+        Default per-tile compression codec applied at array-store
+        write time (a :mod:`repro.storage.codecs` registry name:
+        ``raw``, ``delta+zstd``/``zstd``, ``float32-downcast``/
+        ``float32``, or anything registered).
+    ``dtype``
+        Storage scalar type of newly created arrays: ``"float64"``
+        (the paper's setting) or ``"float32"`` (halves bytes per
+        scalar — the budgets and tile layouts scale accordingly).
+    ``zero_copy``
+        Let dense kernels read whole raw-codec tiles as read-only
+        ``block_view`` mmap slices instead of buffer-pool frame
+        copies.  Opt-in: the views bypass pool accounting (mmap
+        backend only; ignored elsewhere).
     """
 
     backend: str = "memory"
@@ -102,6 +121,9 @@ class StorageConfig:
     fsync: bool = False
     direct: bool = False
     sanitize: bool = field(default_factory=_env_sanitize)
+    codec: str = "raw"
+    dtype: str = "float64"
+    zero_copy: bool = False
     extra: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -120,6 +142,19 @@ class StorageConfig:
             raise ValueError(
                 f"readahead_window must be >= 0, "
                 f"got {self.readahead_window}")
+        if self.dtype not in _DTYPE_SIZES:
+            raise ValueError(
+                f"unknown storage dtype {self.dtype!r}; use one of "
+                f"{'|'.join(sorted(_DTYPE_SIZES))}")
+        # Resolve codec aliases eagerly so typos fail at config time,
+        # not at first tile write.
+        from .codecs import get_codec
+        self.codec = get_codec(self.codec).name
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per stored scalar for this config's ``dtype``."""
+        return _DTYPE_SIZES[self.dtype]
 
     def with_options(self, **overrides) -> "StorageConfig":
         """A copy with the given fields replaced (config is immutable
@@ -137,7 +172,8 @@ class StorageConfig:
         a page file, ``mmap`` by default.  Query parameters map to
         fields: ``mode=pread|mmap``, ``block_size=...``,
         ``fsync=1``, ``direct=1``, ``policy=clock``,
-        ``readahead=<blocks>``.
+        ``readahead=<blocks>``, ``codec=zstd``, ``dtype=float32``,
+        ``zero_copy=1``.
         """
         kwargs: dict = {}
         if url is None:
@@ -167,12 +203,14 @@ class StorageConfig:
                 for key, cast in (("block_size", int),
                                   ("readahead_window", int),
                                   ("readahead", int),
-                                  ("policy", str)):
+                                  ("policy", str),
+                                  ("codec", str),
+                                  ("dtype", str)):
                     if key in query:
                         field_name = ("readahead_window"
                                       if key == "readahead" else key)
                         kwargs[field_name] = cast(query.pop(key))
-                for key in ("fsync", "direct"):
+                for key in ("fsync", "direct", "zero_copy"):
                     if key in query:
                         kwargs[key] = query.pop(key).lower() in _TRUE
                 if query:

@@ -276,19 +276,25 @@ class FileBlockDevice(BlockDevice):
     # ------------------------------------------------------------------
     # Extras over the simulated device
     # ------------------------------------------------------------------
-    def block_view(self, block_id: int) -> np.ndarray:
-        """Zero-copy **read-only** view of one block (mmap mode only).
+    def block_view(self, block_id: int, count: int = 1) -> np.ndarray:
+        """Zero-copy **read-only** view of ``count`` consecutive blocks
+        (mmap mode only).
 
         Bypasses the buffer pool and all I/O accounting — this is the
         raw tile-view primitive for consumers that stream straight off
-        the mapping and can tolerate the page cache's timing.
+        the mapping and can tolerate the page cache's timing.  A
+        multi-block view requires the ids to be physically consecutive,
+        which the tile store guarantees for whole raw-codec tiles.
         """
         if self.mode != "mmap":
             raise ValueError("block_view requires the mmap backend")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
         self._check_id(block_id)
+        self._check_id(block_id + count - 1)
         bs = self.block_size
-        mm = self._mapping(block_id + 1)
-        view = np.frombuffer(mm, dtype=np.uint8, count=bs,
+        mm = self._mapping(block_id + count)
+        view = np.frombuffer(mm, dtype=np.uint8, count=bs * count,
                              offset=block_id * bs)
         view.flags.writeable = False
         return view

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import OrderedDict
 from collections.abc import Iterator
 
 import numpy as np
@@ -30,6 +31,7 @@ import numpy as np
 from ..obs.tracer import Tracer
 from .block_device import BlockDevice, DEFAULT_BLOCK_SIZE, IOStats
 from .buffer_pool import BufferPool
+from .codecs import TileCodec, get_codec
 from .linearization import Linearization, make_linearization
 from .pagefile import PageFile
 
@@ -249,11 +251,23 @@ class TiledVector:
 
 
 class TiledMatrix:
-    """A 2-D array stored as rectangular tiles over whole pages."""
+    """A 2-D array stored as rectangular tiles over whole pages.
+
+    Each matrix carries its own storage ``dtype`` (float64 or float32)
+    and per-tile :class:`~repro.storage.codecs.TileCodec`.  With a
+    non-``raw`` codec the ``tile_dir`` maps a tile's linearized
+    position to its compressed payload length: a positive length means
+    the payload occupies the first ``ceil(length / block_size)`` of
+    the tile's pre-allocated pages, ``0`` is the raw-fallback sentinel
+    for incompressible tiles, and an absent entry means the tile was
+    never written (reads return zeros without touching the device).
+    """
 
     def __init__(self, store: "ArrayStore", name: str,
                  shape: tuple[int, int], tile_shape: tuple[int, int],
-                 linearization: str | Linearization = "row") -> None:
+                 linearization: str | Linearization = "row",
+                 dtype: np.dtype | str | None = None,
+                 codec: TileCodec | str | None = None) -> None:
         n1, n2 = shape
         th, tw = tile_shape
         if n1 <= 0 or n2 <= 0:
@@ -263,6 +277,11 @@ class TiledMatrix:
         self.store = store
         self.name = name
         self.shape = (n1, n2)
+        self.dtype = (np.dtype(dtype) if dtype is not None
+                      else store.dtype)
+        self.codec = (get_codec(codec) if codec is not None
+                      else store.codec)
+        self.tile_dir: dict[int, int] = {}
         self.tile_shape = (min(th, n1), min(tw, n2))
         self.grid = (-(-n1 // self.tile_shape[0]),
                      -(-n2 // self.tile_shape[1]))
@@ -272,7 +291,7 @@ class TiledMatrix:
             self.linearization = make_linearization(
                 linearization, self.grid[0], self.grid[1])
         th, tw = self.tile_shape
-        self.pages_per_tile = -(-th * tw * _FLOAT_BYTES
+        self.pages_per_tile = -(-th * tw * self.dtype.itemsize
                                 // store.device.block_size)
         self.file = PageFile(store.device, name=name)
         self.file.allocate_pages(
@@ -286,13 +305,17 @@ class TiledMatrix:
         mat.store = store
         mat.name = name
         mat.shape = tuple(int(d) for d in entry["shape"])
+        mat.dtype = np.dtype(entry.get("dtype", "float64"))
+        mat.codec = get_codec(entry.get("codec", "raw"))
+        mat.tile_dir = {int(k): int(v)
+                        for k, v in entry.get("tile_dir", {}).items()}
         mat.tile_shape = tuple(int(d) for d in entry["tile_shape"])
         mat.grid = (-(-mat.shape[0] // mat.tile_shape[0]),
                     -(-mat.shape[1] // mat.tile_shape[1]))
         mat.linearization = make_linearization(
             entry["linearization"], mat.grid[0], mat.grid[1])
         th, tw = mat.tile_shape
-        mat.pages_per_tile = -(-th * tw * _FLOAT_BYTES
+        mat.pages_per_tile = -(-th * tw * mat.dtype.itemsize
                                // store.device.block_size)
         mat.file = PageFile.attach(store.device, name, entry["pages"])
         return mat
@@ -313,8 +336,21 @@ class TiledMatrix:
         return range(first, first + self.pages_per_tile)
 
     def tile_blocks(self, ti: int, tj: int) -> list[int]:
-        """Device block keys backing tile (ti, tj) — the prefetch unit."""
-        return self.file.blocks_of(self._tile_pages(ti, tj))
+        """Device block keys backing tile (ti, tj) — the prefetch unit.
+
+        Codec-aware: a compressed tile reports only the pages its
+        payload occupies, and a never-written compressed tile reports
+        none (its read is pure zeros, no I/O).
+        """
+        pages = self._tile_pages(ti, tj)
+        if self.codec.name != "raw":
+            comp = self.tile_dir.get(self.linearization.index(ti, tj))
+            if comp is None:
+                return []
+            if comp > 0:
+                nb = -(-comp // self.store.device.block_size)
+                pages = pages[:nb]
+        return self.file.blocks_of(pages)
 
     def submatrix_blocks(self, r0: int, r1: int, c0: int, c1: int
                          ) -> list[int]:
@@ -327,35 +363,111 @@ class TiledMatrix:
         return blocks
 
     def read_tile(self, ti: int, tj: int) -> np.ndarray:
-        """Read tile (ti, tj) as a 2-D float64 array (clipped at edges)."""
+        """Read tile (ti, tj) as a 2-D array (clipped at edges)."""
         r0, r1, c0, c1 = self.tile_bounds(ti, tj)
-        th, tw = self.tile_shape
-        scalars = th * tw
-        flat = np.empty(self.pages_per_tile
-                        * (self.store.device.block_size // _FLOAT_BYTES),
-                        dtype=_FLOAT)
-        per_page = self.store.device.block_size // _FLOAT_BYTES
-        frames = self.store.pool.get_many(self.tile_blocks(ti, tj))
-        for k, frame in enumerate(frames):
-            flat[k * per_page: (k + 1) * per_page] = frame.view(_FLOAT)
-        full = flat[:scalars].reshape(th, tw)
+        full = self._read_full_tile(ti, tj)
         return full[: r1 - r0, : c1 - c0].copy()
+
+    def _charge_codec(self, logical: int, compressed: int) -> None:
+        """Record codec traffic on the v3 byte axis (under the pool
+        lock, the serializer of every other stats mutation)."""
+        with self.store.pool.lock:
+            stats = self.store.device.stats
+            stats.bytes_logical += logical
+            stats.bytes_compressed += compressed
+
+    def _read_raw_tile(self, ti: int, tj: int) -> np.ndarray:
+        """Assemble the zero-padded (th, tw) tile from its full page
+        span (the codec-unaware path)."""
+        th, tw = self.tile_shape
+        per_page = self.store.device.block_size // self.dtype.itemsize
+        flat = np.empty(self.pages_per_tile * per_page, dtype=self.dtype)
+        frames = self.store.pool.get_many(
+            self.file.blocks_of(self._tile_pages(ti, tj)))
+        for k, frame in enumerate(frames):
+            flat[k * per_page: (k + 1) * per_page] = \
+                frame.view(self.dtype)
+        return flat[: th * tw].reshape(th, tw)
+
+    def _read_full_tile(self, ti: int, tj: int) -> np.ndarray:
+        """The decoded zero-padded (th, tw) tile.  May return a cached
+        (read-only) array — callers must copy before mutating."""
+        th, tw = self.tile_shape
+        if self.codec.name == "raw":
+            return self._read_raw_tile(ti, tj)
+        logical = th * tw * self.dtype.itemsize
+        comp = self.tile_dir.get(self.linearization.index(ti, tj))
+        if comp is None:
+            # Never written: sparse-file semantics without the I/O.
+            return np.zeros((th, tw), dtype=self.dtype)
+        if comp == 0:
+            # Raw-fallback tile (incompressible at write time).
+            tile = self._read_raw_tile(ti, tj)
+            self._charge_codec(logical, logical)
+            return tile
+        cached = self.store.tile_cache.get((self.name, ti, tj))
+        if cached is not None:
+            return cached
+        frames = self.store.pool.get_many(self.tile_blocks(ti, tj))
+        payload = b"".join(f.tobytes() for f in frames)[:comp]
+        tile = self.codec.decode_tile(payload, self.dtype,
+                                      th * tw).reshape(th, tw)
+        self._charge_codec(logical, comp)
+        self.store.tile_cache.put((self.name, ti, tj), tile)
+        return tile
 
     def write_tile(self, ti: int, tj: int, values: np.ndarray) -> None:
         r0, r1, c0, c1 = self.tile_bounds(ti, tj)
-        vals = np.ascontiguousarray(values, dtype=_FLOAT)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
         if vals.shape != (r1 - r0, c1 - c0):
             raise ValueError(
                 f"tile ({ti},{tj}) expects shape {(r1 - r0, c1 - c0)}, "
                 f"got {vals.shape}")
         th, tw = self.tile_shape
-        full = np.zeros((th, tw), dtype=_FLOAT)
+        full = np.zeros((th, tw), dtype=self.dtype)
         full[: r1 - r0, : c1 - c0] = vals
+        if self.codec.name == "raw":
+            self._write_raw_tile(ti, tj, full)
+        else:
+            self._write_encoded_tile(ti, tj, full)
+
+    def _write_raw_tile(self, ti: int, tj: int,
+                        full: np.ndarray) -> None:
         flat = full.reshape(-1).view(np.uint8)
         per_page = self.store.device.block_size
         for k, page in enumerate(self._tile_pages(ti, tj)):
             chunk = flat[k * per_page: (k + 1) * per_page]
             self.store.pool.put(self.file.block_of(page), chunk)
+
+    def _write_encoded_tile(self, ti: int, tj: int,
+                            full: np.ndarray) -> None:
+        bs = self.store.device.block_size
+        th, tw = self.tile_shape
+        logical = th * tw * self.dtype.itemsize
+        pos = self.linearization.index(ti, tj)
+        payload = self.codec.encode_tile(full)
+        pages = self._tile_pages(ti, tj)
+        if len(payload) > len(pages) * bs:
+            # The payload outgrew the tile's page span: store raw
+            # (tile_dir length 0 is the fallback sentinel).
+            self.tile_dir[pos] = 0
+            self.store.tile_cache.invalidate((self.name, ti, tj))
+            self._write_raw_tile(ti, tj, full)
+            self._charge_codec(logical, logical)
+            return
+        nb = -(-len(payload) // bs)
+        buf = np.frombuffer(payload, dtype=np.uint8)
+        for k in range(nb):
+            self.store.pool.put(self.file.block_of(pages[k]),
+                                buf[k * bs: (k + 1) * bs])
+        # A shrinking payload strands stale higher pages in the pool;
+        # drop them so they are neither flushed nor read back.
+        for page in pages[nb:]:
+            self.store.pool.invalidate(self.file.block_of(page))
+        self.tile_dir[pos] = len(payload)
+        full.flags.writeable = False
+        self.store.tile_cache.put((self.name, ti, tj), full)
+        self._charge_codec(logical, len(payload))
 
     def tiles(self) -> Iterator[tuple[int, int]]:
         """Yield tile coordinates in on-disk (linearized) order."""
@@ -373,7 +485,7 @@ class TiledMatrix:
         # The rectangle's tile footprint is exact and about to be read in
         # full — announce it so the misses coalesce into large I/Os.
         self.store.pool.prefetch(self.submatrix_blocks(r0, r1, c0, c1))
-        out = np.empty((r1 - r0, c1 - c0), dtype=_FLOAT)
+        out = np.empty((r1 - r0, c1 - c0), dtype=self.dtype)
         th, tw = self.tile_shape
         for ti in range(r0 // th, -(-r1 // th) if r1 else 0):
             for tj in range(c0 // tw, -(-c1 // tw) if c1 else 0):
@@ -387,8 +499,45 @@ class TiledMatrix:
                     tile[ir0 - tr0: ir1 - tr0, ic0 - tc0: ic1 - tc0]
         return out
 
+    def read_submatrix_view(self, r0: int, r1: int, c0: int, c1: int
+                            ) -> np.ndarray:
+        """Read a rectangle, zero-copy off the mmap when legal.
+
+        The fast path returns a **read-only** slice of the device's
+        mapping, bypassing buffer-pool frames and I/O accounting (the
+        documented trade of the ``zero_copy`` opt-in).  It engages only
+        when every guard holds: the config opted in and is not
+        sanitizing, the codec is ``raw``, the backend is mmap, the
+        rectangle is exactly one tile, the tile's blocks are physically
+        consecutive, and the pool holds no dirty frames for them.
+        Everything else falls back to :meth:`read_submatrix` (a fresh
+        writable copy), so callers may use this wherever they do not
+        mutate the result.
+        """
+        store = self.store
+        if (store.storage.zero_copy and not store.storage.sanitize
+                and self.codec.name == "raw"
+                and getattr(store.device, "mode", None) == "mmap"):
+            th, tw = self.tile_shape
+            if (r0 % th == 0 and c0 % tw == 0
+                    and r0 // th < self.grid[0]
+                    and c0 // tw < self.grid[1]):
+                ti, tj = r0 // th, c0 // tw
+                if (r0, r1, c0, c1) == self.tile_bounds(ti, tj):
+                    blocks = self.tile_blocks(ti, tj)
+                    consecutive = all(
+                        blocks[k] == blocks[0] + k
+                        for k in range(1, len(blocks)))
+                    if consecutive and not store.pool.has_dirty(blocks):
+                        raw = store.device.block_view(blocks[0],
+                                                      len(blocks))
+                        flat = raw.view(self.dtype)[: th * tw]
+                        return flat.reshape(th, tw)[: r1 - r0,
+                                                    : c1 - c0]
+        return self.read_submatrix(r0, r1, c0, c1)
+
     def write_submatrix(self, r0: int, c0: int, values: np.ndarray) -> None:
-        vals = np.ascontiguousarray(values, dtype=_FLOAT)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
         r1 = r0 + vals.shape[0]
         c1 = c0 + vals.shape[1]
         if not (0 <= r0 <= r1 <= self.shape[0]
@@ -420,7 +569,8 @@ class TiledMatrix:
                 if ir0 >= ir1 or ic0 >= ic1:
                     continue
                 if ir0 == tr0 and ir1 == tr1 and ic0 == tc0 and ic1 == tc1:
-                    tile = np.empty((tr1 - tr0, tc1 - tc0), dtype=_FLOAT)
+                    tile = np.empty((tr1 - tr0, tc1 - tc0),
+                                    dtype=self.dtype)
                 else:
                     tile = self.read_tile(ti, tj)
                 tile[ir0 - tr0: ir1 - tr0, ic0 - tc0: ic1 - tc0] = \
@@ -429,14 +579,14 @@ class TiledMatrix:
 
     # ------------------------------------------------------------------
     def to_numpy(self) -> np.ndarray:
-        out = np.empty(self.shape, dtype=_FLOAT)
+        out = np.empty(self.shape, dtype=self.dtype)
         for ti, tj in self.tiles():
             r0, r1, c0, c1 = self.tile_bounds(ti, tj)
             out[r0:r1, c0:c1] = self.read_tile(ti, tj)
         return out
 
     def from_numpy(self, values: np.ndarray) -> "TiledMatrix":
-        vals = np.ascontiguousarray(values, dtype=_FLOAT)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
         if vals.shape != self.shape:
             raise ValueError(
                 f"expected shape {self.shape}, got {vals.shape}")
@@ -448,6 +598,8 @@ class TiledMatrix:
     def drop(self) -> None:
         for page in range(self.file.num_pages):
             self.store.pool.invalidate(self.file.block_of(page))
+        self.store.tile_cache.invalidate_matrix(self.name)
+        self.tile_dir.clear()
         self.file.drop()
 
     def _check_tile(self, ti: int, tj: int) -> None:
@@ -465,6 +617,67 @@ class TiledMatrix:
 #: hold one tile plus working frames, and every cost model's streaming
 #: assumption breaks.
 MIN_POOL_BLOCKS = 4
+
+
+class DecodedTileCache:
+    """LRU cache of decoded (decompressed) full tiles.
+
+    For codec-compressed matrices the buffer pool holds *compressed*
+    frames — the unit the device serves and IOStats v3 charges — so a
+    re-read of a cached tile would still pay the decode CPU.  This
+    cache keeps the decoded ``(th, tw)`` arrays under its own byte
+    budget and lock; entries are read-only, and ``raw`` tiles never
+    enter (their pool frame already is the decoded form).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = max(0, int(capacity_bytes))
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        with self._lock:
+            tile = self._entries.get(key)
+            if tile is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return tile
+
+    def put(self, key: tuple, tile: np.ndarray) -> None:
+        if tile.nbytes > self.capacity_bytes:
+            return
+        tile = tile if not tile.flags.writeable else tile.copy()
+        tile.flags.writeable = False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = tile
+            self._bytes += tile.nbytes
+            while self._bytes > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+
+    def invalidate(self, key: tuple) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+
+    def invalidate_matrix(self, name: str) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == name]:
+                self._bytes -= self._entries.pop(key).nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
 
 class ArrayStore:
@@ -496,6 +709,8 @@ class ArrayStore:
         if overrides:
             storage = storage.with_options(**overrides)
         self.storage = storage
+        self.dtype = np.dtype(storage.dtype)
+        self.codec = get_codec(storage.codec)
         capacity = storage.memory_bytes // storage.block_size
         if capacity < MIN_POOL_BLOCKS:
             raise ValueError(
@@ -516,6 +731,9 @@ class ArrayStore:
                              policy=storage.policy,
                              readahead_window=storage.readahead_window)
         self.pool.scheduler.enabled = storage.scheduler
+        # Decoded tiles live beside the pool under the same byte
+        # budget; with codec raw everywhere the cache stays empty.
+        self.tile_cache = DecodedTileCache(storage.memory_bytes)
         # Observability: one tracer per store, off by default.  Kernels
         # and the evaluator bracket their work in store.tracer.span();
         # spans close with IOStats/PoolStats deltas from this device
@@ -535,7 +753,29 @@ class ArrayStore:
 
     @property
     def scalars_per_block(self) -> int:
+        """Float64 scalars per block — the cost models' fixed B.
+        Vectors always store float64; matrices use
+        :meth:`matrix_scalars_per_block`."""
         return self.device.block_size // _FLOAT_BYTES
+
+    @property
+    def matrix_scalars_per_block(self) -> int:
+        """Scalars of the store's matrix dtype that fit one block."""
+        return self.device.block_size // self.dtype.itemsize
+
+    def io_ratio_estimate(self) -> float:
+        """Compressed/logical device-byte ratio for planner costs.
+
+        Prefers the measured ratio of codec traffic seen so far (via
+        ``explain(analyze=True)``-style feedback); before any codec
+        I/O happened, the configured codec's static estimate.  Clamped
+        to 1.0 — compression never makes the plan look worse than the
+        uncompressed cost model.
+        """
+        stats = self.device.stats
+        if stats.bytes_logical > 0:
+            return min(1.0, stats.compression_ratio)
+        return min(1.0, self.codec.ratio_estimate)
 
     def _fresh_name(self, prefix: str) -> str:
         with self._names_lock:
@@ -565,21 +805,33 @@ class ArrayStore:
                       tile_shape: tuple[int, int] | None = None,
                       layout: str | None = None,
                       linearization: str = "row",
-                      name: str | None = None) -> TiledMatrix:
+                      name: str | None = None,
+                      dtype: np.dtype | str | None = None,
+                      codec: "TileCodec | str | None" = None
+                      ) -> TiledMatrix:
+        dt = np.dtype(dtype) if dtype is not None else self.dtype
         if tile_shape is None:
+            # Tile layout follows the matrix dtype: float32 tiles pack
+            # twice the scalars into the same page span.
             tile_shape = tile_shape_for_layout(
-                layout or "square", shape, self.scalars_per_block)
+                layout or "square", shape,
+                self.device.block_size // dt.itemsize)
         return self._register(
             TiledMatrix(self, name or self._fresh_name("mat"),
-                        shape, tile_shape, linearization))
+                        shape, tile_shape, linearization,
+                        dtype=dt, codec=codec))
 
     def matrix_from_numpy(self, values: np.ndarray,
                           layout: str = "square",
                           linearization: str = "row",
-                          name: str | None = None) -> TiledMatrix:
-        vals = np.asarray(values, dtype=_FLOAT)
+                          name: str | None = None,
+                          dtype: np.dtype | str | None = None,
+                          codec: "TileCodec | str | None" = None
+                          ) -> TiledMatrix:
+        vals = np.asarray(values)
         mat = self.create_matrix(vals.shape, layout=layout,
-                                 linearization=linearization, name=name)
+                                 linearization=linearization, name=name,
+                                 dtype=dtype, codec=codec)
         return mat.from_numpy(vals)
 
     # ------------------------------------------------------------------
@@ -601,6 +853,10 @@ class ArrayStore:
                     "kind": "matrix", "shape": list(arr.shape),
                     "tile_shape": list(arr.tile_shape),
                     "linearization": arr.linearization.name,
+                    "dtype": arr.dtype.name,
+                    "codec": arr.codec.name,
+                    "tile_dir": {str(k): int(v)
+                                 for k, v in arr.tile_dir.items()},
                     "pages": arr.file.page_map}
         return entries
 

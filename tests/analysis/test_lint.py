@@ -181,6 +181,44 @@ class TestRPR002CostModelRegistry:
         assert lint_file(other) == []
 
 
+class TestRPR005CodecDiscipline:
+    def test_encode_call_flagged(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "payload = codec.encode_tile(tile)\n",
+            name="linalg/matmul.py")
+        assert codes(found) == ["RPR005"]
+        assert "encode_tile" in found[0].message
+
+    def test_decode_call_flagged(self, tmp_path):
+        found = lint_source(
+            tmp_path, "tile = c.decode_tile(buf, dt, 16)\n")
+        assert codes(found) == ["RPR005"]
+
+    def test_storage_package_exempt(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            "payload = codec.encode_tile(tile)\n",
+            name="storage/tile_store.py")
+        assert found == []
+
+    def test_mention_in_string_is_clean(self, tmp_path):
+        found = lint_source(
+            tmp_path,
+            '"""Codecs expose encode_tile(tile) -> bytes."""\n'
+            "x = 'decode_tile(buf)'\n")
+        assert found == []
+
+    def test_other_codec_api_is_clean(self, tmp_path):
+        # Only the tile wire protocol is storage-internal; reading a
+        # codec's metadata (name, ratio) anywhere is fine.
+        found = lint_source(
+            tmp_path,
+            "from repro.storage import get_codec\n"
+            "ratio = get_codec('delta+zstd').ratio_estimate\n")
+        assert found == []
+
+
 class TestSelectAndErrors:
     def test_select_filters_rules(self, tmp_path):
         source = ("dev = BlockDevice()\n"
@@ -208,7 +246,8 @@ class TestSelfHosting:
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_all_rules_constant_matches_docs(self):
-        assert ALL_RULES == ("RPR001", "RPR002", "RPR003", "RPR004")
+        assert ALL_RULES == ("RPR001", "RPR002", "RPR003", "RPR004",
+                             "RPR005")
 
 
 class TestCLI:

@@ -174,17 +174,19 @@ class TestCrossprod:
 
 
 class TestBudgetGuard:
-    """The square-tile schedule honors its budget instead of clamping
-    p up to the tile side and silently overrunning it (mirrors the
-    pivoted-LU guard)."""
+    """The square-tile schedule honors its budget: below the
+    tile-aligned working set the panel goes *ragged* (sub-tile, extra
+    partial-tile I/O, correct results) and only a budget that cannot
+    hold 3 scalars is refused (mirrors ``TestRaggedPanelBudget``)."""
 
-    def test_square_tile_raises_below_three_tiles(self, rng):
+    def test_square_tile_goes_ragged_below_three_tiles(self, rng):
         store = make_store()  # block 8192 -> 32 x 32 tiles
-        a = store.matrix_from_numpy(rng.standard_normal((64, 64)))
-        b = store.matrix_from_numpy(rng.standard_normal((64, 64)))
-        with pytest.raises(ValueError,
-                           match="3 submatrices of 32 x 32"):
-            square_tile_matmul(store, a, b, 3 * 32 * 32 - 1)
+        a_np = rng.standard_normal((64, 64))
+        b_np = rng.standard_normal((64, 64))
+        a = store.matrix_from_numpy(a_np)
+        b = store.matrix_from_numpy(b_np)
+        out = square_tile_matmul(store, a, b, 3 * 32 * 32 - 1)
+        assert np.allclose(out.to_numpy(), a_np @ b_np)
 
     def test_square_tile_accepts_exact_minimum(self, rng):
         store = make_store()
@@ -195,11 +197,18 @@ class TestBudgetGuard:
         out = square_tile_matmul(store, a, b, 3 * 32 * 32)
         assert np.allclose(out.to_numpy(), a_np @ b_np)
 
-    def test_crossprod_raises_below_three_tiles(self, rng):
+    def test_crossprod_goes_ragged_below_three_tiles(self, rng):
         store = make_store()
-        a = store.matrix_from_numpy(rng.standard_normal((64, 64)))
-        with pytest.raises(ValueError, match="crossprod_matmul"):
-            crossprod_matmul(store, a, 100)
+        a_np = rng.standard_normal((64, 64))
+        a = store.matrix_from_numpy(a_np)
+        out = crossprod_matmul(store, a, 100)
+        assert np.allclose(out.to_numpy(), a_np.T @ a_np)
+
+    def test_crossprod_raises_below_three_scalars(self, rng):
+        store = make_store()
+        a = store.matrix_from_numpy(rng.standard_normal((8, 8)))
+        with pytest.raises(ValueError, match="at least 3 scalars"):
+            crossprod_matmul(store, a, 2)
 
 
 class TestBNLJHints:

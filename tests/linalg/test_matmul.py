@@ -73,6 +73,69 @@ class TestCorrectness:
         assert np.allclose(out.to_numpy(), a @ b)
 
 
+class TestRaggedPanelBudget:
+    """Budgets below the tile-aligned working set go ragged, not boom.
+
+    Regression for the PR 9 gotcha: the hypothesis chain shape
+    m=48, k=33, n=63 raised a budget ``ValueError`` from
+    ``_square_panel`` whenever the memory budget could not hold
+    ``panels`` whole storage tiles.  The kernel now shrinks the panel
+    below the tile side (unaligned reads cost extra partial-tile I/O
+    but stay inside the budget) and only refuses budgets that cannot
+    hold ``panels`` scalars.
+    """
+
+    SHAPE = (48, 33, 63)  # the exact failing hypothesis example
+
+    def test_kernel_subtile_budget(self, rng):
+        m, k, n = self.SHAPE
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        store = make_store()
+        ta = store.matrix_from_numpy(a, layout="square")
+        tb = store.matrix_from_numpy(b, layout="square")
+        # 2000 scalars < 3 * 32^2: previously a ValueError.
+        out = square_tile_matmul(store, ta, tb, 2000)
+        assert np.allclose(out.to_numpy(), a @ b)
+
+    def test_kernel_one_scalar_panels(self, rng):
+        m, k, n = 6, 5, 4
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        store = make_store()
+        out = square_tile_matmul(
+            store, store.matrix_from_numpy(a, layout="square"),
+            store.matrix_from_numpy(b, layout="square"), 3)
+        assert np.allclose(out.to_numpy(), a @ b)
+
+    def test_kernel_budget_below_panels_still_raises(self, rng):
+        store = make_store()
+        a = store.matrix_from_numpy(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError, match="at least 3 scalars"):
+            square_tile_matmul(store, a, a, 2)
+
+    def test_session_chain_48_33_63(self, rng):
+        """The fused epilogue chain at the exact hypothesis shape runs
+        under a budget one tile short of its 5-panel working set."""
+        from repro.core import OptimizerConfig, RiotSession
+        from repro.storage import StorageConfig
+        m, k, n = self.SHAPE
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        c = rng.standard_normal((m, n))
+        d = rng.standard_normal((m, n))
+        s = RiotSession(
+            storage=StorageConfig(memory_bytes=4 * 1024 * 8,
+                                  block_size=8192),
+            config=OptimizerConfig(parallelism=1))
+        try:
+            got = (s.matrix(a) @ s.matrix(b) + s.matrix(c) * 2.0
+                   + s.matrix(d)).values()
+        finally:
+            s.close()
+        assert np.allclose(got, a @ b + c * 2.0 + d)
+
+
 class TestChain:
     def test_chain_matches_numpy(self, rng):
         dims = [(96, 24), (24, 96), (96, 64)]
